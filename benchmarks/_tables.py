@@ -1,0 +1,50 @@
+"""Shared table emission for the per-figure benchmark harness.
+
+Every figure benchmark produces the same rows/series the paper plots.
+Tables are printed to stdout (visible with ``pytest -s``) and written
+to ``benchmarks/results/<name>.txt`` so a plain ``pytest benchmarks/
+--benchmark-only`` leaves the reproduction artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(
+    name: str,
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: Sequence[str] = (),
+) -> str:
+    """Format, print, and persist one reproduction table."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(_fmt(v).rjust(w) for v, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

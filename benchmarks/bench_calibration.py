@@ -1,0 +1,33 @@
+"""Coarse-model calibration against the fine-grained simulator.
+
+The scaling figures (2-7) come from the coarse task-level model; its
+credibility rests on tracking the fine simulator where both run.  This
+benchmark produces the comparison table for a blocked matrix multiply
+at 1-8 workers on two machine models.
+"""
+
+import pytest
+
+from repro.machines import BLUEGENE_P, LAPTOP
+from repro.perfmodel import calibration_table
+
+from _tables import emit_table
+
+
+@pytest.mark.benchmark(group="calibration")
+@pytest.mark.parametrize("machine", [LAPTOP, BLUEGENE_P], ids=lambda m: m.name)
+def test_fine_vs_coarse(benchmark, machine):
+    rows = benchmark(
+        calibration_table, machine, n=48, seg=8, proc_counts=(1, 2, 4, 8)
+    )
+    emit_table(
+        f"calibration_{machine.name}",
+        f"Coarse model vs fine simulator ({machine.name}, 48x48 matmul)",
+        ["workers", "fine (ms)", "coarse (ms)", "ratio"],
+        [
+            [r.procs, r.fine_time * 1e3, r.coarse_time * 1e3, r.ratio]
+            for r in rows
+        ],
+    )
+    for row in rows:
+        assert 0.3 < row.ratio < 3.0, (row.procs, row.ratio)

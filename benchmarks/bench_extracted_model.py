@@ -1,0 +1,161 @@
+"""Performance-model extraction: SIAL programs -> scaling predictions.
+
+The paper's planned SIAL tool support included "providing support for
+performance modeling" (Section VIII).  This benchmark exercises the
+implementation in :mod:`repro.perfmodel.extract`: workload models are
+derived *automatically from the compiled bytecode* of the repository's
+SIAL programs, validated against fine-grained simulation at small
+worker counts, and then used to predict strong scaling at counts the
+fine simulator cannot reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import CRAY_XT5, LAPTOP
+from repro.perfmodel import extract_workload, simulate, sweep
+from repro.programs import library
+from repro.sial import compile_source
+from repro.sip import SIPConfig, run_source
+
+from _tables import emit_table
+
+LCCD_SYMBOLICS = {"no": 4, "nv": 12, "niter": 2}
+FOCK_SYMBOLICS = {"nb": 24}
+
+
+def _fine_config(workers, machine):
+    return SIPConfig(
+        workers=workers,
+        io_servers=2,
+        segment_size=4,
+        backend="model",
+        machine=machine,
+        inputs={
+            "OOVV": None,
+            "VVVV": None,
+            "OOOO": None,
+            "OVVO": None,
+        },
+        superinstructions={"cc_denominator": lambda call: 4.0},
+    )
+
+
+def generate_validation():
+    prog = compile_source(library.LCCD_ITERATION)
+    workload = extract_workload(
+        prog, SIPConfig(segment_size=4), LCCD_SYMBOLICS
+    )
+    rows = []
+    for workers in (2, 4, 8):
+        fine = run_source(
+            library.LCCD_ITERATION, _fine_config(workers, LAPTOP), LCCD_SYMBOLICS
+        )
+        coarse = simulate(workload, LAPTOP, workers, io_servers=2)
+        rows.append(
+            {
+                "workers": workers,
+                "fine": fine.elapsed,
+                "coarse": coarse.time,
+                "ratio": coarse.time / fine.elapsed,
+            }
+        )
+    return rows
+
+
+def generate_prediction():
+    prog = compile_source(library.FOCK_BUILD)
+    workload = extract_workload(
+        prog, SIPConfig(segment_size=4), FOCK_SYMBOLICS, name="fock[extracted]"
+    )
+    return sweep(workload, CRAY_XT5, [1, 4, 16, 36, 64], io_servers=4)
+
+
+@pytest.mark.benchmark(group="extracted")
+def test_extracted_lccd_tracks_fine_simulation(benchmark):
+    rows = benchmark(generate_validation)
+    emit_table(
+        "extracted_lccd_validation",
+        "Extracted LCCD workload model vs fine simulation (laptop model)",
+        ["workers", "fine (ms)", "coarse (ms)", "ratio"],
+        [
+            [r["workers"], r["fine"] * 1e3, r["coarse"] * 1e3, r["ratio"]]
+            for r in rows
+        ],
+        notes=[
+            "the workload spec is derived from the compiled bytecode, "
+            "not hand-written",
+        ],
+    )
+    for r in rows:
+        assert 0.25 < r["ratio"] < 4.0, r
+    # scaling trend agrees: both halve-ish from 2 to 8 workers
+    fine_speedup = rows[0]["fine"] / rows[-1]["fine"]
+    coarse_speedup = rows[0]["coarse"] / rows[-1]["coarse"]
+    assert fine_speedup == pytest.approx(coarse_speedup, rel=0.5)
+
+
+@pytest.mark.benchmark(group="extracted")
+def test_extracted_fock_scaling_prediction(benchmark):
+    rows = benchmark(generate_prediction)
+    emit_table(
+        "extracted_fock_prediction",
+        "Strong scaling predicted from the extracted fock_build model",
+        ["procs", "time (s)", "efficiency", "wait %"],
+        [
+            [r["procs"], r["time"], r["efficiency"], r["wait_percent"]]
+            for r in rows
+        ],
+    )
+    assert rows[0]["efficiency"] == pytest.approx(1.0)
+    # 36 pardo blocks at segment 4: scaling saturates at ~36 procs
+    by = {r["procs"]: r for r in rows}
+    assert by[16]["time"] < by[1]["time"] / 8
+    assert by[64]["time"] >= by[36]["time"] * 0.95
+
+
+def generate_ccsd_extraction():
+    from repro.chem import LUCIFERIN
+    from repro.programs import CCSD_SIAL
+
+    prog = compile_source(CCSD_SIAL)
+    workload = extract_workload(
+        prog,
+        SIPConfig(segment_size=28),
+        {"no": 2 * LUCIFERIN.n_occ, "nv": 2 * LUCIFERIN.n_virt, "niter": 1},
+        name="ccsd-sial[luciferin]",
+    )
+    from repro.machines import SUN_OPTERON_IB
+
+    rows = sweep(workload, SUN_OPTERON_IB, [32, 64, 128, 256], io_servers=8)
+    return workload, rows
+
+
+@pytest.mark.benchmark(group="extracted")
+def test_extracted_real_ccsd_program_at_paper_scale(benchmark):
+    """The *actual* SIAL CCSD program (not a hand-built spec), extracted
+    at luciferin scale and swept over the Fig.-2 processor range.
+
+    Absolute flops exceed the hand-built Fig.-2 model because the SIAL
+    program works in spin orbitals (no spin adaptation); the scaling
+    shape -- near-perfect over 32-256 procs -- is what Fig. 2 reports.
+    """
+    workload, rows = benchmark(generate_ccsd_extraction)
+    emit_table(
+        "extracted_ccsd_luciferin",
+        "Fig. 2 regenerated from the compiled SIAL CCSD program itself",
+        ["procs", "hours/iter", "efficiency", "wait %"],
+        [
+            [r["procs"], r["time"] / 3600, r["efficiency"], r["wait_percent"]]
+            for r in rows
+        ],
+        notes=[
+            f"{len(workload.phases)} phases extracted from bytecode; "
+            f"max parallelism {workload.max_parallelism} pardo iterations",
+            "spin-orbital formulation: ~8x the spin-adapted flop count of "
+            "the hand-built Fig. 2 model; scaling shape is the claim",
+        ],
+    )
+    assert rows[-1]["efficiency"] > 0.9
+    for a, b in zip(rows, rows[1:]):
+        assert b["time"] < a["time"] * 0.6

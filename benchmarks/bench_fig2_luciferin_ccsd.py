@@ -1,0 +1,50 @@
+"""Figure 2: RHF CCSD for luciferin on the Sun/Opteron+IB cluster.
+
+Paper series (32-256 processors): average time per CCSD iteration,
+scaling efficiency relative to 32 processors, and the percentage of
+elapsed time spent waiting for communication (8.4-13.4%).
+
+Reproduced with the coarse model on the ``sun-opteron-ib`` machine;
+the claims to check are the *shape*: near-linear scaling over this
+modest range, and a roughly flat, low wait percentage.
+"""
+
+import pytest
+
+from repro.chem import LUCIFERIN
+from repro.machines import SUN_OPTERON_IB
+from repro.perfmodel import ccsd_iteration_workload, sweep
+
+from _tables import emit_table
+
+PROCS = [32, 64, 128, 256]
+SEG = 14
+
+
+def generate_rows():
+    workload = ccsd_iteration_workload(LUCIFERIN, seg=SEG)
+    return sweep(workload, SUN_OPTERON_IB, PROCS, io_servers=8)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_luciferin_ccsd(benchmark):
+    rows = benchmark(generate_rows)
+    emit_table(
+        "fig2_luciferin_ccsd",
+        "Fig. 2 -- luciferin (C11H8O3S2N2) RHF CCSD, Sun/Opteron + InfiniBand",
+        ["procs", "min/iter", "efficiency", "wait %"],
+        [
+            [r["procs"], r["time"] / 60, r["efficiency"], r["wait_percent"]]
+            for r in rows
+        ],
+        notes=[
+            "paper: efficiency stays near 1.0 over 32-256 procs; wait "
+            "time 8.4-13.4% of elapsed",
+        ],
+    )
+    # shape assertions: near-linear scaling, single-digit/low-teens wait
+    assert rows[-1]["efficiency"] > 0.9
+    assert all(2.0 < r["wait_percent"] < 20.0 for r in rows)
+    # time per iteration roughly halves per doubling
+    for a, b in zip(rows, rows[1:]):
+        assert b["time"] < a["time"] * 0.65

@@ -1,0 +1,56 @@
+"""Figure 3: RHF CCSD for the water cluster (H2O)21H+ on Cray XT4 and XT5.
+
+Paper series: time per CCSD iteration, 512-4096 processors on the XT4
+(kraken) and 512-2048 on the XT5 (pingo).  Shape to reproduce: both
+machines scale over the range, and the XT5 (faster cores, faster
+SeaStar2 links) is roughly 2x faster at equal processor counts.
+"""
+
+import pytest
+
+from repro.chem import WATER_CLUSTER_21
+from repro.machines import CRAY_XT4, CRAY_XT5
+from repro.perfmodel import ccsd_iteration_workload, sweep
+
+from _tables import emit_table
+
+SEG = 16
+XT4_PROCS = [512, 1024, 2048, 4096]
+XT5_PROCS = [512, 1024, 2048]
+
+
+def generate_rows():
+    workload = ccsd_iteration_workload(WATER_CLUSTER_21, seg=SEG)
+    return {
+        "xt4": sweep(workload, CRAY_XT4, XT4_PROCS, io_servers=32),
+        "xt5": sweep(workload, CRAY_XT5, XT5_PROCS, io_servers=32),
+    }
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_water_cluster_ccsd(benchmark):
+    series = benchmark(generate_rows)
+    rows = []
+    for machine, machine_rows in series.items():
+        for r in machine_rows:
+            rows.append([machine, r["procs"], r["time"] / 60, r["efficiency"]])
+    emit_table(
+        "fig3_water_ccsd",
+        "Fig. 3 -- (H2O)21H+ RHF CCSD, Cray XT4 (kraken) vs Cray XT5 (pingo)",
+        ["machine", "procs", "min/iter", "efficiency"],
+        rows,
+        notes=[
+            "paper: both lines fall with procs; the XT5 sits well below "
+            "the XT4 at equal counts",
+        ],
+    )
+    xt4 = {r["procs"]: r for r in series["xt4"]}
+    xt5 = {r["procs"]: r for r in series["xt5"]}
+    # XT5 faster at every shared count
+    for p in XT5_PROCS:
+        assert xt5[p]["time"] < xt4[p]["time"]
+    # XT4 keeps scaling to 4096
+    assert xt4[4096]["time"] < xt4[512]["time"] / 4
+    # XT5 roughly 2x faster (processor speed ratio ~2)
+    ratio = xt4[512]["time"] / xt5[512]["time"]
+    assert 1.5 < ratio < 3.0

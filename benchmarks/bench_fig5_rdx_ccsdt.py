@@ -1,0 +1,46 @@
+"""Figure 5: RHF CCSD(T) for RDX on jaguar, 10,000-80,000 processors.
+
+Paper series: wall time and efficiency relative to the 10,000-processor
+run, with "good strong scaling up to around 30,000 processors" and
+declining efficiency beyond.  The (T) triples are the n^7 term --
+compute-dense, so they scale further than the CCSD iterations of
+Fig. 4; the eventual roll-off comes from pardo granularity and master
+dole-out at extreme processor counts.
+"""
+
+import pytest
+
+from repro.chem import RDX
+from repro.machines import JAGUAR_XT5
+from repro.perfmodel import sweep, triples_workload
+
+from _tables import emit_table
+
+PROCS = [10000, 20000, 30000, 45000, 60000, 80000]
+SEG = 20  # the paper's untuned default granularity for these runs
+
+
+def generate_rows():
+    workload = triples_workload(RDX, seg=SEG)
+    return sweep(workload, JAGUAR_XT5, PROCS, baseline_procs=10000, io_servers=64)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_rdx_ccsdt(benchmark):
+    rows = benchmark(generate_rows)
+    emit_table(
+        "fig5_rdx_ccsdt",
+        "Fig. 5 -- RDX RHF CCSD(T) triples on jaguar (efficiency vs 10k procs)",
+        ["procs", "minutes", "efficiency"],
+        [[r["procs"], r["time"] / 60, r["efficiency"]] for r in rows],
+        notes=["paper: good strong scaling to ~30k procs, declining beyond"],
+    )
+    by_procs = {r["procs"]: r for r in rows}
+    # good scaling to 30k
+    assert by_procs[20000]["efficiency"] > 0.85
+    assert by_procs[30000]["efficiency"] > 0.75
+    # declining beyond
+    assert by_procs[80000]["efficiency"] < by_procs[30000]["efficiency"]
+    assert by_procs[80000]["efficiency"] < 0.7
+    # absolute time still improves out to 45k (the curve keeps falling)
+    assert by_procs[45000]["time"] < by_procs[10000]["time"] / 2

@@ -1,0 +1,91 @@
+"""Figure 6: Fock matrix build for the diamond nanocrystal (C42H42N,
+2944 basis functions) on jaguar, 12,000-108,000 cores.
+
+Paper series: wall time and efficiency; strong scaling up to 72,000
+cores, *longer* execution beyond, and the inset result that at 84,000
+cores retuning the segment size dropped the time from 83.2 s to
+57.5 s -- better than the 79.4 s of the untuned 72,000-core run.
+
+All scaling-curve runs share one default segment size (the paper's
+runs "were identical except for the number of processors"); the retune
+table sweeps the segment size at 84,000 cores.
+"""
+
+import pytest
+
+from repro.chem import DIAMOND_NV
+from repro.machines import JAGUAR_XT5
+from repro.perfmodel import fock_build_workload, simulate, sweep
+
+from _tables import emit_table
+
+PROCS = [12000, 24000, 48000, 72000, 84000, 96000, 108000]
+DEFAULT_SEG = 8
+TUNE_SEGS = [6, 7, 8, 9, 10, 11, 12, 13]
+
+
+def generate_scaling():
+    workload = fock_build_workload(DIAMOND_NV, seg=DEFAULT_SEG)
+    return sweep(workload, JAGUAR_XT5, PROCS, baseline_procs=12000, io_servers=64)
+
+
+def generate_retune():
+    return [
+        (seg, simulate(
+            fock_build_workload(DIAMOND_NV, seg=seg),
+            JAGUAR_XT5,
+            84000,
+            io_servers=64,
+        ).time)
+        for seg in TUNE_SEGS
+    ]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fock_build_scaling(benchmark):
+    rows = benchmark(generate_scaling)
+    emit_table(
+        "fig6_fock_build",
+        "Fig. 6 -- diamond nanocrystal (2944 fns) Fock build on jaguar",
+        ["cores", "seconds", "efficiency"],
+        [[r["procs"], r["time"], r["efficiency"]] for r in rows],
+        notes=[
+            "paper: strong scaling to 72k cores; 84k-108k runs take "
+            "longer than 72k",
+        ],
+    )
+    by = {r["procs"]: r for r in rows}
+    # strong scaling up to 72k
+    assert by[72000]["time"] < by[12000]["time"] / 3.5
+    # no improvement past 72k (the turnover)
+    for p in (84000, 96000, 108000):
+        assert by[p]["time"] >= by[72000]["time"] * 0.99
+    assert by[108000]["efficiency"] < by[72000]["efficiency"]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_segment_retune_at_84k(benchmark):
+    table = benchmark(generate_retune)
+    untuned_72k = simulate(
+        fock_build_workload(DIAMOND_NV, seg=DEFAULT_SEG),
+        JAGUAR_XT5,
+        72000,
+        io_servers=64,
+    ).time
+    untuned_84k = dict(table)[DEFAULT_SEG]
+    best_seg, best_time = min(table, key=lambda kv: kv[1])
+    emit_table(
+        "fig6_retune_84k",
+        "Fig. 6 inset -- segment-size retune at 84,000 cores",
+        ["segment", "seconds"],
+        [[seg, t] for seg, t in table],
+        notes=[
+            f"untuned default seg={DEFAULT_SEG}: 84k = {untuned_84k:.1f}s, "
+            f"72k = {untuned_72k:.1f}s",
+            f"tuned best seg={best_seg}: {best_time:.1f}s  (paper: 83.2s -> "
+            "57.5s, beating the 79.4s untuned 72k run)",
+        ],
+    )
+    # the paper's double-claim: tuned-84k beats untuned-84k AND untuned-72k
+    assert best_time < untuned_84k
+    assert best_time < untuned_72k

@@ -1,0 +1,146 @@
+"""Figure 7: Cytosine+OH UHF MP2 gradient -- ACES III vs NWChem.
+
+Paper series (SGI Altix, 16-256 processors): wall time of ACES III
+with 1 GB/core against NWChem with 2 GB/core and 4 GB/core.  Shape to
+reproduce:
+
+* ACES III at 1 GB/core runs everywhere and is the fastest line;
+* NWChem never completes with 1 GB/core at any processor count, nor at
+  16 processors with 2 GB/core (rigid GA memory layout);
+* NWChem's runnable points are slower (synchronous GA gets leave
+  communication unoverlapped).
+
+The times come from the coarse model: the same UHF MP2-gradient
+workload is played with overlap (SIA) and without (GA); feasibility
+comes from the NWChem memory model in :mod:`repro.baselines` vs the
+SIA's served-array design (worker RAM holds only amplitude shares).
+
+Deviation note: the paper also reports the 16-processor NWChem run
+failing at 4 GB/core (a >24 h timeout); our memory model marks that
+point feasible and merely slow.
+"""
+
+import pytest
+
+from repro.baselines import nwchem_gradient_feasible
+from repro.chem import CYTOSINE_OH
+from repro.machines import SGI_ALTIX
+from repro.perfmodel import mp2_gradient_workload, simulate
+
+from _tables import emit_table
+
+PROCS = [16, 32, 64, 128, 256]
+SEG = 12
+GB = 1.0e9
+
+
+def sia_feasible(n_ranks: int, memory_per_rank: float) -> bool:
+    """ACES III keeps the big integral generations on served arrays;
+    worker RAM holds amplitude shares plus block working sets."""
+    mol = CYTOSINE_OH
+    o, v = mol.n_occ, mol.n_virt
+    amplitude_share = (o * v) ** 2 * 8.0 / n_ranks
+    working = 64 * SEG**4 * 8.0
+    return amplitude_share + working <= memory_per_rank
+
+
+def _transform_passes(memory_per_rank: float) -> int:
+    """NWChem-style conventional 4-index transform: when the
+    half-transformed intermediates do not fit, the AO integrals are
+    re-read once per batch of occupied orbitals."""
+    from repro.baselines import nwchem_memory_floor
+
+    mol = CYTOSINE_OH
+    n, o = mol.n_basis, mol.n_occ
+    per_orbital = n**3 * 8.0  # one occupied orbital's half-transformed slice
+    free = memory_per_rank - nwchem_memory_floor(n, o)
+    batch = max(1, int(free / per_orbital))
+    return max(1, -(-o // batch))
+
+
+def _nwchem_workload(memory_per_rank: float):
+    from dataclasses import replace
+
+    base = mp2_gradient_workload(CYTOSINE_OH, seg=SEG)
+    passes = _transform_passes(memory_per_rank)
+    phases = []
+    for phase in base.phases:
+        if phase.name == "transform":
+            phase = replace(
+                phase,
+                served_bytes_per_iter=phase.served_bytes_per_iter * passes,
+                served_unique_bytes=phase.served_unique_bytes * passes,
+            )
+        phases.append(phase)
+    return replace(base, phases=tuple(phases))
+
+
+def generate_rows():
+    workload = mp2_gradient_workload(CYTOSINE_OH, seg=SEG)
+    rows = []
+    for p in PROCS:
+        aces = simulate(workload, SGI_ALTIX, p, io_servers=max(1, p // 16))
+        row = {"procs": p, "aces_1gb": aces.time if sia_feasible(p, GB) else None}
+        for mem, key in ((2 * GB, "nwchem_2gb"), (4 * GB, "nwchem_4gb")):
+            if nwchem_gradient_feasible(CYTOSINE_OH, p, mem):
+                ga = simulate(
+                    _nwchem_workload(mem),
+                    SGI_ALTIX,
+                    p,
+                    io_servers=max(1, p // 16),
+                    overlap=False,
+                )
+                row[key] = ga.time
+            else:
+                row[key] = None
+        row["nwchem_1gb"] = (
+            "runs" if nwchem_gradient_feasible(CYTOSINE_OH, p, GB) else None
+        )
+        rows.append(row)
+    return rows
+
+
+def _cell(value):
+    if value is None:
+        return "FAILED"
+    if isinstance(value, str):
+        return value
+    return f"{value:.1f}"
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_aces_vs_nwchem(benchmark):
+    rows = benchmark(generate_rows)
+    emit_table(
+        "fig7_vs_nwchem",
+        "Fig. 7 -- Cytosine+OH UHF MP2 gradient, SGI Altix (seconds)",
+        ["procs", "ACES III 1GB", "NWChem 2GB", "NWChem 4GB", "NWChem 1GB"],
+        [
+            [
+                r["procs"],
+                _cell(r["aces_1gb"]),
+                _cell(r["nwchem_2gb"]),
+                _cell(r["nwchem_4gb"]),
+                _cell(r["nwchem_1gb"]),
+            ]
+            for r in rows
+        ],
+        notes=[
+            "paper: ACES III (1GB/core) beats NWChem (2GB and 4GB/core); "
+            "NWChem fails at 1GB/core everywhere and at 16 procs",
+            "deviation: our model lets NWChem 4GB/16p run (slowly); the "
+            "paper reports it exceeding 24h",
+        ],
+    )
+    by = {r["procs"]: r for r in rows}
+    # ACES runs everywhere at 1 GB/core
+    assert all(by[p]["aces_1gb"] is not None for p in PROCS)
+    # NWChem never runs at 1 GB/core
+    assert all(by[p]["nwchem_1gb"] is None for p in PROCS)
+    # NWChem cannot run at 16 procs with 2 GB/core
+    assert by[16]["nwchem_2gb"] is None
+    # wherever NWChem runs, ACES III at 1 GB/core is faster
+    for p in PROCS:
+        for key in ("nwchem_2gb", "nwchem_4gb"):
+            if by[p][key] is not None:
+                assert by[p]["aces_1gb"] < by[p][key]

@@ -1,0 +1,89 @@
+"""Section VI-B: programmer productivity.
+
+"Programs that ... would have taken several months using a straight
+MPI implementation can be developed in a week or two by an experienced
+SIAL programmer."  A human study is out of scope; the measurable proxy
+is the program-text ratio: the SIAL MP2 program versus the same
+algorithm hand-written against the Global-Arrays-style baseline (with
+its explicit index arithmetic, patch management, and memory layout)
+and versus the infrastructure it leans on.
+
+The comparison is apples-to-apples in function: both compute the same
+MP2 energy and both run on the same simulated hardware in this
+repository's test-suite.
+"""
+
+import inspect
+
+import pytest
+
+from repro.baselines import nwchem_mp2
+from repro.programs import library
+
+from _tables import emit_table
+
+
+def count_sial_lines(source: str) -> int:
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def count_python_lines(obj) -> int:
+    source = inspect.getsource(obj)
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    )
+
+
+def generate_rows():
+    from repro.programs.ccsd_sial import CCSD_SIAL
+
+    sial_mp2 = count_sial_lines(library.MP2_ENERGY)
+    sial_lccd = count_sial_lines(library.LCCD_ITERATION)
+    sial_ccsd = count_sial_lines(CCSD_SIAL)
+    sial_fock = count_sial_lines(library.FOCK_BUILD)
+    ga_mp2 = count_python_lines(nwchem_mp2.ga_mp2)
+    # the GA program also relies on the toolkit's patch machinery the
+    # programmer must understand (get/put/acc layout rules)
+    import repro.baselines.ga as ga_mod
+
+    ga_toolkit = count_python_lines(ga_mod)
+    return {
+        "sial_mp2": sial_mp2,
+        "sial_lccd": sial_lccd,
+        "sial_ccsd": sial_ccsd,
+        "sial_fock": sial_fock,
+        "ga_mp2": ga_mp2,
+        "ga_toolkit": ga_toolkit,
+    }
+
+
+@pytest.mark.benchmark(group="productivity")
+def test_productivity_line_counts(benchmark):
+    counts = benchmark(generate_rows)
+    emit_table(
+        "productivity_loc",
+        "Section VI-B -- program text: SIAL vs explicit GA-style code",
+        ["program", "non-blank lines"],
+        [
+            ["MP2 energy (SIAL)", counts["sial_mp2"]],
+            ["LCCD iteration (SIAL)", counts["sial_lccd"]],
+            ["full CCSD (SIAL)", counts["sial_ccsd"]],
+            ["Fock build (SIAL)", counts["sial_fock"]],
+            ["MP2 energy (GA baseline, app code)", counts["ga_mp2"]],
+            ["GA toolkit the app leans on", counts["ga_toolkit"]],
+        ],
+        notes=[
+            "the SIAL programmer writes blocks and loops; layout, "
+            "communication, overlap and memory live in the SIP",
+        ],
+    )
+    # the SIAL MP2 is materially shorter than the equivalent GA program
+    assert counts["sial_mp2"] < counts["ga_mp2"]
+    # and the GA path additionally exposes the whole toolkit surface
+    assert counts["ga_toolkit"] > 5 * counts["sial_mp2"]

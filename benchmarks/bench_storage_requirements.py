@@ -1,0 +1,100 @@
+"""Section II: the storage arithmetic that motivates the whole design.
+
+The paper's numbers for a typical high-accuracy calculation
+(n = 1000 basis functions, N = 100 electrons):
+
+* one T-amplitude array is n^2 N^2 = 10^10 doubles = 80 GB;
+* about a dozen copies (2 working + up to 10 for DIIS convergence
+  acceleration) -> ~1 TB total, of which three need rapid access and
+  are distributed in RAM while the rest live on disk;
+* the larger integral array (n^3 N) is 800 GB by itself.
+
+We regenerate these numbers from a SIAL declaration of the working set
+via the SIP's dry-run analysis, and show the feasibility verdict (with
+the suggested worker count) the dry run gives -- the very report
+ACES III users rely on before burning supercomputer time.
+"""
+
+import pytest
+
+from repro import SIPConfig, compile_sial, dry_run
+
+from _tables import emit_table
+
+N, NE = 1000, 100  # the paper's n (basis functions) and N (electrons)
+
+CCSD_STORAGE = """
+sial ccsd_storage
+symbolic norb
+symbolic nel
+aoindex mu = 1, norb
+aoindex nu = 1, norb
+aoindex la = 1, norb
+moindex i = 1, nel
+moindex j = 1, nel
+# three rapid-access amplitude arrays, distributed in RAM
+distributed T2(mu, nu, i, j)
+distributed T2OLD(mu, nu, i, j)
+distributed RESID(mu, nu, i, j)
+# nine more copies for DIIS convergence acceleration, on disk
+served DIIS1(mu, nu, i, j)
+served DIIS2(mu, nu, i, j)
+served DIIS3(mu, nu, i, j)
+served DIIS4(mu, nu, i, j)
+served DIIS5(mu, nu, i, j)
+served DIIS6(mu, nu, i, j)
+served DIIS7(mu, nu, i, j)
+served DIIS8(mu, nu, i, j)
+served DIIS9(mu, nu, i, j)
+# the big integral array: n^3 N
+served VINTS(mu, nu, la, i)
+endsial ccsd_storage
+"""
+
+
+def generate_report(workers=1024):
+    program = compile_sial(CCSD_STORAGE)
+    config = SIPConfig(
+        workers=workers,
+        io_servers=32,
+        segment_size=25,
+        memory_per_worker=2.0e9,
+    )
+    return dry_run(program, config, symbolics={"norb": N, "nel": NE})
+
+
+@pytest.mark.benchmark(group="storage")
+def test_storage_requirements(benchmark):
+    report = benchmark(generate_report)
+    amplitude_bytes = report.array_bytes["T2"]
+    integral_bytes = report.array_bytes["VINTS"]
+    amplitude_total = sum(
+        b for name, b in report.array_bytes.items() if name != "VINTS"
+    )
+    emit_table(
+        "storage_requirements",
+        "Section II -- storage requirements at n=1000, N=100",
+        ["quantity", "ours", "paper"],
+        [
+            ["one amplitude array (n^2 N^2)", f"{amplitude_bytes/1e9:.0f} GB", "80 GB"],
+            ["twelve amplitude copies", f"{amplitude_total/1e12:.2f} TB", "~1 TB"],
+            ["integral array (n^3 N)", f"{integral_bytes/1e9:.0f} GB", "800 GB"],
+        ],
+        notes=[
+            f"dry run at 1024 workers x 2 GB/worker: "
+            f"{'FEASIBLE' if report.feasible else 'infeasible'} "
+            f"(distributed share {report.distributed_max_bytes/1e6:.0f} MB/worker)",
+        ],
+    )
+    assert amplitude_bytes == N * N * NE * NE * 8  # exactly 80 GB
+    assert integral_bytes == N**3 * NE * 8  # exactly 800 GB
+    assert 0.9e12 < amplitude_total < 1.1e12  # "about 1 TB"
+    assert report.feasible
+
+    # the same computation on too few workers is flagged, with the
+    # sufficient worker count in the report (paper, Section V-B)
+    small = generate_report(workers=16)
+    assert not small.feasible
+    assert small.required_workers > 16
+    sufficient = generate_report(workers=small.required_workers)
+    assert sufficient.feasible

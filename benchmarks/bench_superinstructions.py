@@ -1,0 +1,103 @@
+"""Microbenchmarks of the super-instruction kernels (real wall time).
+
+These are the only benchmarks that time *host* execution rather than
+simulated execution: the numpy kernels standing in for the paper's
+Fortran/DGEMM super instructions.  They document the granularity
+argument of Section III -- a block contraction at segment size 10-50
+does 2x10^3 .. 2x2500^3-scale flops, plenty to amortize overheads and
+to overlap communication against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostModel
+from repro.machines import LAPTOP
+from repro.sip.backend import KernelOperand, RealBackend
+
+
+def make_ops(seg, rank=4):
+    rng = np.random.default_rng(0)
+    shape = (seg,) * rank
+    a = KernelOperand(
+        shape=shape, index_ids=(0, 1, 2, 3), data=rng.standard_normal(shape)
+    )
+    b = KernelOperand(
+        shape=shape, index_ids=(2, 3, 4, 5), data=rng.standard_normal(shape)
+    )
+    out = KernelOperand(
+        shape=shape, index_ids=(0, 1, 4, 5), data=np.zeros(shape)
+    )
+    return out, a, b
+
+
+@pytest.mark.benchmark(group="kernels")
+@pytest.mark.parametrize("seg", [4, 10, 20])
+def test_block_contraction_kernel(benchmark, seg):
+    backend = RealBackend(CostModel(LAPTOP))
+    out, a, b = make_ops(seg)
+    benchmark(backend.contract, out, "=", a, b)
+    # sanity: matches einsum
+    ref = np.einsum("abcd,cdef->abef", a.data, b.data)
+    assert np.allclose(out.data, ref)
+
+
+@pytest.mark.benchmark(group="kernels")
+@pytest.mark.parametrize("seg", [10, 20])
+def test_block_permutation_kernel(benchmark, seg):
+    backend = RealBackend(CostModel(LAPTOP))
+    rng = np.random.default_rng(1)
+    shape = (seg,) * 4
+    src = KernelOperand(
+        shape=shape, index_ids=(0, 1, 2, 3), data=rng.standard_normal(shape)
+    )
+    dst = KernelOperand(shape=shape, index_ids=(3, 1, 2, 0), data=np.zeros(shape))
+    benchmark(backend.copy, dst, src)
+    assert np.allclose(dst.data, src.data.transpose(3, 1, 2, 0))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_scalar_contraction_kernel(benchmark):
+    backend = RealBackend(CostModel(LAPTOP))
+    rng = np.random.default_rng(2)
+    shape = (16, 16, 16, 16)
+    a = KernelOperand(
+        shape=shape, index_ids=(0, 1, 2, 3), data=rng.standard_normal(shape)
+    )
+    b = KernelOperand(
+        shape=shape, index_ids=(0, 1, 2, 3), data=rng.standard_normal(shape)
+    )
+    value, _cost = benchmark(backend.scalar_contract, a, b)
+    assert value == pytest.approx(float(np.sum(a.data * b.data)))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_energy_denominator_kernel(benchmark):
+    from repro.programs.supers import cc_denominator
+    from repro.sip.registry import SuperCall
+
+    e_occ = -2.0 - 0.1 * np.arange(20)
+    e_virt = 0.5 + 0.1 * np.arange(20)
+    fn = cc_denominator(e_occ, e_virt)
+    shape = (10, 10, 10, 10)
+    block = KernelOperand(
+        shape=shape,
+        index_ids=(0, 1, 2, 3),
+        data=np.ones(shape),
+        element_ranges=((0, 10), (0, 10), (0, 10), (0, 10)),
+    )
+
+    def call():
+        block.data[...] = 1.0
+        return fn(
+            SuperCall(name="cc_denominator", blocks=[block], scalars=[], real=True)
+        )
+
+    benchmark(call)
+    denom = (
+        e_occ[:10, None, None, None]
+        + e_occ[None, :10, None, None]
+        - e_virt[None, None, :10, None]
+        - e_virt[None, None, None, :10]
+    )
+    assert np.allclose(block.data, 1.0 / denom)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""A complete correlated-energy workflow on the simulated SIP.
+
+Mirrors what a computational chemist does with ACES III:
+
+1. Hartree-Fock on a (synthetic) molecule -- numpy reference;
+2. MP2 energy via the SIAL program ``mp2_energy`` on the SIP;
+3. LCCD (a linearized coupled-cluster iteration, with the O(v^4)
+   integrals on disk-backed *served* arrays) via the SIAL program
+   ``lccd_iteration``;
+4. full CCSD and the (T) correction from the numpy reference library,
+   to place the SIAL numbers in the method hierarchy.
+
+Every SIAL energy is checked against its numpy counterpart.
+"""
+
+import numpy as np
+
+from repro.chem import (
+    ao_to_mo,
+    ccsd,
+    ccsd_t,
+    lccd,
+    make_integrals,
+    mp2_energy_rhf,
+    n_occ_spin,
+    rhf,
+    spin_orbital_eri,
+)
+from repro.programs import run_ccsd, run_ccsd_t, run_lccd, run_mp2
+from repro.sip import SIPConfig
+
+N_BASIS, N_OCC, SEED = 8, 3, 42
+LCCD_SWEEPS = 8
+
+
+def main() -> None:
+    print(f"synthetic molecule: {N_BASIS} basis functions, {N_OCC} pairs\n")
+
+    ints = make_integrals(N_BASIS, seed=SEED)
+    scf = rhf(ints.h, ints.eri, N_OCC)
+    print(f"RHF    energy = {scf.energy:+.10f}  "
+          f"(converged in {scf.iterations} iterations)")
+
+    # -- MP2 on the SIP -----------------------------------------------------
+    mp2 = run_mp2(n_basis=N_BASIS, n_occ=N_OCC, seed=SEED)
+    print(f"MP2    corr   = {mp2.value:+.10f}  (SIAL on SIP)")
+    print(f"       ref    = {mp2.reference:+.10f}  (numpy)   "
+          f"|err| = {mp2.error:.1e}")
+    print(f"       simulated time = {mp2.result.elapsed*1e3:.2f} ms on "
+          f"{len(mp2.result.profile.workers)} workers, "
+          f"wait {100*mp2.result.profile.wait_fraction:.1f} %")
+
+    # -- LCCD on the SIP (served VVVV integrals) ------------------------------
+    config = SIPConfig(workers=4, io_servers=2, segment_size=2)
+    lccd_out = run_lccd(
+        n_basis=6, n_occ=2, iterations=LCCD_SWEEPS, seed=SEED, config=config
+    )
+    print(f"\nLCCD   corr   = {lccd_out.value:+.10f}  "
+          f"(SIAL on SIP, {LCCD_SWEEPS} sweeps, VVVV on disk)")
+    print(f"       ref    = {lccd_out.reference:+.10f}  (numpy)   "
+          f"|err| = {lccd_out.error:.1e}")
+    stats = lccd_out.result.stats
+    print(f"       served-array traffic: {stats['server_cache_hits']} cache "
+          f"hits, {stats['disk_reads']} disk reads")
+
+    # -- full CCSD in SIAL ------------------------------------------------------
+    ccsd_out = run_ccsd(n_basis=5, n_occ=2, iterations=3, seed=SEED)
+    print(f"\nCCSD   corr   = {ccsd_out.value:+.10f}  "
+          f"(SIAL on SIP, 3 sweeps, all Stanton intermediates)")
+    print(f"       ref    = {ccsd_out.reference:+.10f}  (numpy)   "
+          f"|err| = {ccsd_out.error:.1e}")
+    assert ccsd_out.error < 1e-12
+
+    # -- the (T) triples correction in SIAL (6-d subindexed blocks) ------------
+    t_out = run_ccsd_t(n_basis=4, n_occ=2, sweeps=4, seed=SEED)
+    print(f"(T)    corr   = {t_out.value:+.2e}  "
+          f"(SIAL on SIP, T3 blocks over subindices)")
+    print(f"       ref    = {t_out.reference:+.2e}  (numpy)   "
+          f"|err| = {t_out.error:.1e}")
+    assert t_out.error < 1e-15
+
+    # -- reference CCSD / (T) hierarchy ----------------------------------------
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    no = n_occ_spin(N_OCC)
+    cc = ccsd(eps, eri_so, no, tolerance=1e-11)
+    et = ccsd_t(eps, eri_so, cc.t1, cc.t2, no)
+    lc = lccd(eps, eri_so, no, iterations=40, tolerance=1e-12)
+    e_mp2 = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+
+    print("\nmethod hierarchy (numpy references):")
+    print(f"  MP2      {e_mp2:+.10f}")
+    print(f"  LCCD     {lc.e_corr:+.10f}   (converged: {lc.converged})")
+    print(f"  CCSD     {cc.e_corr:+.10f}   ({cc.iterations} iterations)")
+    print(f"  CCSD(T)  {cc.e_corr + et:+.10f}   ((T) = {et:+.2e})")
+
+    assert mp2.error < 1e-11
+    assert lccd_out.error < 1e-11
+    print("\nOK: all SIAL energies match their references.")
+
+
+if __name__ == "__main__":
+    main()

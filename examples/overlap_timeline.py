@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Visualizing communication/computation overlap with the trace recorder.
+
+Runs a blocked matrix multiply twice on a slow-network machine model --
+once with the prefetcher off and once with lookahead 3 -- and renders
+per-worker timelines where `#` is contraction time and `.` is waiting
+for blocks. With prefetching, the dots (waits) largely disappear:
+"in a well-tuned SIAL program, a large portion of the communication is
+hidden behind computation" (paper, Section III).
+"""
+
+from repro.machines import Machine
+from repro.sip import SIPConfig, run_source
+from repro.sip.tracing import TraceRecorder
+
+SRC = """
+sial overlap_demo
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nb
+distributed A(M, L)
+distributed B(L, N)
+distributed C(M, N)
+temp TC(M, N)
+
+pardo M, N
+  TC(M, N) = 0.0
+  do L
+    get A(M, L)
+    get B(L, N)
+    TC(M, N) += A(M, L) * B(L, N)
+  enddo L
+  put C(M, N) = TC(M, N)
+endpardo M, N
+endsial overlap_demo
+"""
+
+SLOW_NET = Machine(
+    name="slow-net",
+    flop_rate=50e9,
+    kernel_overhead=1e-6,
+    latency=50e-6,
+    bandwidth=0.05e9,
+    memory_per_rank=4e9,
+)
+
+
+def run(depth: int):
+    tracer = TraceRecorder()
+    cfg = SIPConfig(
+        workers=3,
+        io_servers=1,
+        segment_size=8,
+        backend="model",
+        machine=SLOW_NET,
+        prefetch_depth=depth,
+        inputs={"A": None, "B": None},
+        tracer=tracer,
+    )
+    res = run_source(SRC, cfg, symbolics={"nb": 48})
+    return tracer, res
+
+
+def main() -> None:
+    for depth, label in ((0, "prefetch OFF"), (3, "prefetch depth 3")):
+        tracer, res = run(depth)
+        print(f"=== {label} ===")
+        print(tracer.timeline(width=68))
+        print(
+            f"elapsed {res.elapsed*1e3:.2f} ms, "
+            f"wait {100*res.profile.wait_fraction:.1f} % of elapsed\n"
+        )
+    t_off = run(0)[1].elapsed
+    t_on = run(3)[1].elapsed
+    print(f"speedup from prefetching alone: {t_off / t_on:.2f}x")
+    assert t_on < t_off
+    print("OK: prefetching hides communication behind computation.")
+
+
+if __name__ == "__main__":
+    main()

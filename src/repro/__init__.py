@@ -1,0 +1,41 @@
+"""repro: the Super Instruction Architecture (SIAL + SIP), reproduced.
+
+A from-scratch Python implementation of the system described in
+"A Block-Oriented Language and Runtime System for Tensor Algebra with
+Very Large Arrays" (Sanders, Bartlett, Deumens, Lotrich, Ponton;
+SC 2010):
+
+* :mod:`repro.sial`      -- the SIAL language: lexer, parser, semantic
+  analysis, and compilation to SIA bytecode;
+* :mod:`repro.sip`       -- the SIP runtime: master/workers/I/O servers,
+  distributed and served arrays, block caches, prefetching, guided
+  pardo scheduling, dry-run memory analysis, profiling, checkpointing;
+* :mod:`repro.simmpi`    -- the deterministic simulated-MPI substrate
+  the SIP runs on;
+* :mod:`repro.chem`      -- synthetic quantum-chemistry inputs and the
+  numpy reference methods (SCF, MP2, LCCD, CCSD, (T));
+* :mod:`repro.programs`  -- SIAL application programs (the "ACES III"
+  layer) and drivers validating them against the references;
+* :mod:`repro.baselines` -- a mini Global Arrays toolkit and an
+  NWChem-style MP2 (the paper's comparison system);
+* :mod:`repro.perfmodel` -- the coarse model reproducing the paper's
+  1k-108k-core scaling figures;
+* :mod:`repro.api`       -- the high-level entry points.
+"""
+
+from . import api
+from .api import MACHINES, SIPConfig, compile_sial, dry_run, get_machine, run
+from .machines import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MACHINES",
+    "Machine",
+    "SIPConfig",
+    "api",
+    "compile_sial",
+    "dry_run",
+    "get_machine",
+    "run",
+]

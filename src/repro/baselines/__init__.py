@@ -1,0 +1,29 @@
+"""Baseline systems the paper compares against.
+
+A miniature Global Arrays toolkit (:mod:`~repro.baselines.ga`) and an
+NWChem-style MP2 written on top of it
+(:mod:`~repro.baselines.nwchem_mp2`) -- the comparison system of the
+paper's Fig. 7.
+"""
+
+from .ga import GACluster, GAEnv, GAError, GAHandle, GAMemoryError
+from .nwchem_mp2 import (
+    GAMP2Result,
+    ga_mp2,
+    nwchem_feasible,
+    nwchem_gradient_feasible,
+    nwchem_memory_floor,
+)
+
+__all__ = [
+    "GACluster",
+    "GAEnv",
+    "GAError",
+    "GAHandle",
+    "GAMP2Result",
+    "GAMemoryError",
+    "ga_mp2",
+    "nwchem_feasible",
+    "nwchem_gradient_feasible",
+    "nwchem_memory_floor",
+]

@@ -1,0 +1,404 @@
+"""A miniature Global Arrays (GA) toolkit on the simulated MPI substrate.
+
+The paper's main comparison point (Fig. 7) is NWChem, built on the
+Global Arrays toolkit [Nieplocha et al.].  GA provides a global view of
+distributed dense arrays with one-sided ``put``/``get``/``acc`` on
+arbitrary rectangular *patches* -- but, as the paper stresses, the
+programming model differs from the SIA in exactly the ways that matter:
+
+* algorithms are written in terms of element index ranges chosen by the
+  programmer (who must get the blocking right by hand);
+* ``get`` is synchronous by default; overlap requires explicitly
+  managed non-blocking handles (``nbget``/``wait``);
+* the data layout is fixed by the program (here: contiguous row-block
+  distribution), and local working buffers must be allocated up front,
+  which is where the rigid per-core memory requirement comes from.
+
+This implementation is functionally real: patches move between ranks
+over :mod:`repro.simmpi`, accumulate is atomic at the owner, and a GA
+program produces actual numbers that tests compare to numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, prod
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..costmodel import CostModel
+from ..machines import LAPTOP, Machine
+from ..simmpi import Barrier, Event, Simulator, Timeout, World
+
+__all__ = ["GAError", "GAMemoryError", "GACluster", "GAEnv", "GAHandle"]
+
+GA_TAG = 11
+_REPLY_BASE = 5000
+
+
+class GAError(Exception):
+    """Errors raised by the mini Global Arrays toolkit."""
+
+
+class GAMemoryError(GAError):
+    """A rank could not allocate its required local buffers.
+
+    This is the failure mode the paper reports for NWChem at 1 GB/core
+    (Fig. 7): "the calculation will simply not run"."""
+
+
+@dataclass
+class _GlobalArrayMeta:
+    name: str
+    shape: tuple[int, ...]
+    # row-block distribution: rank r owns rows [bounds[r], bounds[r+1])
+    bounds: list[int]
+
+    def owner_of_row(self, row: int) -> int:
+        for r in range(len(self.bounds) - 1):
+            if self.bounds[r] <= row < self.bounds[r + 1]:
+                return r
+        raise GAError(f"row {row} outside array {self.name!r}")
+
+
+@dataclass(frozen=True)
+class _PatchRequest:
+    kind: str  # 'get', 'put', 'acc'
+    name: str
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+    data: Any
+    reply_tag: int
+
+
+class GAHandle:
+    """Non-blocking request handle (nga_nbget / nga_wait)."""
+
+    def __init__(self, events: list[Event], assemble: Callable[[], np.ndarray]):
+        self.events = events
+        self._assemble = assemble
+
+    def wait(self) -> Generator:
+        for ev in self.events:
+            if not ev.triggered:
+                yield ev
+        return self._assemble()
+
+
+class GAEnv:
+    """One rank's view of the GA world."""
+
+    def __init__(self, cluster: "GACluster", rank: int) -> None:
+        self.cluster = cluster
+        self.rank = rank
+        self.comm = cluster.world.comm(rank)
+        self.cost = cluster.cost
+        self._tag = _REPLY_BASE
+        self._pending_write_acks: list[Event] = []
+        self.local_bytes_allocated = 0
+
+    # -- collectives -------------------------------------------------------
+    @property
+    def nprocs(self) -> int:
+        return self.cluster.n_ranks
+
+    def sync(self) -> Generator:
+        """GA_Sync: complete outstanding writes, then barrier."""
+        for ev in self._pending_write_acks:
+            if not ev.triggered:
+                yield ev
+        self._pending_write_acks.clear()
+        yield from self.cluster.barrier.wait(self.comm)
+
+    def create(self, name: str, shape: tuple[int, ...]) -> Generator:
+        """Collectively create a global array (row-block distributed)."""
+        self.cluster.register_array(name, shape, self.rank)
+        yield from self.cluster.barrier.wait(self.comm)
+
+    # -- local memory discipline ----------------------------------------------
+    def allocate_local(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Allocate a local working buffer, enforcing the memory budget.
+
+        GA programs size their buffers up front; exceeding the per-rank
+        budget aborts the run, reproducing NWChem's hard memory floor.
+        """
+        nbytes = prod(shape, start=1) * 8
+        local_share = self.cluster.local_share_bytes(self.rank)
+        budget = self.cluster.machine.memory_per_rank
+        if self.local_bytes_allocated + nbytes + local_share > budget:
+            raise GAMemoryError(
+                f"rank {self.rank}: cannot allocate {nbytes} B buffer on top "
+                f"of {self.local_bytes_allocated} B buffers and "
+                f"{local_share} B of global-array shares within "
+                f"{budget:.0f} B per core"
+            )
+        self.local_bytes_allocated += nbytes
+        return (
+            np.zeros(shape)
+            if self.cluster.real
+            else np.zeros(1)  # placeholder in model mode
+        )
+
+    # -- one-sided operations -----------------------------------------------
+    def nbget(self, name: str, lo, hi) -> GAHandle:
+        """Non-blocking patch fetch (nga_nbget)."""
+        meta = self.cluster.meta(name)
+        lo, hi = tuple(lo), tuple(hi)
+        pieces: list[tuple[int, Optional[np.ndarray], Event]] = []
+        events: list[Event] = []
+        out_shape = tuple(h - l for l, h in zip(lo, hi))
+        parts: dict[int, Any] = {}
+        for owner, olo, ohi in self.cluster.split_patch(meta, lo, hi):
+            if owner == self.rank:
+                data = self.cluster.local_patch(self.rank, name, olo, ohi)
+                parts[olo[0]] = (olo, ohi, data)
+                continue
+            tag = self._next_tag()
+            req = self.comm.irecv(source=self.cluster.rank_of(owner), tag=tag)
+            nbytes = prod((h - l for l, h in zip(olo, ohi)), start=1) * 8
+            self.comm.isend(
+                _PatchRequest("get", name, olo, ohi, None, tag),
+                dest=self.cluster.rank_of(owner),
+                tag=GA_TAG,
+            )
+            ev = self.cluster.sim.event(name=f"nbget {name}")
+
+            def on_reply(msg_ev, key=olo, lo_=olo, hi_=ohi, done=ev):
+                parts[key[0]] = (lo_, hi_, msg_ev.value.payload)
+                done.succeed(None)
+
+            req.event.add_callback(on_reply)
+            events.append(ev)
+
+        def assemble() -> np.ndarray:
+            if not self.cluster.real:
+                return np.zeros(out_shape)
+            out = np.zeros(out_shape)
+            for olo, ohi, data in parts.values():
+                sl = tuple(
+                    slice(l - base, h - base) for l, h, base in zip(olo, ohi, lo)
+                )
+                out[sl] = data
+            return out
+
+        return GAHandle(events, assemble)
+
+    def get(self, name: str, lo, hi) -> Generator:
+        """Blocking patch fetch -- the GA default access mode."""
+        handle = self.nbget(name, lo, hi)
+        result = yield from handle.wait()
+        return result
+
+    def put(self, name: str, lo, hi, data) -> Generator:
+        yield from self._write("put", name, lo, hi, data)
+
+    def acc(self, name: str, lo, hi, data) -> Generator:
+        """Atomic accumulate into a patch."""
+        yield from self._write("acc", name, lo, hi, data)
+
+    def _write(self, kind: str, name: str, lo, hi, data) -> Generator:
+        meta = self.cluster.meta(name)
+        lo, hi = tuple(lo), tuple(hi)
+        for owner, olo, ohi in self.cluster.split_patch(meta, lo, hi):
+            piece = None
+            if self.cluster.real and data is not None:
+                sl = tuple(
+                    slice(l - base, h - base) for l, h, base in zip(olo, ohi, lo)
+                )
+                piece = np.ascontiguousarray(np.asarray(data)[sl])
+            if owner == self.rank:
+                self.cluster.apply_write(self.rank, kind, name, olo, ohi, piece)
+                continue
+            tag = self._next_tag()
+            req = self.comm.irecv(source=self.cluster.rank_of(owner), tag=tag)
+            nbytes = prod((h - l for l, h in zip(olo, ohi)), start=1) * 8
+            payload = _PatchRequest(kind, name, olo, ohi, piece, tag)
+            self.comm.isend(
+                payload,
+                dest=self.cluster.rank_of(owner),
+                tag=GA_TAG,
+                nbytes=64 + nbytes,
+            )
+            self._pending_write_acks.append(req.event)
+        yield Timeout(self.cluster.machine.send_overhead)
+
+    def compute(self, flops: float) -> Timeout:
+        """Charge local computation time."""
+        return Timeout(self.cost.flops_time(flops))
+
+    def reduce_sum(self, value: float) -> Generator:
+        """Allreduce-sum a scalar over all ranks (via rank 0)."""
+        root = self.cluster.rank_of(0)
+        if self.rank == root:
+            total = value
+            for _ in range(self.cluster.n_ranks - 1):
+                msg = yield from self.comm.recv(tag=GA_TAG + 1)
+                total += msg.payload
+            for r in range(1, self.cluster.n_ranks):
+                self.comm.isend(total, dest=self.cluster.rank_of(r), tag=GA_TAG + 2)
+            return total
+        self.comm.isend(value, dest=root, tag=GA_TAG + 1)
+        msg = yield from self.comm.recv(source=root, tag=GA_TAG + 2)
+        return msg.payload
+
+    def _next_tag(self) -> int:
+        self._tag += 1
+        return self._tag
+
+
+class GACluster:
+    """A set of simulated ranks running a GA program SPMD-style."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: Machine = LAPTOP,
+        real: bool = True,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.real = real
+        self.cost = CostModel(machine)
+        self.sim = Simulator()
+        self.world = World(self.sim, n_ranks, machine.network())
+        self.barrier = Barrier(self.world, range(n_ranks), name="ga_sync")
+        self._arrays: dict[str, _GlobalArrayMeta] = {}
+        # local storage: per rank, name -> local rows ndarray (real mode)
+        self._local: list[dict[str, np.ndarray]] = [dict() for _ in range(n_ranks)]
+        self.elapsed = 0.0
+
+    def rank_of(self, logical: int) -> int:
+        return logical
+
+    # -- array management ------------------------------------------------------
+    def register_array(self, name: str, shape: tuple[int, ...], rank: int) -> None:
+        if name in self._arrays:
+            meta = self._arrays[name]
+            if meta.shape != tuple(shape):
+                raise GAError(f"conflicting create of {name!r}")
+            return
+        rows = shape[0]
+        per = ceil(rows / self.n_ranks)
+        bounds = [min(r * per, rows) for r in range(self.n_ranks + 1)]
+        self._arrays[name] = _GlobalArrayMeta(name, tuple(shape), bounds)
+        if self.real:
+            for r in range(self.n_ranks):
+                nrows = bounds[r + 1] - bounds[r]
+                self._local[r][name] = np.zeros((nrows, *shape[1:]))
+
+    def meta(self, name: str) -> _GlobalArrayMeta:
+        meta = self._arrays.get(name)
+        if meta is None:
+            raise GAError(f"unknown global array {name!r}")
+        return meta
+
+    def local_share_bytes(self, rank: int) -> int:
+        total = 0
+        for meta in self._arrays.values():
+            nrows = meta.bounds[rank + 1] - meta.bounds[rank]
+            total += nrows * prod(meta.shape[1:], start=1) * 8
+        return total
+
+    def split_patch(self, meta: _GlobalArrayMeta, lo, hi):
+        """Split a patch into (owner, lo, hi) pieces along dimension 0."""
+        for axis, (l, h, s) in enumerate(zip(lo, hi, meta.shape)):
+            if not (0 <= l < h <= s):
+                raise GAError(
+                    f"patch [{lo}:{hi}] outside array {meta.name!r} {meta.shape}"
+                )
+        row = lo[0]
+        while row < hi[0]:
+            owner = meta.owner_of_row(row)
+            top = min(hi[0], meta.bounds[owner + 1])
+            yield owner, (row, *lo[1:]), (top, *hi[1:]),
+            row = top
+
+    def local_patch(self, rank: int, name: str, lo, hi) -> Optional[np.ndarray]:
+        if not self.real:
+            return None
+        meta = self.meta(name)
+        base = meta.bounds[rank]
+        sl = (slice(lo[0] - base, hi[0] - base),) + tuple(
+            slice(l, h) for l, h in zip(lo[1:], hi[1:])
+        )
+        return self._local[rank][name][sl].copy()
+
+    def apply_write(self, rank: int, kind: str, name: str, lo, hi, data) -> None:
+        if not self.real:
+            return
+        meta = self.meta(name)
+        base = meta.bounds[rank]
+        sl = (slice(lo[0] - base, hi[0] - base),) + tuple(
+            slice(l, h) for l, h in zip(lo[1:], hi[1:])
+        )
+        if kind == "put":
+            self._local[rank][name][sl] = data
+        else:
+            self._local[rank][name][sl] += data
+
+    def preload(self, name: str, shape: tuple[int, ...], value: np.ndarray) -> None:
+        """Fill a global array before the run (models input file I/O)."""
+        self.register_array(name, shape, rank=0)
+        if not self.real:
+            return
+        meta = self.meta(name)
+        for r in range(self.n_ranks):
+            lo, hi = meta.bounds[r], meta.bounds[r + 1]
+            self._local[r][name][...] = value[lo:hi]
+
+    def read_array(self, name: str) -> np.ndarray:
+        meta = self.meta(name)
+        if not self.real:
+            raise GAError("array contents unavailable in model mode")
+        return np.concatenate(
+            [self._local[r][name] for r in range(self.n_ranks)], axis=0
+        )
+
+    # -- service pump ---------------------------------------------------------
+    def _service(self, rank: int) -> Generator:
+        comm = self.world.comm(rank)
+        while True:
+            msg = yield from comm.recv(tag=GA_TAG)
+            p = msg.payload
+            if p == "shutdown":
+                return
+            if not isinstance(p, _PatchRequest):
+                raise GAError(f"unexpected GA message {p!r}")
+            if p.kind == "get":
+                data = self.local_patch(rank, p.name, p.lo, p.hi)
+                nbytes = prod((h - l for l, h in zip(p.lo, p.hi)), start=1) * 8
+                comm.isend(data, dest=msg.source, tag=p.reply_tag, nbytes=64 + nbytes)
+            else:
+                self.apply_write(rank, p.kind, p.name, p.lo, p.hi, p.data)
+                comm.isend(True, dest=msg.source, tag=p.reply_tag)
+
+    # -- program execution -------------------------------------------------------
+    def run(self, program: Callable[[GAEnv], Generator]) -> list:
+        """Run one GA program SPMD on every rank; returns rank results."""
+        envs = [GAEnv(self, r) for r in range(self.n_ranks)]
+        procs = []
+        finish_times = [0.0] * self.n_ranks
+
+        def wrapped(env: GAEnv) -> Generator:
+            result = yield from program(env)
+            finish_times[env.rank] = self.sim.now
+            return result
+
+        for env in envs:
+            procs.append(self.sim.spawn(wrapped(env), name=f"ga{env.rank}"))
+            self.sim.spawn(self._service(env.rank), name=f"ga{env.rank}.svc")
+
+        def shutdown_watch() -> Generator:
+            for p in procs:
+                if not p.finished:
+                    yield p.done_event
+            for r in range(self.n_ranks):
+                self.world.comm(0).isend("shutdown", dest=r, tag=GA_TAG)
+
+        self.sim.spawn(shutdown_watch(), name="ga.shutdown")
+        self.sim.run()
+        self.elapsed = max(finish_times)
+        return [p.result for p in procs]

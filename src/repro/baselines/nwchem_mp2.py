@@ -1,0 +1,152 @@
+"""An NWChem-style MP2 on the mini Global Arrays toolkit.
+
+The Fig.-7 comparison point: the same MP2 energy the SIAL program
+computes, but written the way a GA application is written --
+
+* the (ia|jb) integrals live in one 2-D global array laid out by the
+  *programmer* as ``(i*nv + a, j*nv + b)``;
+* each rank loops over its statically assigned (i, j) pairs, doing a
+  *synchronous* ``ga.get`` of the (nv, nv) patch for each pair (no
+  overlap of communication and computation unless hand-coded);
+* working buffers are allocated up front against the per-core memory
+  budget, and the run aborts with :class:`GAMemoryError` when they do
+  not fit -- NWChem's "calculation will simply not run" behaviour.
+
+``nwchem_memory_floor`` models the baseline's additional rigid
+per-core requirement (replicated half-transformed integral scratch of
+the preceding 4-index transformation), which is what makes NWChem fail
+outright at 1 GB/core in Fig. 7 while ACES III (served arrays, SIP-
+managed placement) runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..chem import Molecule
+from ..machines import Machine
+from .ga import GACluster, GAEnv, GAMemoryError
+
+__all__ = ["GAMP2Result", "ga_mp2", "nwchem_memory_floor", "nwchem_feasible"]
+
+
+@dataclass
+class GAMP2Result:
+    energy: float
+    elapsed: float
+    n_ranks: int
+
+
+def nwchem_memory_floor(n_basis: int, n_occ: int, copies: int = 5) -> float:
+    """Rigid per-core bytes the GA baseline needs regardless of P.
+
+    Models the replicated half-transformed integral scratch
+    (``copies`` buffers of n^2 x o^2 doubles) of the conventional
+    4-index transformation preceding MP2 -- the component that cannot
+    shrink with more processors because its layout is fixed in the
+    program.
+    """
+    return float(copies) * (n_basis**2) * (n_occ**2) * 8.0
+
+
+def nwchem_feasible(
+    molecule: Molecule, n_ranks: int, memory_per_rank: float
+) -> bool:
+    """Whether the GA-style MP2 fits: rigid floor + local GA share."""
+    n, no = molecule.n_basis, molecule.n_occ
+    nv = n - no
+    ga_share = (no * nv) ** 2 * 8.0 / n_ranks
+    patch = nv * nv * 8.0
+    return nwchem_memory_floor(n, no) + ga_share + 2 * patch <= memory_per_rank
+
+
+def nwchem_gradient_feasible(
+    molecule: Molecule, n_ranks: int, memory_per_rank: float
+) -> bool:
+    """Memory feasibility of the GA-style MP2 *gradient* (Fig. 7).
+
+    The gradient keeps three O(n^4) integral generations (AO, half-
+    and fully-transformed) in global arrays whose local shares divide
+    by P, on top of the rigid replicated floor.  A served-array design
+    (ACES III) keeps those on disk instead; GA's disk-resident arrays
+    existed but NWChem's MP2 gradient of the era held them in
+    aggregate memory -- which is what the paper's Fig. 7 exposes.
+    """
+    n, no = molecule.n_basis, molecule.n_occ
+    ga_total = 3.0 * float(n) ** 4 * 8.0
+    working = 2.0 * n * n * 8.0
+    return (
+        nwchem_memory_floor(n, no) + ga_total / n_ranks + working
+        <= memory_per_rank
+    )
+
+
+def ga_mp2(
+    ovov: np.ndarray,
+    e_occ: np.ndarray,
+    e_virt: np.ndarray,
+    n_ranks: int = 4,
+    machine: Optional[Machine] = None,
+    memory_floor: float = 0.0,
+    use_nbget: bool = False,
+) -> GAMP2Result:
+    """Run the GA-style MP2; returns energy and simulated elapsed time.
+
+    ``use_nbget`` switches to the hand-overlapped variant (prefetching
+    the next pair's patch with ``nga_nbget``/``wait``) -- the extra
+    code a GA programmer must write to get what the SIP does
+    automatically.
+    """
+    no, nv = len(e_occ), len(e_virt)
+    flat = np.ascontiguousarray(ovov.reshape(no * nv, no * nv))
+
+    from ..machines import LAPTOP
+
+    cluster = GACluster(n_ranks, machine=machine or LAPTOP, real=True)
+    cluster.preload("v", (no * nv, no * nv), flat)
+
+    denom_i = e_occ[:, None] - e_virt[None, :]
+
+    pairs = [(i, j) for i in range(no) for j in range(no)]
+
+    def patch_bounds(i, j):
+        return (i * nv, j * nv), ((i + 1) * nv, (j + 1) * nv)
+
+    def program(env: GAEnv) -> Generator:
+        # rigid up-front allocations: the replicated scratch plus two
+        # patch buffers (current + prefetched)
+        if memory_floor > 0:
+            side = max(1, int((memory_floor / 8) ** 0.5))
+            env.allocate_local((side, side))
+        env.allocate_local((nv, nv))
+        env.allocate_local((nv, nv))
+
+        my_pairs = pairs[env.rank :: env.nprocs]
+        yield from env.sync()
+        energy = 0.0
+        handle = None
+        if use_nbget and my_pairs:
+            lo, hi = patch_bounds(*my_pairs[0])
+            handle = env.nbget("v", lo, hi)
+        for k, (i, j) in enumerate(my_pairs):
+            if use_nbget:
+                patch = yield from handle.wait()
+                if k + 1 < len(my_pairs):
+                    lo, hi = patch_bounds(*my_pairs[k + 1])
+                    handle = env.nbget("v", lo, hi)
+            else:
+                lo, hi = patch_bounds(i, j)
+                patch = yield from env.get("v", lo, hi)
+            denom = denom_i[i][:, None] + denom_i[j][None, :]
+            t = patch / denom
+            energy += float(np.sum(t * (2.0 * patch - patch.T)))
+            yield env.compute(6.0 * nv * nv)
+        yield from env.sync()
+        total = yield from env.reduce_sum(energy)
+        return total
+
+    results = cluster.run(program)
+    return GAMP2Result(energy=results[0], elapsed=cluster.elapsed, n_ranks=n_ranks)

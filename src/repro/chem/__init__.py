@@ -1,0 +1,69 @@
+"""Chemistry substrate: synthetic integrals and reference methods.
+
+The paper's application domain is coupled-cluster electronic structure
+(ACES III).  This package supplies the *simulated* chemistry the
+reproduction needs: seeded model-Hamiltonian integrals with the correct
+tensor symmetries, plus straightforward numpy reference implementations
+of RHF/UHF SCF, MP2 (energy and density), LCCD, CCSD, and the (T)
+triples correction.  The SIAL programs in :mod:`repro.programs` are
+validated against these references.
+"""
+
+from .ccsd import CCResult, ccd, ccsd, ccsd_t, lccd, lccd_anderson, lccd_residual
+from .integrals import SyntheticIntegrals, make_integrals
+from .mo import (
+    ao_to_mo,
+    mo_slices,
+    n_occ_spin,
+    spin_orbital_eri,
+    spin_orbital_eri_uhf,
+    spin_orbital_fock,
+)
+from .molecules import (
+    CYTOSINE_OH,
+    DIAMOND_NV,
+    HMX,
+    LUCIFERIN,
+    PAPER_MOLECULES,
+    RDX,
+    WATER_CLUSTER_21,
+    Molecule,
+    tiny,
+)
+from .mp2 import mp2_density_spin, mp2_energy_rhf, mp2_energy_spin, mp2_energy_uhf
+from .scf import SCFResult, fock_rhf, rhf, uhf
+
+__all__ = [
+    "CCResult",
+    "CYTOSINE_OH",
+    "DIAMOND_NV",
+    "HMX",
+    "LUCIFERIN",
+    "Molecule",
+    "PAPER_MOLECULES",
+    "RDX",
+    "SCFResult",
+    "SyntheticIntegrals",
+    "WATER_CLUSTER_21",
+    "ao_to_mo",
+    "ccd",
+    "ccsd",
+    "ccsd_t",
+    "fock_rhf",
+    "lccd",
+    "lccd_anderson",
+    "lccd_residual",
+    "make_integrals",
+    "mo_slices",
+    "mp2_density_spin",
+    "mp2_energy_rhf",
+    "mp2_energy_spin",
+    "mp2_energy_uhf",
+    "n_occ_spin",
+    "rhf",
+    "spin_orbital_eri",
+    "spin_orbital_eri_uhf",
+    "spin_orbital_fock",
+    "tiny",
+    "uhf",
+]

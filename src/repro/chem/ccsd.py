@@ -1,0 +1,382 @@
+"""Spin-orbital coupled-cluster references: CCSD, (T), and LCCD.
+
+These numpy implementations define *correct answers* for the SIAL
+coupled-cluster programs and supply the operation counts behind the
+performance model (CCSD iterations are the Fig. 2-4 workload, the
+perturbative triples of CCSD(T) are Fig. 5).
+
+Equations follow Stanton, Gauss, Watts & Bartlett (J. Chem. Phys. 94,
+4334, 1991) in the ``t1[i,a]``, ``t2[i,j,a,b]`` index convention, with
+``eri`` the antisymmetrized physicists' integrals <pq||rs> over spin
+orbitals (occupied first) and a diagonal Fock matrix from canonical
+orbital energies.
+
+LCCD (= CEPA(0)) drops the terms quadratic in T: it is the method the
+repository's SIAL implementation of a CC iteration executes, chosen
+because its three contraction families (particle-particle ladder,
+hole-hole ladder, ring) already exhibit the paper's full data-movement
+structure, including an O(v^4) integral array that must live on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CCResult",
+    "ccd",
+    "ccsd",
+    "ccsd_t",
+    "lccd",
+    "lccd_anderson",
+    "lccd_residual",
+]
+
+
+@dataclass
+class CCResult:
+    e_corr: float
+    t1: np.ndarray | None
+    t2: np.ndarray
+    converged: bool
+    iterations: int
+    history: list[float]
+
+    @property
+    def e_mp2(self) -> float:
+        """The first-iteration energy (equals MP2 for canonical HF)."""
+        return self.history[0] if self.history else 0.0
+
+
+def _denominators(eps: np.ndarray, no: int):
+    e_o, e_v = eps[:no], eps[no:]
+    d1 = e_o[:, None] - e_v[None, :]
+    d2 = (
+        e_o[:, None, None, None]
+        + e_o[None, :, None, None]
+        - e_v[None, None, :, None]
+        - e_v[None, None, None, :]
+    )
+    return d1, d2
+
+
+def ccsd(
+    eps: np.ndarray,
+    eri: np.ndarray,
+    n_occ_so: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> CCResult:
+    """Full spin-orbital CCSD with a canonical (diagonal) Fock matrix."""
+    no = n_occ_so
+    nso = eri.shape[0]
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+    d1, d2 = _denominators(eps, no)
+
+    t1 = np.zeros((no, nv))
+    t2 = eri[o, o, v, v] / d2
+    history: list[float] = []
+    e_prev = _cc_energy(eri, t1, t2, no)
+    history.append(e_prev)
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        t1, t2 = _ccsd_update(eps, eri, t1, t2, no, d1, d2)
+        e = _cc_energy(eri, t1, t2, no)
+        history.append(e)
+        if abs(e - e_prev) < tolerance:
+            converged = True
+            break
+        e_prev = e
+    return CCResult(
+        e_corr=history[-1],
+        t1=t1,
+        t2=t2,
+        converged=converged,
+        iterations=it,
+        history=history,
+    )
+
+
+def _cc_energy(eri, t1, t2, no):
+    o, v = slice(0, no), slice(no, eri.shape[0])
+    oovv = eri[o, o, v, v]
+    e = 0.25 * np.einsum("ijab,ijab->", oovv, t2, optimize=True)
+    e += 0.5 * np.einsum("ijab,ia,jb->", oovv, t1, t1, optimize=True)
+    return float(e)
+
+
+def _ccsd_update(eps, eri, t1, t2, no, d1, d2):
+    nso = eri.shape[0]
+    o, v = slice(0, no), slice(no, nso)
+    ein = np.einsum
+
+    tau_t = t2 + 0.5 * (
+        ein("ia,jb->ijab", t1, t1) - ein("ib,ja->ijab", t1, t1)
+    )
+    tau = t2 + ein("ia,jb->ijab", t1, t1) - ein("ib,ja->ijab", t1, t1)
+
+    # one-particle intermediates (f is diagonal: off-diagonal parts vanish)
+    fae = ein("mf,mafe->ae", t1, eri[o, v, v, v], optimize=True)
+    fae -= 0.5 * ein("mnaf,mnef->ae", tau_t, eri[o, o, v, v], optimize=True)
+    fmi = ein("ne,mnie->mi", t1, eri[o, o, o, v], optimize=True)
+    fmi += 0.5 * ein("inef,mnef->mi", tau_t, eri[o, o, v, v], optimize=True)
+    fme = ein("nf,mnef->me", t1, eri[o, o, v, v], optimize=True)
+
+    # two-particle intermediates
+    wmnij = eri[o, o, o, o].copy()
+    x = ein("je,mnie->mnij", t1, eri[o, o, o, v], optimize=True)
+    wmnij += x - x.transpose(0, 1, 3, 2)
+    wmnij += 0.25 * ein("ijef,mnef->mnij", tau, eri[o, o, v, v], optimize=True)
+
+    wabef = eri[v, v, v, v].copy()
+    y = ein("mb,amef->abef", t1, eri[v, o, v, v], optimize=True)
+    wabef -= y - y.transpose(1, 0, 2, 3)
+    wabef += 0.25 * ein("mnab,mnef->abef", tau, eri[o, o, v, v], optimize=True)
+
+    wmbej = eri[o, v, v, o].copy()
+    wmbej += ein("jf,mbef->mbej", t1, eri[o, v, v, v], optimize=True)
+    wmbej -= ein("nb,mnej->mbej", t1, eri[o, o, v, o], optimize=True)
+    wmbej -= ein(
+        "jnfb,mnef->mbej",
+        0.5 * t2 + ein("jf,nb->jnfb", t1, t1),
+        eri[o, o, v, v],
+        optimize=True,
+    )
+
+    # T1 equation
+    rhs1 = ein("ie,ae->ia", t1, fae, optimize=True)
+    rhs1 -= ein("ma,mi->ia", t1, fmi, optimize=True)
+    rhs1 += ein("imae,me->ia", t2, fme, optimize=True)
+    rhs1 -= ein("nf,naif->ia", t1, eri[o, v, o, v], optimize=True)
+    rhs1 -= 0.5 * ein("imef,maef->ia", t2, eri[o, v, v, v], optimize=True)
+    rhs1 -= 0.5 * ein("mnae,nmei->ia", t2, eri[o, o, v, o], optimize=True)
+    t1_new = rhs1 / d1
+
+    # T2 equation
+    rhs2 = eri[o, o, v, v].copy()
+    tmp = fae - 0.5 * ein("mb,me->be", t1, fme, optimize=True)
+    x = ein("ijae,be->ijab", t2, tmp, optimize=True)
+    rhs2 += x - x.transpose(0, 1, 3, 2)
+    tmp = fmi + 0.5 * ein("je,me->mj", t1, fme, optimize=True)
+    x = ein("imab,mj->ijab", t2, tmp, optimize=True)
+    rhs2 -= x - x.transpose(1, 0, 2, 3)
+    rhs2 += 0.5 * ein("mnab,mnij->ijab", tau, wmnij, optimize=True)
+    rhs2 += 0.5 * ein("ijef,abef->ijab", tau, wabef, optimize=True)
+    x = ein("imae,mbej->ijab", t2, wmbej, optimize=True)
+    x -= ein("ie,ma,mbej->ijab", t1, t1, eri[o, v, v, o], optimize=True)
+    rhs2 += (
+        x
+        - x.transpose(1, 0, 2, 3)
+        - x.transpose(0, 1, 3, 2)
+        + x.transpose(1, 0, 3, 2)
+    )
+    x = ein("ie,abej->ijab", t1, eri[v, v, v, o], optimize=True)
+    rhs2 += x - x.transpose(1, 0, 2, 3)
+    x = ein("ma,mbij->ijab", t1, eri[o, v, o, o], optimize=True)
+    rhs2 -= x - x.transpose(0, 1, 3, 2)
+    t2_new = rhs2 / d2
+
+    return t1_new, t2_new
+
+
+def ccd(
+    eps: np.ndarray,
+    eri: np.ndarray,
+    n_occ_so: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> CCResult:
+    """Coupled cluster doubles: CCSD with the singles frozen at zero.
+
+    Uses the same Stanton update with t1 = 0 on every sweep, so the
+    quadratic-in-T2 terms (through tau and the W intermediates) are
+    fully included -- the method sits between LCCD and CCSD.
+    """
+    no = n_occ_so
+    nso = eri.shape[0]
+    nv = nso - no
+    o = slice(0, no)
+    v = slice(no, nso)
+    d1, d2 = _denominators(eps, no)
+    zero_t1 = np.zeros((no, nv))
+    t2 = eri[o, o, v, v] / d2
+    history = [_cc_energy(eri, zero_t1, t2, no)]
+    converged = False
+    it = 0
+    e_prev = history[0]
+    for it in range(1, max_iterations + 1):
+        _t1, t2 = _ccsd_update(eps, eri, zero_t1, t2, no, d1, d2)
+        e = _cc_energy(eri, zero_t1, t2, no)
+        history.append(e)
+        if abs(e - e_prev) < tolerance:
+            converged = True
+            break
+        e_prev = e
+    return CCResult(
+        e_corr=history[-1],
+        t1=None,
+        t2=t2,
+        converged=converged,
+        iterations=it,
+        history=history,
+    )
+
+
+def ccsd_t(
+    eps: np.ndarray, eri: np.ndarray, t1: np.ndarray, t2: np.ndarray, n_occ_so: int
+) -> float:
+    """Perturbative triples correction E(T) (the Fig.-5 n^7 workload)."""
+    no = n_occ_so
+    nso = eri.shape[0]
+    o, v = slice(0, no), slice(no, nso)
+    e_o, e_v = eps[:no], eps[no:]
+    ein = np.einsum
+
+    d3 = (
+        e_o[:, None, None, None, None, None]
+        + e_o[None, :, None, None, None, None]
+        + e_o[None, None, :, None, None, None]
+        - e_v[None, None, None, :, None, None]
+        - e_v[None, None, None, None, :, None]
+        - e_v[None, None, None, None, None, :]
+    )
+
+    def p_i_jk(x):
+        return x - x.transpose(1, 0, 2, 3, 4, 5) - x.transpose(2, 1, 0, 3, 4, 5)
+
+    def p_a_bc(x):
+        return x - x.transpose(0, 1, 2, 4, 3, 5) - x.transpose(0, 1, 2, 5, 4, 3)
+
+    disc = ein("ia,jkbc->ijkabc", t1, eri[o, o, v, v], optimize=True)
+    t3d = p_i_jk(p_a_bc(disc)) / d3
+
+    conn = ein("jkae,eibc->ijkabc", t2, eri[v, o, v, v], optimize=True)
+    conn -= ein("imbc,majk->ijkabc", t2, eri[o, v, o, o], optimize=True)
+    t3c = p_i_jk(p_a_bc(conn)) / d3
+
+    return float(np.sum(t3c * d3 * (t3c + t3d)) / 36.0)
+
+
+def lccd_residual(eri: np.ndarray, t2: np.ndarray, n_occ_so: int) -> np.ndarray:
+    """One linearized-CCD residual: driver + two ladders + four rings.
+
+    This is exactly the contraction set the SIAL program
+    :data:`repro.programs.library.LCCD_ITERATION` evaluates, so the two
+    implementations can be compared iteration by iteration.
+    """
+    no = n_occ_so
+    o, v = slice(0, no), slice(no, eri.shape[0])
+    ein = np.einsum
+    r = eri[o, o, v, v].copy()
+    r += 0.5 * ein("abef,ijef->ijab", eri[v, v, v, v], t2, optimize=True)
+    r += 0.5 * ein("mnij,mnab->ijab", eri[o, o, o, o], t2, optimize=True)
+    ring = ein("imae,mbej->ijab", t2, eri[o, v, v, o], optimize=True)
+    r += (
+        ring
+        - ring.transpose(1, 0, 2, 3)
+        - ring.transpose(0, 1, 3, 2)
+        + ring.transpose(1, 0, 3, 2)
+    )
+    return r
+
+
+def lccd_anderson(
+    eps: np.ndarray,
+    eri: np.ndarray,
+    n_occ_so: int,
+    iterations: int = 8,
+) -> CCResult:
+    """LCCD with Anderson (depth-1 DIIS) convergence acceleration.
+
+    This is the convergence-acceleration algorithm behind the paper's
+    Section II storage arithmetic: keeping extra amplitude copies (here
+    t_prev and the previous update) buys faster convergence.  The SIAL
+    program :data:`repro.programs.library.LCCD_ANDERSON` implements the
+    *identical* fixed-sweep algorithm, so the two match bitwise-ish:
+
+        u_k      = R(t_k) / D                    (plain update)
+        theta_k  = <dr, r_k> / <dr, dr>,  r_k = u_k - t_k,
+                   dr = r_k - r_{k-1}
+        t_{k+1}  = (1 - theta_k) u_k + theta_k u_{k-1}
+
+    with t_1 = u_0 on the first sweep.
+    """
+    no = n_occ_so
+    o, v = slice(0, no), slice(no, eri.shape[0])
+    _, d2 = _denominators(eps, no)
+    oovv = eri[o, o, v, v]
+
+    def energy(t):
+        return 0.25 * float(np.einsum("ijab,ijab->", oovv, t))
+
+    t = oovv / d2
+    t_prev = None
+    u_prev = None
+    history = [energy(t)]
+    it = 0
+    for it in range(1, iterations + 1):
+        u = lccd_residual(eri, t, no) / d2
+        if t_prev is None:
+            t_new = u
+        else:
+            r = u - t
+            r_prev = u_prev - t_prev
+            dr = r - r_prev
+            denom = float(np.sum(dr * dr))
+            theta = float(np.sum(dr * r)) / (denom + 1e-30)
+            t_new = (1.0 - theta) * u + theta * u_prev
+        t_prev, u_prev = t, u
+        t = t_new
+        history.append(energy(t))
+    return CCResult(
+        e_corr=history[-1],
+        t1=None,
+        t2=t,
+        converged=True,
+        iterations=it,
+        history=history,
+    )
+
+
+def lccd(
+    eps: np.ndarray,
+    eri: np.ndarray,
+    n_occ_so: int,
+    iterations: int = 12,
+    tolerance: float = 0.0,
+) -> CCResult:
+    """Linearized CCD (CEPA(0)) by fixed-point iteration.
+
+    Runs exactly ``iterations`` sweeps unless ``tolerance`` > 0 stops
+    it earlier -- fixed sweeps keep it bit-comparable with the SIAL
+    program, which has no early-exit construct.
+    """
+    no = n_occ_so
+    o, v = slice(0, no), slice(no, eri.shape[0])
+    _, d2 = _denominators(eps, no)
+    t2 = eri[o, o, v, v] / d2
+    history: list[float] = []
+    e_prev = 0.25 * float(np.einsum("ijab,ijab->", eri[o, o, v, v], t2))
+    history.append(e_prev)
+    converged = False
+    it = 0
+    for it in range(1, iterations + 1):
+        t2 = lccd_residual(eri, t2, no) / d2
+        e = 0.25 * float(np.einsum("ijab,ijab->", eri[o, o, v, v], t2))
+        history.append(e)
+        if tolerance > 0 and abs(e - e_prev) < tolerance:
+            converged = True
+            break
+        e_prev = e
+    return CCResult(
+        e_corr=history[-1],
+        t1=None,
+        t2=t2,
+        converged=converged or tolerance == 0.0,
+        iterations=it,
+        history=history,
+    )

@@ -1,0 +1,112 @@
+"""AO -> MO integral transformations.
+
+The staged O(n^5) quarter transformations, plus helpers producing the
+spin-orbital quantities the coupled-cluster references consume:
+antisymmetrized physicists'-notation integrals <pq||rs> and the
+spin-orbital Fock matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ao_to_mo",
+    "mo_slices",
+    "spin_orbital_eri",
+    "spin_orbital_eri_uhf",
+    "spin_orbital_fock",
+    "n_occ_spin",
+]
+
+
+def ao_to_mo(eri_ao: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Transform chemists'-notation (mu nu|la si) to the MO basis.
+
+    Four quarter-transformations, each O(n^5) -- the very contraction
+    sequence whose parallelization the SIA targets.
+    """
+    tmp = np.einsum("mp,mnls->pnls", c, eri_ao, optimize=True)
+    tmp = np.einsum("nq,pnls->pqls", c, tmp, optimize=True)
+    tmp = np.einsum("lr,pqls->pqrs", c, tmp, optimize=True)
+    return np.einsum("st,pqrs->pqrt", c, tmp, optimize=True)
+
+
+def mo_slices(n_occ: int, n_basis: int) -> tuple[slice, slice]:
+    """(occupied, virtual) orbital slices."""
+    return slice(0, n_occ), slice(n_occ, n_basis)
+
+
+def spin_orbital_eri(eri_mo: np.ndarray) -> np.ndarray:
+    """Antisymmetrized spin-orbital integrals <pq||rs>.
+
+    Spin orbitals alternate (spatial p, spin sigma) with even = alpha,
+    odd = beta; input is chemists' (pq|rs) over spatial MOs, output is
+    physicists' <pq||rs> = <pq|rs> - <pq|sr> over 2n spin orbitals.
+    """
+    n = eri_mo.shape[0]
+    spat = np.repeat(np.arange(n), 2)
+    spin = np.tile(np.arange(2), n)
+    # physicists' <pq|rs> = chemists' (pr|qs); apply spin deltas
+    coul = eri_mo[np.ix_(spat, spat, spat, spat)].transpose(0, 2, 1, 3)
+    same = (spin[:, None] == spin[None, :]).astype(float)
+    coulomb = coul * same[:, None, :, None] * same[None, :, None, :]
+    exchange = coulomb.transpose(0, 1, 3, 2)
+    return coulomb - exchange
+
+
+def spin_orbital_fock(mo_energy: np.ndarray) -> np.ndarray:
+    """Diagonal spin-orbital Fock matrix from canonical orbital energies."""
+    return np.diag(np.repeat(mo_energy, 2))
+
+
+def spin_orbital_eri_uhf(
+    eri_ao: np.ndarray,
+    c_alpha: np.ndarray,
+    c_beta: np.ndarray,
+    order: np.ndarray,
+) -> np.ndarray:
+    """Antisymmetrized <pq||rs> for an *unrestricted* reference.
+
+    ``order`` lists the spin orbitals as (spatial index, spin) pairs in
+    the desired energy ordering -- an (nso, 2) integer array with spin
+    0 = alpha, 1 = beta.  Used by the UHF MP2 cross-checks: alpha and
+    beta spatial orbitals come from different coefficient matrices, so
+    the closed-shell :func:`spin_orbital_eri` does not apply.
+    """
+    mo_a = ao_to_mo(eri_ao, c_alpha)
+    mo_b = ao_to_mo(eri_ao, c_beta)
+    # mixed chemists' integrals (alpha alpha | beta beta)
+    tmp = np.einsum("mp,mnls->pnls", c_alpha, eri_ao, optimize=True)
+    tmp = np.einsum("nq,pnls->pqls", c_alpha, tmp, optimize=True)
+    tmp = np.einsum("lr,pqls->pqrs", c_beta, tmp, optimize=True)
+    mo_ab = np.einsum("st,pqrs->pqrt", c_beta, tmp, optimize=True)
+
+    def chem(p, sp, q, sq, r, sr, s, ss):
+        """(pq|rs) with given spatial indices and spins."""
+        if sp != sq or sr != ss:
+            return 0.0
+        if sp == 0 and sr == 0:
+            return mo_a[p, q, r, s]
+        if sp == 1 and sr == 1:
+            return mo_b[p, q, r, s]
+        if sp == 0 and sr == 1:
+            return mo_ab[p, q, r, s]
+        return mo_ab[r, s, p, q]
+
+    nso = len(order)
+    out = np.zeros((nso, nso, nso, nso))
+    for i, (pi, si) in enumerate(order):
+        for j, (pj, sj) in enumerate(order):
+            for k, (pk, sk) in enumerate(order):
+                for l, (pl, sl) in enumerate(order):
+                    # physicists' <ij|kl> = chemists' (ik|jl)
+                    coul = chem(pi, si, pk, sk, pj, sj, pl, sl)
+                    exch = chem(pi, si, pl, sl, pj, sj, pk, sk)
+                    out[i, j, k, l] = coul - exch
+    return out
+
+
+def n_occ_spin(n_occ: int) -> int:
+    """Number of occupied *spin* orbitals for a closed shell."""
+    return 2 * n_occ

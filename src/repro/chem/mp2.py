@@ -1,0 +1,136 @@
+"""Second-order Moller-Plesset perturbation theory references.
+
+Closed-shell (spatial orbital) and spin-orbital forms; the Fig.-7
+workload is a UHF MP2 gradient, for which we also provide the
+(unrelaxed) one-particle density matrix -- the extra O(o^2 v^2) tensor
+work that makes a "gradient" cost more than an energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mp2_energy_rhf",
+    "mp2_energy_uhf",
+    "mp2_energy_spin",
+    "mp2_density_spin",
+]
+
+
+def mp2_energy_rhf(
+    eri_mo: np.ndarray, mo_energy: np.ndarray, n_occ: int
+) -> float:
+    """Closed-shell MP2 correlation energy.
+
+    E2 = sum_{ijab} (ia|jb) [2 (ia|jb) - (ib|ja)] / (ei + ej - ea - eb)
+    """
+    n = eri_mo.shape[0]
+    o, v = slice(0, n_occ), slice(n_occ, n)
+    ovov = eri_mo[o, v, o, v]
+    e_o = mo_energy[o]
+    e_v = mo_energy[v]
+    denom = (
+        e_o[:, None, None, None]
+        - e_v[None, :, None, None]
+        + e_o[None, None, :, None]
+        - e_v[None, None, None, :]
+    )
+    t = ovov / denom
+    return float(np.sum(t * (2.0 * ovov - ovov.transpose(0, 3, 2, 1))))
+
+
+def _same_spin_pair_energy(
+    ovov: np.ndarray, e_occ: np.ndarray, e_virt: np.ndarray
+) -> float:
+    """1/2 sum (ia|jb)[(ia|jb) - (ib|ja)] / D for one spin channel."""
+    denom = (
+        e_occ[:, None, None, None]
+        - e_virt[None, :, None, None]
+        + e_occ[None, None, :, None]
+        - e_virt[None, None, None, :]
+    )
+    anti = ovov - ovov.transpose(0, 3, 2, 1)
+    return 0.5 * float(np.sum(ovov * anti / denom))
+
+
+def _cross_spin_pair_energy(
+    ovov_ab: np.ndarray,
+    e_occ_a: np.ndarray,
+    e_virt_a: np.ndarray,
+    e_occ_b: np.ndarray,
+    e_virt_b: np.ndarray,
+) -> float:
+    """sum (ia|jb)^2 / D for the mixed alpha/beta channel."""
+    denom = (
+        e_occ_a[:, None, None, None]
+        - e_virt_a[None, :, None, None]
+        + e_occ_b[None, None, :, None]
+        - e_virt_b[None, None, None, :]
+    )
+    return float(np.sum(ovov_ab**2 / denom))
+
+
+def mp2_energy_uhf(
+    ovov_aa: np.ndarray,
+    ovov_bb: np.ndarray,
+    ovov_ab: np.ndarray,
+    e_occ_a: np.ndarray,
+    e_virt_a: np.ndarray,
+    e_occ_b: np.ndarray,
+    e_virt_b: np.ndarray,
+) -> float:
+    """Unrestricted MP2 from spatial-orbital (ia|jb) blocks.
+
+    Three channels: alpha-alpha and beta-beta (antisymmetrized) plus
+    the alpha-beta cross term -- the Fig. 7 workload's energy.
+    """
+    e_aa = _same_spin_pair_energy(ovov_aa, e_occ_a, e_virt_a)
+    e_bb = _same_spin_pair_energy(ovov_bb, e_occ_b, e_virt_b)
+    e_ab = _cross_spin_pair_energy(ovov_ab, e_occ_a, e_virt_a, e_occ_b, e_virt_b)
+    return e_aa + e_bb + e_ab
+
+
+def _spin_amplitudes(eri_so: np.ndarray, eps: np.ndarray, n_occ_so: int):
+    o, v = slice(0, n_occ_so), slice(n_occ_so, eri_so.shape[0])
+    oovv = eri_so[o, o, v, v]
+    e_o, e_v = eps[o], eps[v]
+    denom = (
+        e_o[:, None, None, None]
+        + e_o[None, :, None, None]
+        - e_v[None, None, :, None]
+        - e_v[None, None, None, :]
+    )
+    return oovv / denom, oovv
+
+
+def mp2_energy_spin(
+    eri_so: np.ndarray, eps: np.ndarray, n_occ_so: int
+) -> float:
+    """Spin-orbital MP2: E2 = 1/4 sum <ij||ab>^2 / D_ijab.
+
+    ``eri_so`` is antisymmetrized <pq||rs> with occupied spin orbitals
+    first; works for RHF and UHF references alike.
+    """
+    t, oovv = _spin_amplitudes(eri_so, eps, n_occ_so)
+    return 0.25 * float(np.sum(t * oovv))
+
+
+def mp2_density_spin(
+    eri_so: np.ndarray, eps: np.ndarray, n_occ_so: int
+) -> np.ndarray:
+    """Unrelaxed MP2 one-particle density correction (block diagonal).
+
+    occ-occ:   -1/2 sum_{mab} t_im^ab t_jm^ab
+    virt-virt: +1/2 sum_{ijc} t_ij^ac t_ij^bc
+
+    This supplies the extra contraction load of a *gradient* versus an
+    energy-only MP2 run (Fig. 7).
+    """
+    n = eri_so.shape[0]
+    t, _ = _spin_amplitudes(eri_so, eps, n_occ_so)
+    no = n_occ_so
+    dm = np.zeros((n, n))
+    dm[:no, :no] = -0.5 * np.einsum("imab,jmab->ij", t, t, optimize=True)
+    dm[no:, no:] = 0.5 * np.einsum("ijac,ijbc->ab", t, t, optimize=True)
+    return dm

@@ -1,0 +1,193 @@
+"""Restricted and unrestricted Hartree-Fock over an orthonormal basis.
+
+These are the *reference* implementations the SIAL programs are
+validated against (the paper's Fock-build workload of Fig. 6 is the
+``fock_rhf`` contraction).  DIIS convergence acceleration is included
+-- it is the very algorithm whose extra amplitude copies drive the
+paper's Section II storage arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SCFResult", "fock_rhf", "rhf", "uhf"]
+
+
+@dataclass
+class SCFResult:
+    energy: float
+    mo_coeff: np.ndarray  # (n, n) MO coefficients, columns are orbitals
+    mo_energy: np.ndarray  # (n,) orbital energies
+    density: np.ndarray
+    fock: np.ndarray
+    converged: bool
+    iterations: int
+    history: list[float] = field(default_factory=list)
+    # UHF: beta-spin counterparts (None for RHF)
+    mo_coeff_b: np.ndarray | None = None
+    mo_energy_b: np.ndarray | None = None
+    density_b: np.ndarray | None = None
+    fock_b: np.ndarray | None = None
+
+
+def fock_rhf(h: np.ndarray, eri: np.ndarray, density: np.ndarray) -> np.ndarray:
+    """Closed-shell Fock matrix: F = h + J - K/2 with D = 2 C_occ C_occ^T.
+
+    This is the contraction pair the diamond-nanocrystal benchmark
+    (Fig. 6) spends its time in:
+
+        J[mu,nu] = (mu nu|la si) D[la,si]
+        K[mu,nu] = (mu la|nu si) D[la,si]
+    """
+    j = np.einsum("mnls,ls->mn", eri, density, optimize=True)
+    k = np.einsum("mlns,ls->mn", eri, density, optimize=True)
+    return h + j - 0.5 * k
+
+
+def _fock_spin(h, eri, d_total, d_spin):
+    """One spin channel of the UHF Fock matrix."""
+    j = np.einsum("mnls,ls->mn", eri, d_total, optimize=True)
+    k = np.einsum("mlns,ls->mn", eri, d_spin, optimize=True)
+    return h + j - k
+
+
+class _DIIS:
+    """Pulay's DIIS on the Fock matrix with error e = FD - DF."""
+
+    def __init__(self, max_vectors: int = 8) -> None:
+        self.focks: list[np.ndarray] = []
+        self.errors: list[np.ndarray] = []
+        self.max_vectors = max_vectors
+
+    def extrapolate(self, fock: np.ndarray, error: np.ndarray) -> np.ndarray:
+        self.focks.append(fock.copy())
+        self.errors.append(error.copy())
+        if len(self.focks) > self.max_vectors:
+            self.focks.pop(0)
+            self.errors.pop(0)
+        m = len(self.focks)
+        if m < 2:
+            return fock
+        b = -np.ones((m + 1, m + 1))
+        b[m, m] = 0.0
+        for i in range(m):
+            for j in range(m):
+                b[i, j] = np.vdot(self.errors[i], self.errors[j])
+        rhs = np.zeros(m + 1)
+        rhs[m] = -1.0
+        try:
+            coeffs = np.linalg.solve(b, rhs)[:m]
+        except np.linalg.LinAlgError:
+            return fock
+        return sum(c * f for c, f in zip(coeffs, self.focks))
+
+
+def rhf(
+    h: np.ndarray,
+    eri: np.ndarray,
+    n_occ: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+    diis: bool = True,
+) -> SCFResult:
+    """Closed-shell SCF; returns converged orbitals and energy."""
+    n = h.shape[0]
+    if not 0 < n_occ <= n:
+        raise ValueError(f"n_occ={n_occ} out of range for {n} basis functions")
+    eps, c = np.linalg.eigh(h)  # core guess
+    density = 2.0 * c[:, :n_occ] @ c[:, :n_occ].T
+    accel = _DIIS() if diis else None
+    energy = 0.0
+    history: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        fock = fock_rhf(h, eri, density)
+        energy = 0.5 * float(np.sum(density * (h + fock)))
+        history.append(energy)
+        error = fock @ density - density @ fock
+        if np.max(np.abs(error)) < tolerance:
+            converged = True
+            break
+        if accel is not None:
+            fock = accel.extrapolate(fock, error)
+        eps, c = np.linalg.eigh(fock)
+        density = 2.0 * c[:, :n_occ] @ c[:, :n_occ].T
+    fock = fock_rhf(h, eri, density)
+    eps, c = np.linalg.eigh(fock)
+    return SCFResult(
+        energy=energy,
+        mo_coeff=c,
+        mo_energy=eps,
+        density=density,
+        fock=fock,
+        converged=converged,
+        iterations=it,
+        history=history,
+    )
+
+
+def uhf(
+    h: np.ndarray,
+    eri: np.ndarray,
+    n_alpha: int,
+    n_beta: int,
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+    diis: bool = True,
+) -> SCFResult:
+    """Open-shell (spin-unrestricted) SCF, the Fig.-7 reference."""
+    n = h.shape[0]
+    eps, c = np.linalg.eigh(h)
+    ca = cb = c
+    da = ca[:, :n_alpha] @ ca[:, :n_alpha].T
+    # break alpha/beta symmetry slightly so UHF can relax
+    db = cb[:, :n_beta] @ cb[:, :n_beta].T
+    accel_a = _DIIS() if diis else None
+    accel_b = _DIIS() if diis else None
+    energy = 0.0
+    history: list[float] = []
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        d_total = da + db
+        fa = _fock_spin(h, eri, d_total, da)
+        fb = _fock_spin(h, eri, d_total, db)
+        energy = 0.5 * float(
+            np.sum((da + db) * h) + np.sum(da * fa) + np.sum(db * fb)
+        )
+        history.append(energy)
+        err_a = fa @ da - da @ fa
+        err_b = fb @ db - db @ fb
+        if max(np.max(np.abs(err_a)), np.max(np.abs(err_b))) < tolerance:
+            converged = True
+            break
+        if accel_a is not None:
+            fa = accel_a.extrapolate(fa, err_a)
+            fb = accel_b.extrapolate(fb, err_b)
+        eps_a, ca = np.linalg.eigh(fa)
+        eps_b, cb = np.linalg.eigh(fb)
+        da = ca[:, :n_alpha] @ ca[:, :n_alpha].T
+        db = cb[:, :n_beta] @ cb[:, :n_beta].T
+    d_total = da + db
+    fa = _fock_spin(h, eri, d_total, da)
+    fb = _fock_spin(h, eri, d_total, db)
+    eps_a, ca = np.linalg.eigh(fa)
+    eps_b, cb = np.linalg.eigh(fb)
+    return SCFResult(
+        energy=energy,
+        mo_coeff=ca,
+        mo_energy=eps_a,
+        density=da,
+        fock=fa,
+        converged=converged,
+        iterations=it,
+        history=history,
+        mo_coeff_b=cb,
+        mo_energy_b=eps_b,
+        density_b=db,
+        fock_b=fb,
+    )

@@ -1,0 +1,65 @@
+"""Cost model for super instructions.
+
+The SIP charges every super instruction a modeled execution time derived
+from the machine parameters.  In *real* mode the numpy kernels also run
+(for correctness), but simulated time always comes from this model so
+that performance results are reproducible and machine-independent.
+
+The model is deliberately simple -- the paper's point is that super
+instructions are coarse enough that a latency/bandwidth/flop-rate model
+captures the behaviour that matters (overlap, granularity, load
+balance):
+
+* contraction:  ``2 * |out| * |contracted|`` flops at the machine's
+  effective DGEMM rate, plus a fixed kernel launch overhead;
+* permutation / copy / elementwise ops: bytes over the copy bandwidth;
+* integral computation: an expensive per-element cost (two-electron
+  integrals cost far more than a flop each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Sequence
+
+from .machines import Machine
+
+__all__ = ["CostModel", "contraction_flops"]
+
+# Cost (in equivalent flops) of producing one two-electron integral on
+# demand.  Real integral kernels evaluate Boys functions and primitive
+# Gaussian products; hundreds of flops per integral is typical.
+INTEGRAL_FLOPS_PER_ELEMENT = 450.0
+
+
+def contraction_flops(
+    out_shape: Sequence[int], contracted_shape: Sequence[int]
+) -> float:
+    """Flop count of a block contraction (one multiply-add pair each)."""
+    return 2.0 * prod(out_shape, start=1) * prod(contracted_shape, start=1)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps super instruction descriptions to simulated seconds."""
+
+    machine: Machine
+
+    def contraction_time(
+        self, out_shape: Sequence[int], contracted_shape: Sequence[int]
+    ) -> float:
+        flops = contraction_flops(out_shape, contracted_shape)
+        return self.machine.kernel_overhead + flops / self.machine.flop_rate
+
+    def elementwise_time(self, nbytes: float) -> float:
+        """Copy, permute, fill, scale, add: bandwidth bound."""
+        return self.machine.kernel_overhead + nbytes / self.machine.copy_bandwidth
+
+    def integral_time(self, n_elements: float) -> float:
+        flops = INTEGRAL_FLOPS_PER_ELEMENT * n_elements
+        return self.machine.kernel_overhead + flops / self.machine.flop_rate
+
+    def flops_time(self, flops: float) -> float:
+        """Generic compute cost for user super instructions."""
+        return self.machine.kernel_overhead + flops / self.machine.flop_rate

@@ -1,0 +1,173 @@
+"""Machine performance models for the systems in the paper's evaluation.
+
+The paper reports results on several platforms (Section VI).  Because we
+run on a simulated MPI substrate, each platform is described by a
+:class:`Machine` record whose parameters feed the network model, the
+per-super-instruction cost model, and the dry-run feasibility analysis.
+
+Numbers are order-of-magnitude-faithful public specifications of the
+era's hardware (effective DGEMM rate per core, MPI latency/bandwidth,
+memory per core).  Absolute reproduced times are therefore *not*
+expected to match the paper; the scaling *shapes* are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .simmpi.network import Network
+
+__all__ = [
+    "Machine",
+    "SUN_OPTERON_IB",
+    "CRAY_XT4",
+    "CRAY_XT5",
+    "JAGUAR_XT5",
+    "SGI_ALTIX",
+    "BLUEGENE_P",
+    "LAPTOP",
+    "MACHINES",
+    "get_machine",
+]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Performance parameters of one simulated platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in benchmark output.
+    flop_rate:
+        Effective double-precision DGEMM rate of one core, flop/s.
+    kernel_overhead:
+        Fixed cost of launching one super instruction (call overhead,
+        cache warm-up), seconds.
+    latency / bandwidth / send_overhead:
+        Point-to-point network parameters (see
+        :class:`repro.simmpi.network.Network`).
+    memory_per_rank:
+        Usable bytes of RAM per MPI rank (after OS and code).
+    disk_seek / disk_bandwidth:
+        Parameters of each I/O server's disk.
+    master_chunk_overhead:
+        Master CPU time to service one pardo chunk request; this is the
+        serialization term that limits scaling at very high core counts
+        (Fig. 6 turnover).
+    copy_bandwidth:
+        In-memory block permute/copy bandwidth, bytes/s.
+    """
+
+    name: str
+    flop_rate: float
+    kernel_overhead: float = 20.0e-6
+    latency: float = 5.0e-6
+    bandwidth: float = 1.5e9
+    send_overhead: float = 1.0e-6
+    memory_per_rank: float = 1.0e9
+    disk_seek: float = 4.0e-3
+    disk_bandwidth: float = 250.0e6
+    master_chunk_overhead: float = 30.0e-6
+    copy_bandwidth: float = 4.0e9
+
+    def network(self) -> Network:
+        """Instantiate the alpha-beta network model for this machine."""
+        return Network(
+            latency=self.latency,
+            bandwidth=self.bandwidth,
+            send_overhead=self.send_overhead,
+            memcpy_bandwidth=self.copy_bandwidth,
+        )
+
+    def with_memory(self, memory_per_rank: float) -> "Machine":
+        """A copy of this machine with a different RAM budget per rank."""
+        return replace(self, memory_per_rank=memory_per_rank)
+
+
+# "midnight" at ARSC: Sun cluster, 2.6 GHz Opterons, InfiniBand (Fig. 2)
+SUN_OPTERON_IB = Machine(
+    name="sun-opteron-ib",
+    flop_rate=4.5e9,
+    latency=4.0e-6,
+    bandwidth=1.2e9,
+    memory_per_rank=2.0e9,
+)
+
+# "kraken" at NICS: Cray XT4, dual-core Opteron + SeaStar (Fig. 3)
+CRAY_XT4 = Machine(
+    name="cray-xt4",
+    flop_rate=4.6e9,
+    latency=7.0e-6,
+    bandwidth=1.6e9,
+    memory_per_rank=2.0e9,
+)
+
+# "pingo" at ARSC: Cray XT5, quad-core Opteron + SeaStar2 (Fig. 3)
+CRAY_XT5 = Machine(
+    name="cray-xt5",
+    flop_rate=9.2e9,
+    latency=6.0e-6,
+    bandwidth=2.0e9,
+    memory_per_rank=2.0e9,
+)
+
+# "jaguar" at ORNL: Cray XT5, used for Figs. 4-6
+JAGUAR_XT5 = Machine(
+    name="jaguar-xt5",
+    flop_rate=9.2e9,
+    latency=6.0e-6,
+    bandwidth=2.0e9,
+    memory_per_rank=1.3e9,
+)
+
+# "pople" at PSC: SGI Altix 4700 shared-memory NUMA (Fig. 7)
+SGI_ALTIX = Machine(
+    name="sgi-altix",
+    flop_rate=6.4e9,
+    latency=1.5e-6,
+    bandwidth=3.0e9,
+    memory_per_rank=1.0e9,
+)
+
+# BlueGene/P at ALCF: slow cores, small memory; the ratio of processor
+# to network speed differs sharply from the Crays (Section VI-A).
+BLUEGENE_P = Machine(
+    name="bluegene-p",
+    flop_rate=2.7e9,
+    latency=3.0e-6,
+    bandwidth=0.4e9,
+    memory_per_rank=0.5e9,
+    kernel_overhead=40.0e-6,
+)
+
+# A neutral small model for unit tests and the quickstart example.
+LAPTOP = Machine(
+    name="laptop",
+    flop_rate=10.0e9,
+    latency=1.0e-6,
+    bandwidth=5.0e9,
+    memory_per_rank=4.0e9,
+)
+
+MACHINES: dict[str, Machine] = {
+    m.name: m
+    for m in (
+        SUN_OPTERON_IB,
+        CRAY_XT4,
+        CRAY_XT5,
+        JAGUAR_XT5,
+        SGI_ALTIX,
+        BLUEGENE_P,
+        LAPTOP,
+    )
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine model by name, with a helpful error."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}") from None

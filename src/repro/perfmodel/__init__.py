@@ -1,0 +1,36 @@
+"""Coarse performance model for the paper's large-scale figures.
+
+The fine-grained simulated SIP executes every message and super
+instruction; this package models the same runtime at pardo-chunk
+granularity so the 1k-108k-core experiments of Figs. 2-7 run in
+seconds.  Workload builders translate the paper's molecules into phase
+specifications; :func:`~repro.perfmodel.model.simulate` plays them
+against a machine model; :mod:`~repro.perfmodel.calibrate`
+cross-validates against the fine simulator where both can run.
+"""
+
+from .calibrate import CalibrationRow, calibration_table, matmul_workload
+from .extract import extract_workload
+from .model import CoarseResult, PhaseSpec, WorkloadSpec, simulate, sweep
+from .workloads import (
+    ccsd_iteration_workload,
+    fock_build_workload,
+    mp2_gradient_workload,
+    triples_workload,
+)
+
+__all__ = [
+    "CalibrationRow",
+    "CoarseResult",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "calibration_table",
+    "ccsd_iteration_workload",
+    "extract_workload",
+    "fock_build_workload",
+    "matmul_workload",
+    "mp2_gradient_workload",
+    "simulate",
+    "sweep",
+    "triples_workload",
+]

@@ -1,0 +1,96 @@
+"""Cross-validation of the coarse model against the fine simulator.
+
+The coarse model's credibility rests on tracking the fine-grained SIP
+simulation where both can run.  This module executes a blocked
+matrix-multiply SIAL program on the fine simulator (model backend) at
+several worker counts, builds the equivalent coarse
+:class:`~repro.perfmodel.model.WorkloadSpec`, and compares predicted
+times.  The benchmark suite prints the comparison table; tests assert
+agreement within a small factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..machines import Machine
+from ..sip import SIPConfig, run_source
+from .model import PhaseSpec, WorkloadSpec, simulate
+
+__all__ = ["CalibrationRow", "matmul_workload", "calibration_table"]
+
+_MATMUL_SRC = """
+sial calib_matmul
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nb
+distributed A(M, L)
+distributed B(L, N)
+distributed C(M, N)
+temp TC(M, N)
+
+pardo M, N
+  TC(M, N) = 0.0
+  do L
+    get A(M, L)
+    get B(L, N)
+    TC(M, N) += A(M, L) * B(L, N)
+  enddo L
+  put C(M, N) = TC(M, N)
+endpardo M, N
+endsial calib_matmul
+"""
+
+
+@dataclass
+class CalibrationRow:
+    procs: int
+    fine_time: float
+    coarse_time: float
+
+    @property
+    def ratio(self) -> float:
+        return self.coarse_time / self.fine_time if self.fine_time > 0 else 0.0
+
+
+def matmul_workload(n: int, seg: int) -> WorkloadSpec:
+    """Coarse spec equivalent to the blocked matmul SIAL program."""
+    s = max(1, ceil(n / seg))
+    block = seg * seg * 8.0
+    phase = PhaseSpec(
+        name="matmul",
+        n_iterations=s * s,
+        flops_per_iter=2.0 * seg * seg * n,
+        kernels_per_iter=2 * s + 1,  # s contractions + s fills/accums + put
+        fetch_bytes_per_iter=2 * s * block,
+        fetch_messages_per_iter=2 * s,
+        put_bytes_per_iter=block,
+    )
+    return WorkloadSpec(name=f"matmul[{n}x{n}/{seg}]", phases=(phase,))
+
+
+def calibration_table(
+    machine: Machine,
+    n: int = 64,
+    seg: int = 8,
+    proc_counts: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[CalibrationRow]:
+    """Fine-vs-coarse comparison at several worker counts."""
+    rows = []
+    for p in proc_counts:
+        cfg = SIPConfig(
+            workers=p,
+            io_servers=1,
+            segment_size=seg,
+            backend="model",
+            machine=machine,
+            inputs={"A": None, "B": None},
+        )
+        fine = run_source(_MATMUL_SRC, cfg, symbolics={"nb": n})
+        coarse = simulate(matmul_workload(n, seg), machine, p, io_servers=1)
+        rows.append(
+            CalibrationRow(procs=p, fine_time=fine.elapsed, coarse_time=coarse.time)
+        )
+    return rows

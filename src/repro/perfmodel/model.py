@@ -1,0 +1,305 @@
+"""Coarse task-level performance model for large virtual core counts.
+
+The fine-grained simulator (:mod:`repro.sip`) executes every super
+instruction and message and is practical up to a few hundred ranks.
+The paper's figures go to 108,000 cores; this module reproduces those
+*shapes* with a deterministic queueing simulation at pardo-chunk
+granularity, driven by the same machine models.
+
+What is represented, and why it suffices:
+
+* **per-iteration time** -- compute (flops at the machine's DGEMM rate
+  plus kernel launch overheads) vs. communication (message latencies
+  plus remote bytes over the link bandwidth; a random static placement
+  makes the remote fraction (P-1)/P).  With overlap (the SIP's
+  prefetching), an iteration costs ``max(comp, comm)``; without (the
+  GA baseline's synchronous gets), ``comp + comm``;
+* **master serialization** -- chunk requests queue at the single
+  master, each costing ``master_chunk_overhead``; at very large P this
+  service rate caps scaling (the Fig. 6 turnover);
+* **guided scheduling & load imbalance** -- shrinking chunks are dealt
+  out exactly as in :class:`repro.sip.scheduler.GuidedScheduler`, so
+  tail imbalance appears when iterations/P gets small;
+* **I/O servers** -- served-array traffic shares the configured number
+  of disks;
+* **barriers** -- ``latency * log2(P)`` per phase boundary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from math import ceil, log2
+from typing import Optional
+
+from ..machines import Machine
+
+__all__ = ["PhaseSpec", "WorkloadSpec", "CoarseResult", "simulate", "sweep"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One pardo phase of a workload, in per-iteration terms."""
+
+    name: str
+    n_iterations: int
+    flops_per_iter: float
+    kernels_per_iter: float = 1.0
+    fetch_bytes_per_iter: float = 0.0
+    fetch_messages_per_iter: float = 0.0
+    put_bytes_per_iter: float = 0.0
+    # served-array traffic: per-iteration bytes move over the network
+    # like any fetch (the I/O servers' caches absorb re-reads), while
+    # the *unique* bytes of the phase must stream off the disks once
+    served_bytes_per_iter: float = 0.0
+    served_unique_bytes: float = 0.0
+    served_unique_blocks: float = 0.0  # disk ops: one seek each
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A sequence of phases (e.g. one CC iteration, or one Fock build)."""
+
+    name: str
+    phases: tuple[PhaseSpec, ...]
+
+    @property
+    def total_flops(self) -> float:
+        return sum(p.n_iterations * p.flops_per_iter for p in self.phases)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((p.n_iterations for p in self.phases), default=0)
+
+
+@dataclass
+class CoarseResult:
+    """Modeled execution of one workload at one processor count."""
+
+    workload: str
+    machine: str
+    n_procs: int
+    time: float
+    phase_times: dict[str, float]
+    wait_time_total: float
+    compute_time_total: float
+    master_busy: float
+    chunks_served: int
+
+    @property
+    def wait_fraction(self) -> float:
+        """Average per-worker wait share of elapsed time (Fig. 2 metric)."""
+        if self.time <= 0 or self.n_procs == 0:
+            return 0.0
+        return self.wait_time_total / (self.n_procs * self.time)
+
+
+@dataclass(order=True)
+class _WorkerEvent:
+    ready_at: float
+    worker: int = field(compare=False)
+
+
+def _iteration_times(
+    phase: PhaseSpec,
+    machine: Machine,
+    n_procs: int,
+    io_servers: int,
+    overlap: bool,
+    overlap_efficiency: float,
+    unhidden_comm_fraction: float,
+) -> tuple[float, float, float]:
+    """(iteration time, compute part, wait part) for one iteration."""
+    comp = (
+        phase.flops_per_iter / machine.flop_rate
+        + phase.kernels_per_iter * machine.kernel_overhead
+    )
+    remote_fraction = (n_procs - 1) / n_procs if n_procs > 1 else 0.0
+    comm = (
+        phase.fetch_messages_per_iter * machine.latency
+        + (
+            phase.fetch_bytes_per_iter
+            + phase.put_bytes_per_iter
+            + phase.served_bytes_per_iter
+        )
+        * remote_fraction
+        / machine.bandwidth
+    )
+    if overlap:
+        # some communication is structurally unhideable (first fetch of
+        # a chunk, dependences at iteration starts); the rest overlaps
+        # with compute up to the prefetcher's efficiency.  The paper's
+        # Fig. 2 reports an 8.4-13.4% residual wait on a well-tuned
+        # program; the default unhidden fraction reproduces that band.
+        hideable = comm * (1.0 - unhidden_comm_fraction)
+        hidden = min(hideable, comp * overlap_efficiency)
+        wait = comm - hidden
+        return comp + wait, comp, wait
+    return comp + comm, comp, comm
+
+
+def simulate(
+    workload: WorkloadSpec,
+    machine: Machine,
+    n_procs: int,
+    io_servers: Optional[int] = None,
+    overlap: bool = True,
+    overlap_efficiency: float = 1.0,
+    unhidden_comm_fraction: float = 0.35,
+    chunk_factor: int = 2,
+    scheduling: str = "guided",
+) -> CoarseResult:
+    """Model one run of ``workload`` on ``n_procs`` workers."""
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    if io_servers is None:
+        io_servers = max(1, n_procs // 32)
+    phase_times: dict[str, float] = {}
+    wait_total = 0.0
+    comp_total = 0.0
+    master_busy = 0.0
+    chunks_served = 0
+    clock = 0.0
+
+    for phase in workload.phases:
+        iter_time, comp, wait = _iteration_times(
+            phase,
+            machine,
+            n_procs,
+            io_servers,
+            overlap,
+            overlap_efficiency,
+            unhidden_comm_fraction,
+        )
+        end, waits, comps, busy, chunks = _run_phase(
+            phase, machine, n_procs, iter_time, comp, wait, chunk_factor,
+            scheduling,
+        )
+        if phase.served_unique_bytes > 0:
+            # the phase cannot complete before the disks have streamed
+            # the unique served data once (lazy reads overlap compute);
+            # each unique block costs one seek on top of the streaming
+            disk_stream = (
+                phase.served_unique_bytes / machine.disk_bandwidth
+                + phase.served_unique_blocks * machine.disk_seek
+            ) / io_servers
+            if disk_stream > end:
+                waits += (disk_stream - end) * min(n_procs, phase.n_iterations)
+                end = disk_stream
+        barrier = machine.latency * max(1.0, log2(n_procs)) if n_procs > 1 else 0.0
+        phase_times[phase.name] = end + barrier
+        clock += end + barrier
+        wait_total += waits
+        comp_total += comps
+        master_busy += busy
+        chunks_served += chunks
+
+    return CoarseResult(
+        workload=workload.name,
+        machine=machine.name,
+        n_procs=n_procs,
+        time=clock,
+        phase_times=phase_times,
+        wait_time_total=wait_total,
+        compute_time_total=comp_total,
+        master_busy=master_busy,
+        chunks_served=chunks_served,
+    )
+
+
+def _run_phase(
+    phase: PhaseSpec,
+    machine: Machine,
+    n_procs: int,
+    iter_time: float,
+    comp_per_iter: float,
+    wait_per_iter: float,
+    chunk_factor: int,
+    scheduling: str,
+) -> tuple[float, float, float, float, int]:
+    """Deterministic queueing simulation of one pardo phase.
+
+    Workers request chunks from the master (a serial resource with a
+    fixed per-request service time); a worker computes its chunk, then
+    queues for the next.  Returns (phase end time, total wait time,
+    total compute time, master busy time, chunks served).
+    """
+    remaining = phase.n_iterations
+    if remaining == 0:
+        return 0.0, 0.0, 0.0, 0.0, 0
+    service = machine.master_chunk_overhead
+    rtt = 2.0 * machine.latency
+
+    if scheduling == "static":
+        per = ceil(remaining / n_procs)
+        active = ceil(remaining / per)
+        end = rtt + service * active + per * iter_time
+        waits = wait_per_iter * remaining
+        comps = comp_per_iter * remaining
+        return end, waits, comps, service * active, active
+
+    # guided: event-driven dole-out
+    heap: list[_WorkerEvent] = [
+        _WorkerEvent(0.0, w) for w in range(min(n_procs, remaining))
+    ]
+    heapq.heapify(heap)
+    master_free = 0.0
+    master_busy = 0.0
+    chunks = 0
+    finish = 0.0
+    waits = 0.0
+    comps = 0.0
+    while heap and remaining > 0:
+        ev = heapq.heappop(heap)
+        # chunk request: master serializes
+        start_service = max(ev.ready_at + machine.latency, master_free)
+        master_free = start_service + service
+        master_busy += service
+        chunks += 1
+        size = max(1, ceil(remaining / (chunk_factor * n_procs)))
+        size = min(size, remaining)
+        remaining -= size
+        got_chunk = master_free + machine.latency
+        done = got_chunk + size * iter_time
+        waits += size * wait_per_iter
+        comps += size * comp_per_iter
+        finish = max(finish, done)
+        if remaining > 0:
+            heapq.heappush(heap, _WorkerEvent(done, ev.worker))
+    # every worker makes one final "no more work" request; they arrive
+    # together at the end of the phase and the master serves them one
+    # at a time -- a drain cost that grows with the worker count
+    finish += rtt + service * n_procs
+    return finish, waits, comps, master_busy, chunks
+
+
+def sweep(
+    workload: WorkloadSpec,
+    machine: Machine,
+    proc_counts: list[int],
+    baseline_procs: Optional[int] = None,
+    **kwargs,
+) -> list[dict]:
+    """Strong-scaling sweep; rows carry time, efficiency, wait %.
+
+    Efficiency is relative to ``baseline_procs`` (default: the first
+    count), exactly as the paper's figures are normalized.
+    """
+    results = [simulate(workload, machine, p, **kwargs) for p in proc_counts]
+    base = baseline_procs if baseline_procs is not None else proc_counts[0]
+    base_result = next((r for r in results if r.n_procs == base), results[0])
+    base_work = base_result.time * base_result.n_procs
+    rows = []
+    for r in results:
+        efficiency = base_work / (r.time * r.n_procs) if r.time > 0 else 0.0
+        rows.append(
+            {
+                "procs": r.n_procs,
+                "time": r.time,
+                "efficiency": efficiency,
+                "wait_percent": 100.0 * r.wait_fraction,
+                "chunks": r.chunks_served,
+                "master_busy": r.master_busy,
+            }
+        )
+    return rows

@@ -1,0 +1,216 @@
+"""Workload builders: paper molecules -> coarse phase specifications.
+
+Each builder converts (molecule, segment size) into the
+:class:`~repro.perfmodel.model.WorkloadSpec` of one unit of the
+benchmarked computation, using standard operation counts for the
+methods (o = occupied orbitals, v = virtual orbitals, n = basis
+functions; spin-summed closed-shell counts):
+
+* CCSD iteration: particle-particle ladder 2 o^2 v^4, ring family
+  8 o^3 v^3, hole-hole ladder 2 o^4 v^2 (the small o^2 v^2-scale terms
+  are folded into kernel counts);
+* perturbative triples (T): ~2 o^3 v^4 + 2 o^4 v^3, blocked over
+  virtual triples;
+* Fock build: 2 n^4 integral evaluations at
+  :data:`~repro.costmodel.INTEGRAL_FLOPS_PER_ELEMENT` flops each plus
+  2 x 2 n^4 contraction flops, blocked over (mu, nu);
+* MP2 energy + gradient: the O(n^5) transform dominates, plus
+  o^2 v^2-scale amplitude work and the gradient's density build.
+
+Data movement per iteration is counted in blocks of ``seg`` elements
+per dimension fetched by the inner loops, mirroring the SIAL programs
+in :mod:`repro.programs.library`.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..chem.molecules import Molecule
+from ..costmodel import INTEGRAL_FLOPS_PER_ELEMENT
+from .model import PhaseSpec, WorkloadSpec
+
+__all__ = [
+    "ccsd_iteration_workload",
+    "triples_workload",
+    "fock_build_workload",
+    "mp2_gradient_workload",
+]
+
+_B = 8.0  # bytes per double
+
+
+def _segs(extent: int, seg: int) -> int:
+    return max(1, ceil(extent / seg))
+
+
+def ccsd_iteration_workload(
+    mol: Molecule, seg: int, vvvv_on_disk: bool | None = None
+) -> WorkloadSpec:
+    """One CCSD amplitude iteration (Figs. 2-4).
+
+    ``vvvv_on_disk`` is the placement decision a SIAL programmer makes
+    for the O(v^4) <ab||ef> integrals: a *served* (disk-backed) array
+    when they exceed the machine's aggregate memory, a *distributed*
+    array otherwise (paper, Section VI-B: "changing an array from
+    distributed to served" is a standard retuning step).  The default
+    (None) serves arrays above 1 TB from disk -- small clusters cannot
+    hold them, jaguar-scale runs keep them in memory.
+    """
+    o, v = mol.n_occ, mol.n_virt
+    so, sv = _segs(o, seg), _segs(v, seg)
+    block = seg**4 * _B
+
+    vvvv_bytes = float(v) ** 4 * _B
+    if vvvv_on_disk is None:
+        vvvv_on_disk = vvvv_bytes > 1.0e12
+
+    # particle-particle ladder: pardo (a,b,i,j), inner (e,f)
+    pp_iters = sv * sv * so * so
+    pp = PhaseSpec(
+        name="pp_ladder",
+        n_iterations=pp_iters,
+        flops_per_iter=2.0 * o * o * v * v * (v * v) / pp_iters,
+        kernels_per_iter=sv * sv,
+        fetch_bytes_per_iter=(1 if vvvv_on_disk else 2) * sv * sv * block,
+        fetch_messages_per_iter=2 * sv * sv,
+        put_bytes_per_iter=block,
+        served_bytes_per_iter=sv * sv * block if vvvv_on_disk else 0.0,
+        served_unique_bytes=vvvv_bytes if vvvv_on_disk else 0.0,
+        # streamed sequentially by the I/O servers: one seek per ~MB
+        # extent, not per block (cf. the lazy write-back design)
+        served_unique_blocks=vvvv_bytes / 1e6 if vvvv_on_disk else 0.0,
+    )
+
+    # ring family: pardo (a,b,i,j), inner (m,e); ~8 spin cases folded in
+    ring_iters = sv * sv * so * so
+    ring = PhaseSpec(
+        name="ring",
+        n_iterations=ring_iters,
+        flops_per_iter=8.0 * o * o * v * v * (o * v) / ring_iters,
+        kernels_per_iter=4 * so * sv,
+        fetch_bytes_per_iter=2 * so * sv * block,
+        fetch_messages_per_iter=2 * so * sv,
+        put_bytes_per_iter=block,
+    )
+
+    # hole-hole ladder: pardo (a,b,i,j), inner (m,n)
+    hh_iters = sv * sv * so * so
+    hh = PhaseSpec(
+        name="hh_ladder",
+        n_iterations=hh_iters,
+        flops_per_iter=2.0 * o * o * v * v * (o * o) / hh_iters,
+        kernels_per_iter=so * so,
+        fetch_bytes_per_iter=2 * so * so * block,
+        fetch_messages_per_iter=2 * so * so,
+        put_bytes_per_iter=block,
+    )
+    return WorkloadSpec(name=f"ccsd-iter[{mol.name}]", phases=(pp, ring, hh))
+
+
+def triples_workload(mol: Molecule, seg: int) -> WorkloadSpec:
+    """The (T) perturbative-triples correction (Fig. 5).
+
+    Blocked over virtual triples (a,b,c): each block builds its T3
+    slice by contracting T2 blocks with <vo||vv> / <ov||oo> integrals
+    over the full occupied space.
+    """
+    o, v = mol.n_occ, mol.n_virt
+    so, sv = _segs(o, seg), _segs(v, seg)
+    # pardo over (a<=b<=c) virtual triple blocks x (i<=j<=k) occupied
+    # triple blocks: ample parallelism for the paper's 10k-80k cores
+    vt = sv * (sv + 1) * (sv + 2) // 6
+    ot = so * (so + 1) * (so + 2) // 6
+    n_iter = vt * ot
+    total_flops = 2.0 * o**3 * v**4 + 2.0 * o**4 * v**3
+    block = seg**4 * _B
+    triples = PhaseSpec(
+        name="triples",
+        n_iterations=n_iter,
+        flops_per_iter=total_flops / n_iter,
+        kernels_per_iter=3 * sv,
+        fetch_bytes_per_iter=3 * sv * block,
+        fetch_messages_per_iter=3 * sv,
+        put_bytes_per_iter=0.0,  # energy only: scalar reductions
+    )
+    return WorkloadSpec(name=f"ccsd(t)[{mol.name}]", phases=(triples,))
+
+
+def fock_build_workload(mol: Molecule, seg: int) -> WorkloadSpec:
+    """One Fock matrix build with on-demand integrals (Fig. 6)."""
+    n = mol.n_basis
+    sn = _segs(n, seg)
+    n_iter = sn * sn  # pardo (mu, nu)
+    block4 = seg**4
+    block2 = seg**2 * _B
+    inner = sn * sn  # do (la, si)
+    flops_per_iter = inner * (
+        2.0 * INTEGRAL_FLOPS_PER_ELEMENT * block4  # J and K integral blocks
+        + 2.0 * 2.0 * block4  # two contractions
+    )
+    fock = PhaseSpec(
+        name="fock",
+        n_iterations=n_iter,
+        flops_per_iter=flops_per_iter,
+        kernels_per_iter=4 * inner,
+        # the density is replicated (static): only the result moves
+        fetch_bytes_per_iter=0.0,
+        fetch_messages_per_iter=0.0,
+        put_bytes_per_iter=block2,
+    )
+    return WorkloadSpec(name=f"fock[{mol.name}]", phases=(fock,))
+
+
+def mp2_gradient_workload(mol: Molecule, seg: int) -> WorkloadSpec:
+    """UHF MP2 gradient (Fig. 7): transform + amplitudes + density.
+
+    UHF doubles the amplitude work relative to RHF (two spin cases,
+    plus the mixed-spin block -> factor ~3 on the o^2 v^2 terms).
+    """
+    n, o, v = mol.n_basis, mol.n_occ, mol.n_virt
+    sn, so, sv = _segs(n, seg), _segs(o, seg), _segs(v, seg)
+    block = seg**4 * _B
+
+    # four quarter transforms, pardo over (p, q) target blocks
+    t_iters = sn * sn
+    transform = PhaseSpec(
+        name="transform",
+        n_iterations=t_iters,
+        flops_per_iter=4.0 * 2.0 * n**5 / t_iters,
+        kernels_per_iter=sn * sn,
+        fetch_bytes_per_iter=sn * sn * block,
+        fetch_messages_per_iter=sn * sn,
+        put_bytes_per_iter=block,
+        served_bytes_per_iter=sn * sn * block,  # AO integrals from disk
+        served_unique_bytes=float(n) ** 4 * _B,
+        served_unique_blocks=float(n) ** 4 * _B / 1e6,  # sequential extents
+    )
+
+    amp_iters = so * sv * so * sv
+    spin_factor = 3.0 if mol.uhf else 1.0
+    amplitudes = PhaseSpec(
+        name="amplitudes",
+        n_iterations=amp_iters,
+        flops_per_iter=spin_factor * 6.0 * o * o * v * v / amp_iters,
+        kernels_per_iter=4.0,
+        fetch_bytes_per_iter=2 * block,
+        fetch_messages_per_iter=2.0,
+        put_bytes_per_iter=block,
+    )
+
+    dens_iters = max(so * so, sv * sv)
+    density = PhaseSpec(
+        name="density",
+        n_iterations=dens_iters,
+        flops_per_iter=spin_factor
+        * 2.0
+        * (o * o * (o * v * v) + v * v * (o * o * v))
+        / dens_iters,
+        kernels_per_iter=so * sv,
+        fetch_bytes_per_iter=so * sv * block,
+        fetch_messages_per_iter=so * sv,
+        put_bytes_per_iter=seg**2 * _B,
+    )
+    return WorkloadSpec(
+        name=f"mp2-grad[{mol.name}]", phases=(transform, amplitudes, density)
+    )

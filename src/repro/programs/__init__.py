@@ -1,0 +1,64 @@
+"""SIAL application programs and their drivers.
+
+This package is the reproduction's "ACES III" layer: SIAL source for
+the paper's workloads (:mod:`~repro.programs.library`), the user super
+instructions they call (:mod:`~repro.programs.supers`), and drivers
+that wire chemistry inputs through the SIP and compare against the
+numpy references (:mod:`~repro.programs.drivers`).
+"""
+
+from .drivers import (
+    SialOutcome,
+    run_ao2mo,
+    run_checkpoint_demo,
+    run_fock_build,
+    run_ccsd,
+    run_ccsd_t,
+    run_lccd,
+    run_lccd_anderson,
+    run_mp2,
+    run_paper_contraction,
+    run_uhf_mp2,
+)
+from .library import (
+    ALL_PROGRAMS,
+    AO2MO_TRANSFORM,
+    CHECKPOINT_DEMO,
+    FOCK_BUILD,
+    LCCD_ANDERSON,
+    LCCD_ITERATION,
+    MP2_ENERGY,
+    PAPER_CONTRACTION,
+    UHF_MP2_ENERGY,
+)
+from .ccsd_sial import CCSD_SIAL
+from .triples_sial import CCSD_T_SIAL
+from .supers import cc_denominator, make_energy_denominator, mp2_denominator
+
+__all__ = [
+    "ALL_PROGRAMS",
+    "CCSD_SIAL",
+    "CCSD_T_SIAL",
+    "AO2MO_TRANSFORM",
+    "CHECKPOINT_DEMO",
+    "FOCK_BUILD",
+    "LCCD_ANDERSON",
+    "LCCD_ITERATION",
+    "MP2_ENERGY",
+    "PAPER_CONTRACTION",
+    "UHF_MP2_ENERGY",
+    "SialOutcome",
+    "cc_denominator",
+    "make_energy_denominator",
+    "mp2_denominator",
+    "run_checkpoint_demo",
+    "run_fock_build",
+    "run_ccsd",
+    "run_ccsd_t",
+    "run_lccd",
+    "run_lccd_anderson",
+    "run_ao2mo",
+    "run_mp2",
+    "run_uhf_mp2",
+    "run_paper_contraction",
+]

@@ -1,0 +1,485 @@
+"""Full spin-orbital CCSD in SIAL.
+
+The paper's headline method, written the way ACES III writes it: every
+Stanton-Gauss-Watts-Bartlett intermediate is a pardo phase over blocks,
+the O(v^4) quantities (<ab||ef> and the W_abef intermediate) live on
+disk-backed served arrays, orbital-energy denominators are user super
+instructions, and the energy comes from collective scalar contractions.
+
+The program runs a fixed number of amplitude sweeps and matches
+:func:`repro.chem.ccsd` (run for the same sweep count with canonical
+orbitals) to floating-point accuracy -- see
+``tests/integration/test_ccsd_sial.py``.
+
+Index kinds: ``moindex`` = occupied spin orbitals, ``moaindex`` =
+virtual spin orbitals.  Input integral slices are physicists'
+antisymmetrized <pq||rs> blocks named by their occupancy pattern
+(OOVV = <ij||ab>, OVVV = <ma||ef>, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CCSD_SIAL"]
+
+CCSD_SIAL = """
+sial ccsd
+symbolic no
+symbolic nv
+symbolic niter
+moindex i = 1, no
+moindex j = 1, no
+moindex m = 1, no
+moindex n = 1, no
+moaindex a = 1, nv
+moaindex b = 1, nv
+moaindex e = 1, nv
+moaindex f = 1, nv
+index iter = 1, niter
+
+# antisymmetrized integral slices <pq||rs> (inputs)
+distributed OOOO(m, n, i, j)
+distributed OOOV(m, n, i, e)
+distributed OOVO(m, n, e, j)
+distributed OOVV(i, j, a, b)
+distributed OVOV(n, a, i, f)
+distributed OVVO(m, b, e, j)
+distributed OVVV(m, a, e, f)
+distributed OVOO(m, b, i, j)
+distributed VOVV(a, m, e, f)
+distributed VVVO(a, b, e, j)
+served VVVV(a, b, e, f)
+
+# amplitudes (double buffered)
+distributed T1(i, a)
+distributed T2(i, j, a, b)
+distributed T1N(i, a)
+distributed T2N(i, j, a, b)
+
+# effective doubles and one/two-particle intermediates
+distributed TAU(i, j, a, b)
+distributed TAUT(i, j, a, b)
+distributed FAE(a, e)
+distributed FMI(m, i)
+distributed FME(m, e)
+distributed WMNIJ(m, n, i, j)
+distributed WMBEJ(m, b, e, j)
+served WABEF(a, b, e, f)
+
+temp t4(i, j, a, b)
+temp s4(i, j, a, b)
+temp u4(i, j, a, b)
+temp tOOOO(m, n, i, j)
+temp sOOOO(m, n, i, j)
+temp tVVVV(a, b, e, f)
+temp sVVVV(a, b, e, f)
+temp tOVVO(m, b, e, j)
+temp sOVVO(m, b, e, j)
+temp tOO(m, i)
+temp sOO(m, i)
+temp w2(a, e)
+temp v2(a, e)
+temp t2x(i, a)
+temp s2x(i, a)
+temp o4(i, e, m, a)
+temp x4(j, n, f, b)
+scalar e1
+scalar e2
+scalar ecc
+
+# ---------------------------------------------------------------- init
+# t1 = 0 (f_ov = 0 for canonical orbitals); t2 = <ij||ab> / D
+pardo i, a
+  t2x(i, a) = 0.0
+  put T1(i, a) = t2x(i, a)
+endpardo i, a
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  t4(i, j, a, b) = OOVV(i, j, a, b)
+  execute cc_denominator4 t4(i, j, a, b)
+  put T2(i, j, a, b) = t4(i, j, a, b)
+endpardo i, j, a, b
+sip_barrier
+
+do iter
+  # -------------------------------------------- tau and tau-tilde
+  # tau  = t2 + t1 t1 - t1 t1 (exchanged)
+  # taut = t2 + (t1 t1 - t1 t1 (exchanged)) / 2
+  pardo i, j, a, b
+    get T2(i, j, a, b)
+    get T1(i, a)
+    get T1(j, b)
+    get T1(i, b)
+    get T1(j, a)
+    s4(i, j, a, b) = T1(i, a) * T1(j, b)
+    s4(i, j, a, b) -= T1(i, b) * T1(j, a)
+    t4(i, j, a, b) = T2(i, j, a, b)
+    t4(i, j, a, b) += s4(i, j, a, b)
+    put TAU(i, j, a, b) = t4(i, j, a, b)
+    t4(i, j, a, b) = T2(i, j, a, b)
+    t4(i, j, a, b) += 0.5 * s4(i, j, a, b)
+    put TAUT(i, j, a, b) = t4(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  # -------------------------------------------- one-particle F's
+  # FAE = sum_mf t1[m,f] <ma||fe> - 1/2 sum_mnf taut[m,n,a,f] <mn||ef>
+  pardo a, e
+    w2(a, e) = 0.0
+    do m
+      do f
+        get T1(m, f)
+        get OVVV(m, a, f, e)
+        w2(a, e) += T1(m, f) * OVVV(m, a, f, e)
+      enddo f
+    enddo m
+    do m
+      do n
+        do f
+          get TAUT(m, n, a, f)
+          get OOVV(m, n, e, f)
+          v2(a, e) = TAUT(m, n, a, f) * OOVV(m, n, e, f)
+          w2(a, e) -= 0.5 * v2(a, e)
+        enddo f
+      enddo n
+    enddo m
+    put FAE(a, e) = w2(a, e)
+  endpardo a, e
+
+  # FMI = sum_ne t1[n,e] <mn||ie> + 1/2 sum_nef taut[i,n,e,f] <mn||ef>
+  pardo m, i
+    tOO(m, i) = 0.0
+    do n
+      do e
+        get T1(n, e)
+        get OOOV(m, n, i, e)
+        tOO(m, i) += T1(n, e) * OOOV(m, n, i, e)
+      enddo e
+    enddo n
+    do n
+      do e
+        do f
+          get TAUT(i, n, e, f)
+          get OOVV(m, n, e, f)
+          sOO(m, i) = TAUT(i, n, e, f) * OOVV(m, n, e, f)
+          tOO(m, i) += 0.5 * sOO(m, i)
+        enddo f
+      enddo e
+    enddo n
+    put FMI(m, i) = tOO(m, i)
+  endpardo m, i
+
+  # FME = sum_nf t1[n,f] <mn||ef>
+  pardo m, e
+    t2x(m, e) = 0.0
+    do n
+      do f
+        get T1(n, f)
+        get OOVV(m, n, e, f)
+        t2x(m, e) += T1(n, f) * OOVV(m, n, e, f)
+      enddo f
+    enddo n
+    put FME(m, e) = t2x(m, e)
+  endpardo m, e
+
+  # -------------------------------------------- two-particle W's
+  # WMNIJ = <mn||ij> + P(ij) sum_e t1[j,e] <mn||ie>
+  #       + 1/4 sum_ef tau[i,j,e,f] <mn||ef>
+  pardo m, n, i, j
+    get OOOO(m, n, i, j)
+    tOOOO(m, n, i, j) = OOOO(m, n, i, j)
+    do e
+      get T1(j, e)
+      get T1(i, e)
+      get OOOV(m, n, i, e)
+      get OOOV(m, n, j, e)
+      tOOOO(m, n, i, j) += T1(j, e) * OOOV(m, n, i, e)
+      tOOOO(m, n, i, j) -= T1(i, e) * OOOV(m, n, j, e)
+    enddo e
+    do e
+      do f
+        get TAU(i, j, e, f)
+        get OOVV(m, n, e, f)
+        sOOOO(m, n, i, j) = TAU(i, j, e, f) * OOVV(m, n, e, f)
+        tOOOO(m, n, i, j) += 0.25 * sOOOO(m, n, i, j)
+      enddo f
+    enddo e
+    put WMNIJ(m, n, i, j) = tOOOO(m, n, i, j)
+  endpardo m, n, i, j
+
+  # WABEF = <ab||ef> - P(ab) sum_m t1[m,b] <am||ef>
+  #       + 1/4 sum_mn tau[m,n,a,b] <mn||ef>
+  pardo a, b, e, f
+    request VVVV(a, b, e, f)
+    tVVVV(a, b, e, f) = VVVV(a, b, e, f)
+    do m
+      get T1(m, b)
+      get T1(m, a)
+      get VOVV(a, m, e, f)
+      get VOVV(b, m, e, f)
+      tVVVV(a, b, e, f) -= T1(m, b) * VOVV(a, m, e, f)
+      tVVVV(a, b, e, f) += T1(m, a) * VOVV(b, m, e, f)
+    enddo m
+    do m
+      do n
+        get TAU(m, n, a, b)
+        get OOVV(m, n, e, f)
+        sVVVV(a, b, e, f) = TAU(m, n, a, b) * OOVV(m, n, e, f)
+        tVVVV(a, b, e, f) += 0.25 * sVVVV(a, b, e, f)
+      enddo n
+    enddo m
+    prepare WABEF(a, b, e, f) = tVVVV(a, b, e, f)
+  endpardo a, b, e, f
+
+  # WMBEJ = <mb||ej> + sum_f t1[j,f] <mb||ef>
+  #       - sum_n t1[n,b] <mn||ej>
+  #       - sum_nf (t2[j,n,f,b]/2 + t1[j,f] t1[n,b]) <mn||ef>
+  pardo m, b, e, j
+    get OVVO(m, b, e, j)
+    tOVVO(m, b, e, j) = OVVO(m, b, e, j)
+    do f
+      get T1(j, f)
+      get OVVV(m, b, e, f)
+      tOVVO(m, b, e, j) += T1(j, f) * OVVV(m, b, e, f)
+    enddo f
+    do n
+      get T1(n, b)
+      get OOVO(m, n, e, j)
+      tOVVO(m, b, e, j) -= T1(n, b) * OOVO(m, n, e, j)
+    enddo n
+    do n
+      do f
+        get T2(j, n, f, b)
+        get T1(j, f)
+        get T1(n, b)
+        x4(j, n, f, b) = 0.5 * T2(j, n, f, b)
+        x4(j, n, f, b) += T1(j, f) * T1(n, b)
+        get OOVV(m, n, e, f)
+        sOVVO(m, b, e, j) = x4(j, n, f, b) * OOVV(m, n, e, f)
+        tOVVO(m, b, e, j) -= sOVVO(m, b, e, j)
+      enddo f
+    enddo n
+    put WMBEJ(m, b, e, j) = tOVVO(m, b, e, j)
+  endpardo m, b, e, j
+  sip_barrier
+  server_barrier
+
+  # -------------------------------------------- T1 update
+  pardo i, a
+    t2x(i, a) = 0.0
+    do e
+      get T1(i, e)
+      get FAE(a, e)
+      t2x(i, a) += T1(i, e) * FAE(a, e)
+    enddo e
+    do m
+      get T1(m, a)
+      get FMI(m, i)
+      t2x(i, a) -= T1(m, a) * FMI(m, i)
+    enddo m
+    do m
+      do e
+        get T2(i, m, a, e)
+        get FME(m, e)
+        t2x(i, a) += T2(i, m, a, e) * FME(m, e)
+      enddo e
+    enddo m
+    do n
+      do f
+        get T1(n, f)
+        get OVOV(n, a, i, f)
+        t2x(i, a) -= T1(n, f) * OVOV(n, a, i, f)
+      enddo f
+    enddo n
+    do m
+      do e
+        do f
+          get T2(i, m, e, f)
+          get OVVV(m, a, e, f)
+          s2x(i, a) = T2(i, m, e, f) * OVVV(m, a, e, f)
+          t2x(i, a) -= 0.5 * s2x(i, a)
+        enddo f
+      enddo e
+    enddo m
+    do m
+      do n
+        do e
+          get T2(m, n, a, e)
+          get OOVO(n, m, e, i)
+          s2x(i, a) = T2(m, n, a, e) * OOVO(n, m, e, i)
+          t2x(i, a) -= 0.5 * s2x(i, a)
+        enddo e
+      enddo n
+    enddo m
+    execute cc_denominator2 t2x(i, a)
+    put T1N(i, a) = t2x(i, a)
+  endpardo i, a
+
+  # -------------------------------------------- T2 update
+  pardo i, j, a, b
+    get OOVV(i, j, a, b)
+    t4(i, j, a, b) = OOVV(i, j, a, b)
+
+    # P(ab) sum_e t2[i,j,a,e] (FAE[b,e] - 1/2 sum_m t1[m,b] FME[m,e])
+    do e
+      get FAE(b, e)
+      w2(b, e) = FAE(b, e)
+      do m
+        get T1(m, b)
+        get FME(m, e)
+        v2(b, e) = T1(m, b) * FME(m, e)
+        w2(b, e) -= 0.5 * v2(b, e)
+      enddo m
+      get T2(i, j, a, e)
+      t4(i, j, a, b) += T2(i, j, a, e) * w2(b, e)
+      get FAE(a, e)
+      w2(a, e) = FAE(a, e)
+      do m
+        get T1(m, a)
+        get FME(m, e)
+        v2(a, e) = T1(m, a) * FME(m, e)
+        w2(a, e) -= 0.5 * v2(a, e)
+      enddo m
+      get T2(i, j, b, e)
+      t4(i, j, a, b) -= T2(i, j, b, e) * w2(a, e)
+    enddo e
+
+    # -P(ij) sum_m t2[i,m,a,b] (FMI[m,j] + 1/2 sum_e t1[j,e] FME[m,e])
+    do m
+      get FMI(m, j)
+      tOO(m, j) = FMI(m, j)
+      do e
+        get T1(j, e)
+        get FME(m, e)
+        sOO(m, j) = T1(j, e) * FME(m, e)
+        tOO(m, j) += 0.5 * sOO(m, j)
+      enddo e
+      get T2(i, m, a, b)
+      t4(i, j, a, b) -= T2(i, m, a, b) * tOO(m, j)
+      get FMI(m, i)
+      tOO(m, i) = FMI(m, i)
+      do e
+        get T1(i, e)
+        get FME(m, e)
+        sOO(m, i) = T1(i, e) * FME(m, e)
+        tOO(m, i) += 0.5 * sOO(m, i)
+      enddo e
+      get T2(j, m, a, b)
+      t4(i, j, a, b) += T2(j, m, a, b) * tOO(m, i)
+    enddo m
+
+    # + 1/2 sum_mn tau[m,n,a,b] WMNIJ[m,n,i,j]
+    u4(i, j, a, b) = 0.0
+    do m
+      do n
+        get TAU(m, n, a, b)
+        get WMNIJ(m, n, i, j)
+        u4(i, j, a, b) += TAU(m, n, a, b) * WMNIJ(m, n, i, j)
+      enddo n
+    enddo m
+    t4(i, j, a, b) += 0.5 * u4(i, j, a, b)
+
+    # + 1/2 sum_ef tau[i,j,e,f] WABEF[a,b,e,f]
+    u4(i, j, a, b) = 0.0
+    do e
+      do f
+        get TAU(i, j, e, f)
+        request WABEF(a, b, e, f)
+        u4(i, j, a, b) += TAU(i, j, e, f) * WABEF(a, b, e, f)
+      enddo f
+    enddo e
+    t4(i, j, a, b) += 0.5 * u4(i, j, a, b)
+
+    # + P(ij)P(ab) [ sum_me t2[i,m,a,e] WMBEJ[m,b,e,j]
+    #                - t1[i,e] t1[m,a] <mb||ej> ]
+    do m
+      do e
+        get T2(i, m, a, e)
+        get WMBEJ(m, b, e, j)
+        t4(i, j, a, b) += T2(i, m, a, e) * WMBEJ(m, b, e, j)
+        get T2(j, m, a, e)
+        get WMBEJ(m, b, e, i)
+        t4(i, j, a, b) -= T2(j, m, a, e) * WMBEJ(m, b, e, i)
+        get T2(i, m, b, e)
+        get WMBEJ(m, a, e, j)
+        t4(i, j, a, b) -= T2(i, m, b, e) * WMBEJ(m, a, e, j)
+        get T2(j, m, b, e)
+        get WMBEJ(m, a, e, i)
+        t4(i, j, a, b) += T2(j, m, b, e) * WMBEJ(m, a, e, i)
+
+        get T1(i, e)
+        get T1(j, e)
+        get T1(m, a)
+        get T1(m, b)
+        get OVVO(m, b, e, j)
+        get OVVO(m, b, e, i)
+        get OVVO(m, a, e, j)
+        get OVVO(m, a, e, i)
+        o4(i, e, m, a) = T1(i, e) * T1(m, a)
+        t4(i, j, a, b) -= o4(i, e, m, a) * OVVO(m, b, e, j)
+        o4(j, e, m, a) = T1(j, e) * T1(m, a)
+        t4(i, j, a, b) += o4(j, e, m, a) * OVVO(m, b, e, i)
+        o4(i, e, m, b) = T1(i, e) * T1(m, b)
+        t4(i, j, a, b) += o4(i, e, m, b) * OVVO(m, a, e, j)
+        o4(j, e, m, b) = T1(j, e) * T1(m, b)
+        t4(i, j, a, b) -= o4(j, e, m, b) * OVVO(m, a, e, i)
+      enddo e
+    enddo m
+
+    # + P(ij) sum_e t1[i,e] <ab||ej>
+    do e
+      get T1(i, e)
+      get T1(j, e)
+      get VVVO(a, b, e, j)
+      get VVVO(a, b, e, i)
+      t4(i, j, a, b) += T1(i, e) * VVVO(a, b, e, j)
+      t4(i, j, a, b) -= T1(j, e) * VVVO(a, b, e, i)
+    enddo e
+
+    # - P(ab) sum_m t1[m,a] <mb||ij>
+    do m
+      get T1(m, a)
+      get T1(m, b)
+      get OVOO(m, b, i, j)
+      get OVOO(m, a, i, j)
+      t4(i, j, a, b) -= T1(m, a) * OVOO(m, b, i, j)
+      t4(i, j, a, b) += T1(m, b) * OVOO(m, a, i, j)
+    enddo m
+
+    execute cc_denominator4 t4(i, j, a, b)
+    put T2N(i, j, a, b) = t4(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  # -------------------------------------------- rotate buffers
+  pardo i, a
+    get T1N(i, a)
+    t2x(i, a) = T1N(i, a)
+    put T1(i, a) = t2x(i, a)
+  endpardo i, a
+  pardo i, j, a, b
+    get T2N(i, j, a, b)
+    t4(i, j, a, b) = T2N(i, j, a, b)
+    put T2(i, j, a, b) = t4(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+  server_barrier
+enddo iter
+
+# ------------------------------------------------------------- energy
+# E = 1/4 sum <ij||ab> t2[i,j,a,b] + 1/2 sum <ij||ab> t1[i,a] t1[j,b]
+e1 = 0.0
+e2 = 0.0
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  get T2(i, j, a, b)
+  e2 += OOVV(i, j, a, b) * T2(i, j, a, b)
+  get T1(i, a)
+  get T1(j, b)
+  s4(i, j, a, b) = T1(i, a) * T1(j, b)
+  e1 += OOVV(i, j, a, b) * s4(i, j, a, b)
+endpardo i, j, a, b
+collective e1
+collective e2
+ecc = 0.25 * e2 + 0.5 * e1
+endsial ccsd
+"""

@@ -1,0 +1,449 @@
+"""Drivers wiring chemistry inputs into the SIAL programs.
+
+Each driver prepares a molecule's synthetic integrals, runs the
+reference SCF, lays the required integral tensors out as SIP input
+arrays, registers the needed super instructions, executes the SIAL
+program on the simulated SIP, and returns both the SIAL result and the
+numpy reference value so callers (examples, tests, benchmarks) can
+compare them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..chem import (
+    Molecule,
+    ao_to_mo,
+    fock_rhf,
+    lccd,
+    make_integrals,
+    mp2_energy_rhf,
+    n_occ_spin,
+    rhf,
+    spin_orbital_eri,
+)
+from ..sip import RunResult, SIPConfig, run_source
+from . import library, supers
+
+__all__ = [
+    "SialOutcome",
+    "run_paper_contraction",
+    "run_mp2",
+    "run_uhf_mp2",
+    "run_ccsd",
+    "run_ccsd_t",
+    "run_ao2mo",
+    "run_lccd",
+    "run_fock_build",
+    "run_checkpoint_demo",
+]
+
+
+@dataclass
+class SialOutcome:
+    """A SIAL run plus the numpy reference it should reproduce."""
+
+    value: float | np.ndarray
+    reference: float | np.ndarray
+    result: RunResult
+
+    @property
+    def error(self) -> float:
+        return float(np.max(np.abs(np.asarray(self.value) - np.asarray(self.reference))))
+
+
+def _default_config(**overrides) -> SIPConfig:
+    defaults = dict(workers=3, io_servers=1, segment_size=2)
+    defaults.update(overrides)
+    return SIPConfig(**defaults)
+
+
+def run_paper_contraction(
+    n_basis: int = 6,
+    n_occ: int = 4,
+    seed: int = 5,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """The Section IV-D example: R = sum_LS V(M,N,L,S) T(L,S,I,J)."""
+    rng = np.random.default_rng(seed)
+    ints = make_integrals(n_basis, seed=seed)
+    t = rng.standard_normal((n_basis, n_basis, n_occ, n_occ))
+    config = config or _default_config()
+    config.inputs = {"T": t}
+    config.integral_source = ints.eri_block
+    result = run_source(
+        library.PAPER_CONTRACTION,
+        config,
+        symbolics={"norb": n_basis, "nocc": n_occ},
+    )
+    reference = np.einsum("mnls,lsij->mnij", ints.eri, t, optimize=True)
+    return SialOutcome(value=result.array("R"), reference=reference, result=result)
+
+
+def run_mp2(
+    molecule: Optional[Molecule] = None,
+    n_basis: int = 8,
+    n_occ: int = 3,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Closed-shell MP2 energy via the MP2_ENERGY SIAL program."""
+    if molecule is not None:
+        n_basis, n_occ = molecule.n_basis, molecule.n_occ
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    o, v = slice(0, n_occ), slice(n_occ, n_basis)
+    ovov = np.ascontiguousarray(eri_mo[o, v, o, v])
+    e_occ, e_virt = scf.mo_energy[o], scf.mo_energy[v]
+
+    config = config or _default_config()
+    config.inputs = {"V": ovov}
+    config.superinstructions = {
+        "mp2_denominator": supers.mp2_denominator(e_occ, e_virt)
+    }
+    result = run_source(
+        library.MP2_ENERGY,
+        config,
+        symbolics={"no": n_occ, "nv": n_basis - n_occ},
+    )
+    reference = mp2_energy_rhf(eri_mo, scf.mo_energy, n_occ)
+    return SialOutcome(
+        value=result.scalar("emp2"), reference=reference, result=result
+    )
+
+
+def run_uhf_mp2(
+    n_basis: int = 7,
+    n_alpha: int = 3,
+    n_beta: int = 2,
+    seed: int = 5,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Open-shell MP2 via the UHF_MP2_ENERGY SIAL program (Fig. 7)."""
+    from ..chem import mp2_energy_uhf, uhf
+
+    ints = make_integrals(n_basis, seed=seed)
+    scf = uhf(ints.h, ints.eri, n_alpha, n_beta)
+    ca, cb = scf.mo_coeff, scf.mo_coeff_b
+    ea, eb = scf.mo_energy, scf.mo_energy_b
+    mo_aa = ao_to_mo(ints.eri, ca)
+    mo_bb = ao_to_mo(ints.eri, cb)
+    # mixed chemists' integrals (alpha alpha | beta beta)
+    tmp = np.einsum("mp,mnls->pnls", ca, ints.eri, optimize=True)
+    tmp = np.einsum("nq,pnls->pqls", ca, tmp, optimize=True)
+    tmp = np.einsum("lr,pqls->pqrs", cb, tmp, optimize=True)
+    mo_ab = np.einsum("st,pqrs->pqrt", cb, tmp, optimize=True)
+
+    oa, va = slice(0, n_alpha), slice(n_alpha, n_basis)
+    ob, vb = slice(0, n_beta), slice(n_beta, n_basis)
+    config = config or _default_config()
+    config.inputs = {
+        "VAA": np.ascontiguousarray(mo_aa[oa, va, oa, va]),
+        "VBB": np.ascontiguousarray(mo_bb[ob, vb, ob, vb]),
+        "VAB": np.ascontiguousarray(mo_ab[oa, va, ob, vb]),
+    }
+    config.superinstructions = {
+        "denom_aa": supers.mp2_denominator(ea[oa], ea[va]),
+        "denom_bb": supers.mp2_denominator(eb[ob], eb[vb]),
+        "denom_ab": supers.make_energy_denominator(
+            [(ea[oa], +1.0), (ea[va], -1.0), (eb[ob], +1.0), (eb[vb], -1.0)]
+        ),
+    }
+    result = run_source(
+        library.UHF_MP2_ENERGY,
+        config,
+        symbolics={
+            "noa": n_alpha,
+            "nva": n_basis - n_alpha,
+            "nob": n_beta,
+            "nvb": n_basis - n_beta,
+        },
+    )
+    reference = mp2_energy_uhf(
+        mo_aa[oa, va, oa, va],
+        mo_bb[ob, vb, ob, vb],
+        mo_ab[oa, va, ob, vb],
+        ea[oa],
+        ea[va],
+        eb[ob],
+        eb[vb],
+    )
+    return SialOutcome(
+        value=result.scalar("emp2"), reference=reference, result=result
+    )
+
+
+def run_ao2mo(
+    n_basis: int = 5,
+    seed: int = 3,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """The four-step AO->MO transform via the AO2MO_TRANSFORM program."""
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, max(1, n_basis // 3))
+    config = config or _default_config()
+    config.inputs = {"C": scf.mo_coeff}
+    config.integral_source = ints.eri_block
+    result = run_source(
+        library.AO2MO_TRANSFORM, config, symbolics={"nb": n_basis}
+    )
+    reference = ao_to_mo(ints.eri, scf.mo_coeff)
+    return SialOutcome(
+        value=result.array("VMO"), reference=reference, result=result
+    )
+
+
+def run_lccd(
+    n_basis: int = 6,
+    n_occ: int = 2,
+    iterations: int = 4,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Spin-orbital LCCD via the LCCD_ITERATION SIAL program.
+
+    The SIAL run and the numpy reference perform the same fixed number
+    of sweeps, so the energies agree to floating-point accuracy.
+    """
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    no = n_occ_spin(n_occ)
+    nso = 2 * n_basis
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+
+    config = config or _default_config()
+    config.inputs = {
+        "OOVV": np.ascontiguousarray(eri_so[o, o, v, v]),
+        "VVVV": np.ascontiguousarray(eri_so[v, v, v, v]),
+        "OOOO": np.ascontiguousarray(eri_so[o, o, o, o]),
+        "OVVO": np.ascontiguousarray(eri_so[o, v, v, o]),
+    }
+    config.superinstructions = {
+        "cc_denominator": supers.cc_denominator(eps[o], eps[v])
+    }
+    result = run_source(
+        library.LCCD_ITERATION,
+        config,
+        symbolics={"no": no, "nv": nv, "niter": iterations},
+    )
+    reference = lccd(eps, eri_so, no, iterations=iterations)
+    return SialOutcome(
+        value=result.scalar("elccd"), reference=reference.e_corr, result=result
+    )
+
+
+def run_lccd_anderson(
+    n_basis: int = 6,
+    n_occ: int = 2,
+    iterations: int = 4,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Anderson-accelerated LCCD via the LCCD_ANDERSON SIAL program.
+
+    Same fixed-sweep algorithm as :func:`repro.chem.lccd_anderson`, so
+    the SIAL and numpy energies agree to floating-point accuracy.
+    """
+    from ..chem import lccd_anderson
+
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    no = n_occ_spin(n_occ)
+    nso = 2 * n_basis
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+
+    config = config or _default_config()
+    config.inputs = {
+        "OOVV": np.ascontiguousarray(eri_so[o, o, v, v]),
+        "VVVV": np.ascontiguousarray(eri_so[v, v, v, v]),
+        "OOOO": np.ascontiguousarray(eri_so[o, o, o, o]),
+        "OVVO": np.ascontiguousarray(eri_so[o, v, v, o]),
+    }
+    config.superinstructions = {
+        "cc_denominator": supers.cc_denominator(eps[o], eps[v])
+    }
+    result = run_source(
+        library.LCCD_ANDERSON,
+        config,
+        symbolics={"no": no, "nv": nv, "niter": iterations},
+    )
+    reference = lccd_anderson(eps, eri_so, no, iterations=iterations)
+    return SialOutcome(
+        value=result.scalar("elccd"), reference=reference.e_corr, result=result
+    )
+
+
+def run_ccsd(
+    n_basis: int = 5,
+    n_occ: int = 2,
+    iterations: int = 3,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Full spin-orbital CCSD via the CCSD_SIAL program.
+
+    Runs exactly ``iterations`` amplitude sweeps; the reference is
+    :func:`repro.chem.ccsd` driven for the same sweep count, so the
+    energies agree to floating-point accuracy.
+    """
+    from ..chem import ccsd
+    from .ccsd_sial import CCSD_SIAL
+
+    if config is None:
+        # coarser blocks keep the (deep) CCSD interpretation fast
+        config = _default_config(segment_size=3)
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    no = n_occ_spin(n_occ)
+    nso = 2 * n_basis
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+
+    config = config or _default_config()
+    config.inputs = {
+        "OOOO": np.ascontiguousarray(eri_so[o, o, o, o]),
+        "OOOV": np.ascontiguousarray(eri_so[o, o, o, v]),
+        "OOVO": np.ascontiguousarray(eri_so[o, o, v, o]),
+        "OOVV": np.ascontiguousarray(eri_so[o, o, v, v]),
+        "OVOV": np.ascontiguousarray(eri_so[o, v, o, v]),
+        "OVVO": np.ascontiguousarray(eri_so[o, v, v, o]),
+        "OVVV": np.ascontiguousarray(eri_so[o, v, v, v]),
+        "OVOO": np.ascontiguousarray(eri_so[o, v, o, o]),
+        "VOVV": np.ascontiguousarray(eri_so[v, o, v, v]),
+        "VVVO": np.ascontiguousarray(eri_so[v, v, v, o]),
+        "VVVV": np.ascontiguousarray(eri_so[v, v, v, v]),
+    }
+    config.superinstructions = {
+        "cc_denominator4": supers.cc_denominator(eps[o], eps[v]),
+        "cc_denominator2": supers.make_energy_denominator(
+            [(eps[o], +1.0), (eps[v], -1.0)]
+        ),
+    }
+    result = run_source(
+        CCSD_SIAL,
+        config,
+        symbolics={"no": no, "nv": nv, "niter": iterations},
+    )
+    # reference: exactly `iterations` sweeps (tolerance 0 never triggers
+    # early exit), energy evaluated from the final amplitudes
+    reference = ccsd(
+        eps, eri_so, no, max_iterations=iterations, tolerance=0.0
+    )
+    return SialOutcome(
+        value=result.scalar("ecc"),
+        reference=reference.history[iterations],
+        result=result,
+    )
+
+
+def run_ccsd_t(
+    n_basis: int = 4,
+    n_occ: int = 2,
+    sweeps: int = 2,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """The (T) triples correction via the CCSD_T_SIAL program.
+
+    Amplitudes come from ``sweeps`` iterations of the numpy CCSD; the
+    reference is :func:`repro.chem.ccsd_t` on those same amplitudes, so
+    the SIAL and numpy energies agree to floating-point accuracy.
+    """
+    from ..chem import ccsd, ccsd_t
+    from .triples_sial import CCSD_T_SIAL
+
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    no = n_occ_spin(n_occ)
+    nso = 2 * n_basis
+    nv = nso - no
+    o, v = slice(0, no), slice(no, nso)
+
+    cc = ccsd(eps, eri_so, no, max_iterations=sweeps, tolerance=0.0)
+
+    if config is None:
+        config = _default_config(subsegments_per_segment=2)
+    config.inputs = {
+        "T1": cc.t1,
+        "T2": cc.t2,
+        "OOVV": np.ascontiguousarray(eri_so[o, o, v, v]),
+        "VOVV": np.ascontiguousarray(eri_so[v, o, v, v]),
+        "OVOO": np.ascontiguousarray(eri_so[o, v, o, o]),
+    }
+    config.superinstructions = {
+        "triples_weight": supers.triples_weight(eps[o], eps[v])
+    }
+    result = run_source(
+        CCSD_T_SIAL,
+        config,
+        symbolics={"no": no, "nv": nv},
+    )
+    reference = ccsd_t(eps, eri_so, cc.t1, cc.t2, no)
+    return SialOutcome(
+        value=result.scalar("etr"), reference=reference, result=result
+    )
+
+
+def run_fock_build(
+    n_basis: int = 8,
+    n_occ: int = 3,
+    seed: int = 42,
+    config: Optional[SIPConfig] = None,
+) -> SialOutcome:
+    """Closed-shell Fock build via the FOCK_BUILD SIAL program."""
+    ints = make_integrals(n_basis, seed=seed)
+    scf = rhf(ints.h, ints.eri, n_occ)
+    config = config or _default_config()
+    config.inputs = {"H": ints.h, "DENS": scf.density}
+    config.integral_source = ints.eri_block
+    result = run_source(library.FOCK_BUILD, config, symbolics={"nb": n_basis})
+    reference = fock_rhf(ints.h, ints.eri, scf.density)
+    return SialOutcome(value=result.array("F"), reference=reference, result=result)
+
+
+def run_checkpoint_demo(
+    n_basis: int = 6,
+    config_factory=None,
+) -> tuple[SialOutcome, SialOutcome]:
+    """First run checkpoints; second run restarts from the store."""
+    store: dict = {}
+
+    def fresh_config():
+        if config_factory is not None:
+            return config_factory()
+        return _default_config()
+
+    cfg1 = fresh_config()
+    cfg1.external_store = store
+    first = run_source(
+        library.CHECKPOINT_DEMO, cfg1, symbolics={"nb": n_basis, "restart": 0}
+    )
+    cfg2 = fresh_config()
+    cfg2.external_store = store
+    second = run_source(
+        library.CHECKPOINT_DEMO, cfg2, symbolics={"nb": n_basis, "restart": 1}
+    )
+    reference = np.full((n_basis, n_basis), 2.0)
+    return (
+        SialOutcome(value=first.array("OUT"), reference=reference, result=first),
+        SialOutcome(value=second.array("OUT"), reference=reference, result=second),
+    )

@@ -1,0 +1,682 @@
+"""SIAL source programs.
+
+The application layer of the reproduction: real SIAL programs for the
+workloads the paper evaluates (a CC-style amplitude iteration, an MP2
+energy, a Fock matrix build), plus the paper's own Section IV-D
+contraction example.  Each is validated against the numpy references
+in :mod:`repro.chem` by the integration tests.
+
+Note the division of labour the paper advocates: these programs are
+pure orchestration -- loops over blocks, get/put/request/prepare, one
+contraction per statement -- while the flop-heavy work lives in super
+instructions (intrinsic ones plus the orbital-energy denominators
+registered in :mod:`repro.programs.supers`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_CONTRACTION",
+    "MP2_ENERGY",
+    "UHF_MP2_ENERGY",
+    "AO2MO_TRANSFORM",
+    "LCCD_ITERATION",
+    "LCCD_ANDERSON",
+    "SIXD_SUBINDEX",
+    "FOCK_BUILD",
+    "CHECKPOINT_DEMO",
+    "ALL_PROGRAMS",
+]
+
+# ---------------------------------------------------------------------------
+# The contraction term of Section IV-D, verbatim program structure:
+#     R(M,N,I,J) = sum_{L,S} V(M,N,L,S) * T(L,S,I,J)
+# with V an (on-demand) integral array.
+# ---------------------------------------------------------------------------
+PAPER_CONTRACTION = """
+sial paper_contraction
+symbolic norb
+symbolic nocc
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L, S, I, J)
+distributed R(M, N, I, J)
+temp V(M, N, L, S)
+temp tmp(M, N, I, J)
+temp tmpsum(M, N, I, J)
+
+pardo M, N, I, J
+  tmpsum(M, N, I, J) = 0.0
+  do L
+    do S
+      get T(L, S, I, J)
+      compute_integrals V(M, N, L, S)
+      tmp(M, N, I, J) = V(M, N, L, S) * T(L, S, I, J)
+      tmpsum(M, N, I, J) += tmp(M, N, I, J)
+    enddo S
+  enddo L
+  put R(M, N, I, J) = tmpsum(M, N, I, J)
+endpardo M, N, I, J
+endsial paper_contraction
+"""
+
+# ---------------------------------------------------------------------------
+# Closed-shell MP2 energy from MO-basis (ia|jb) integrals:
+#   E2 = sum (ia|jb) [2 (ia|jb) - (ib|ja)] / (ei - ea + ej - eb)
+# The denominator is a user super instruction (registered with the
+# orbital energies closed over), exactly how ACES III does it.
+# ---------------------------------------------------------------------------
+MP2_ENERGY = """
+sial mp2_energy
+symbolic no
+symbolic nv
+moindex i = 1, no
+moindex j = 1, no
+moaindex a = 1, nv
+moaindex b = 1, nv
+distributed V(i, a, j, b)
+temp X(i, a, j, b)
+temp T(i, a, j, b)
+scalar emp2
+
+emp2 = 0.0
+pardo i, a, j, b
+  get V(i, a, j, b)
+  get V(i, b, j, a)
+  X(i, a, j, b) = 2.0 * V(i, a, j, b)
+  T(i, a, j, b) = V(i, b, j, a)
+  X(i, a, j, b) -= T(i, a, j, b)
+  execute mp2_denominator X(i, a, j, b)
+  emp2 += V(i, a, j, b) * X(i, a, j, b)
+endpardo i, a, j, b
+collective emp2
+endsial mp2_energy
+"""
+
+# ---------------------------------------------------------------------------
+# UHF MP2 energy (the Fig. 7 workload's energy): three spin channels.
+# Alpha orbitals use the moaindex kind, beta the mobindex kind, so the
+# type system statically rejects cross-spin index mix-ups.
+#   E = 1/2 sum_aa (ia|jb)[(ia|jb)-(ib|ja)]/D
+#     + 1/2 sum_bb (...)
+#     +     sum_ab (ia|jb)^2 / D
+# ---------------------------------------------------------------------------
+UHF_MP2_ENERGY = """
+sial uhf_mp2_energy
+symbolic noa
+symbolic nva
+symbolic nob
+symbolic nvb
+moaindex i = 1, noa
+moaindex j = 1, noa
+moaindex a = 1, nva
+moaindex b = 1, nva
+mobindex ib = 1, nob
+mobindex jb = 1, nob
+mobindex ab = 1, nvb
+mobindex bb = 1, nvb
+distributed VAA(i, a, j, b)
+distributed VBB(ib, ab, jb, bb)
+distributed VAB(i, a, jb, bb)
+temp XA(i, a, j, b)
+temp XB(ib, ab, jb, bb)
+temp XM(i, a, jb, bb)
+scalar eaa
+scalar ebb
+scalar eab
+scalar emp2
+
+eaa = 0.0
+pardo i, a, j, b
+  get VAA(i, a, j, b)
+  get VAA(i, b, j, a)
+  XA(i, a, j, b) = VAA(i, a, j, b)
+  XA(i, a, j, b) -= VAA(i, b, j, a)
+  execute denom_aa XA(i, a, j, b)
+  eaa += VAA(i, a, j, b) * XA(i, a, j, b)
+endpardo i, a, j, b
+collective eaa
+eaa *= 0.5
+
+ebb = 0.0
+pardo ib, ab, jb, bb
+  get VBB(ib, ab, jb, bb)
+  get VBB(ib, bb, jb, ab)
+  XB(ib, ab, jb, bb) = VBB(ib, ab, jb, bb)
+  XB(ib, ab, jb, bb) -= VBB(ib, bb, jb, ab)
+  execute denom_bb XB(ib, ab, jb, bb)
+  ebb += VBB(ib, ab, jb, bb) * XB(ib, ab, jb, bb)
+endpardo ib, ab, jb, bb
+collective ebb
+ebb *= 0.5
+
+eab = 0.0
+pardo i, a, jb, bb
+  get VAB(i, a, jb, bb)
+  XM(i, a, jb, bb) = VAB(i, a, jb, bb)
+  execute denom_ab XM(i, a, jb, bb)
+  eab += VAB(i, a, jb, bb) * XM(i, a, jb, bb)
+endpardo i, a, jb, bb
+collective eab
+
+emp2 = eaa + ebb + eab
+endsial uhf_mp2_energy
+"""
+
+# ---------------------------------------------------------------------------
+# The four-step O(n^5) AO -> MO integral transformation, the workhorse
+# that precedes every correlated calculation.  AO integrals are
+# computed on demand; each quarter transform contracts one index with
+# the (replicated) MO coefficient matrix and stores the intermediate in
+# a distributed array, with barriers separating the phases.
+# ---------------------------------------------------------------------------
+AO2MO_TRANSFORM = """
+sial ao2mo_transform
+symbolic nb
+aoindex mu = 1, nb
+aoindex nu = 1, nb
+aoindex la = 1, nb
+aoindex si = 1, nb
+moindex p = 1, nb
+moindex q = 1, nb
+moindex r = 1, nb
+moindex s = 1, nb
+static C(mu, p)
+distributed T1(p, nu, la, si)
+distributed T2(p, q, la, si)
+distributed T3(p, q, r, si)
+distributed VMO(p, q, r, s)
+temp V(mu, nu, la, si)
+temp W1(p, nu, la, si)
+temp W2(p, q, la, si)
+temp W3(p, q, r, si)
+temp W4(p, q, r, s)
+
+pardo nu, la, si
+  do p
+    W1(p, nu, la, si) = 0.0
+    do mu
+      compute_integrals V(mu, nu, la, si)
+      W1(p, nu, la, si) += C(mu, p) * V(mu, nu, la, si)
+    enddo mu
+    put T1(p, nu, la, si) = W1(p, nu, la, si)
+  enddo p
+endpardo nu, la, si
+sip_barrier
+
+pardo p, la, si
+  do q
+    W2(p, q, la, si) = 0.0
+    do nu
+      get T1(p, nu, la, si)
+      W2(p, q, la, si) += C(nu, q) * T1(p, nu, la, si)
+    enddo nu
+    put T2(p, q, la, si) = W2(p, q, la, si)
+  enddo q
+endpardo p, la, si
+sip_barrier
+
+pardo p, q, si
+  do r
+    W3(p, q, r, si) = 0.0
+    do la
+      get T2(p, q, la, si)
+      W3(p, q, r, si) += C(la, r) * T2(p, q, la, si)
+    enddo la
+    put T3(p, q, r, si) = W3(p, q, r, si)
+  enddo r
+endpardo p, q, si
+sip_barrier
+
+pardo p, q, r
+  do s
+    W4(p, q, r, s) = 0.0
+    do si
+      get T3(p, q, r, si)
+      W4(p, q, r, s) += C(si, s) * T3(p, q, r, si)
+    enddo si
+    put VMO(p, q, r, s) = W4(p, q, r, s)
+  enddo s
+endpardo p, q, r
+endsial ao2mo_transform
+"""
+
+# ---------------------------------------------------------------------------
+# Linearized CCD (CEPA(0)) over spin orbitals: the repository's
+# CC-iteration workload.  Index kinds: moindex = occupied spin
+# orbitals, moaindex = virtual spin orbitals (so the type system
+# rejects occ/virt mix-ups).  The O(v^4) <ab||ef> integrals are a
+# *served* (disk-backed) array, as in the paper's large calculations.
+#
+#   R[i,j,a,b] = <ij||ab>
+#              + 1/2 sum_ef <ab||ef> t[i,j,e,f]      (particle ladder)
+#              + 1/2 sum_mn <mn||ij> t[m,n,a,b]      (hole ladder)
+#              + P(ij) P(ab) sum_me t[i,m,a,e] <mb||ej>   (ring)
+#   t <- R / D
+# ---------------------------------------------------------------------------
+LCCD_ITERATION = """
+sial lccd_iteration
+symbolic no
+symbolic nv
+symbolic niter
+moindex i = 1, no
+moindex j = 1, no
+moindex m = 1, no
+moindex n = 1, no
+moaindex a = 1, nv
+moaindex b = 1, nv
+moaindex e = 1, nv
+moaindex f = 1, nv
+index iter = 1, niter
+distributed OOVV(i, j, a, b)
+served VVVV(a, b, e, f)
+distributed OOOO(m, n, i, j)
+distributed OVVO(m, b, e, j)
+distributed T2(i, j, a, b)
+distributed T2N(i, j, a, b)
+distributed RING(i, j, a, b)
+temp tR(i, j, a, b)
+temp tmp(i, j, a, b)
+scalar elccd
+
+# initial guess: t = <ij||ab> / D
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  tR(i, j, a, b) = OOVV(i, j, a, b)
+  execute cc_denominator tR(i, j, a, b)
+  put T2(i, j, a, b) = tR(i, j, a, b)
+endpardo i, j, a, b
+sip_barrier
+
+do iter
+  # ring intermediate RING[i,j,a,b] = sum_me t[i,m,a,e] <mb||ej>
+  pardo i, j, a, b
+    tmp(i, j, a, b) = 0.0
+    do m
+      do e
+        get T2(i, m, a, e)
+        get OVVO(m, b, e, j)
+        tmp(i, j, a, b) += T2(i, m, a, e) * OVVO(m, b, e, j)
+      enddo e
+    enddo m
+    put RING(i, j, a, b) = tmp(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  # assemble the residual and divide by the denominator
+  pardo i, j, a, b
+    get OOVV(i, j, a, b)
+    tR(i, j, a, b) = OOVV(i, j, a, b)
+
+    tmp(i, j, a, b) = 0.0
+    do e
+      do f
+        request VVVV(a, b, e, f)
+        get T2(i, j, e, f)
+        tmp(i, j, a, b) += VVVV(a, b, e, f) * T2(i, j, e, f)
+      enddo f
+    enddo e
+    tR(i, j, a, b) += 0.5 * tmp(i, j, a, b)
+
+    tmp(i, j, a, b) = 0.0
+    do m
+      do n
+        get OOOO(m, n, i, j)
+        get T2(m, n, a, b)
+        tmp(i, j, a, b) += OOOO(m, n, i, j) * T2(m, n, a, b)
+      enddo n
+    enddo m
+    tR(i, j, a, b) += 0.5 * tmp(i, j, a, b)
+
+    get RING(i, j, a, b)
+    get RING(j, i, a, b)
+    get RING(i, j, b, a)
+    get RING(j, i, b, a)
+    tR(i, j, a, b) += RING(i, j, a, b)
+    tR(i, j, a, b) -= RING(j, i, a, b)
+    tR(i, j, a, b) -= RING(i, j, b, a)
+    tR(i, j, a, b) += RING(j, i, b, a)
+
+    execute cc_denominator tR(i, j, a, b)
+    put T2N(i, j, a, b) = tR(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  # t <- t_new (double buffer swap by copy)
+  pardo i, j, a, b
+    get T2N(i, j, a, b)
+    tR(i, j, a, b) = T2N(i, j, a, b)
+    put T2(i, j, a, b) = tR(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+enddo iter
+
+# E = 1/4 sum <ij||ab> t[i,j,a,b]
+elccd = 0.0
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  get T2(i, j, a, b)
+  elccd += OOVV(i, j, a, b) * T2(i, j, a, b)
+endpardo i, j, a, b
+collective elccd
+elccd *= 0.25
+endsial lccd_iteration
+"""
+
+# ---------------------------------------------------------------------------
+# LCCD with Anderson (depth-1 DIIS) convergence acceleration -- the
+# "convergence acceleration algorithm" whose extra amplitude copies
+# drive the paper's Section II storage arithmetic.  Per sweep:
+#
+#   u      = R(t) / D                      (plain LCCD update)
+#   theta  = <dr, r> / <dr, dr>            r = u - t, dr = r - r_prev
+#   t_next = (1 - theta) u + theta u_prev
+#
+# The mixing coefficient is computed *in SIAL scalar arithmetic* from
+# collective full contractions; the extra state (t_prev, u_prev) lives
+# in additional distributed arrays, exactly the storage growth the
+# paper describes.
+# ---------------------------------------------------------------------------
+LCCD_ANDERSON = """
+sial lccd_anderson
+symbolic no
+symbolic nv
+symbolic niter
+moindex i = 1, no
+moindex j = 1, no
+moindex m = 1, no
+moindex n = 1, no
+moaindex a = 1, nv
+moaindex b = 1, nv
+moaindex e = 1, nv
+moaindex f = 1, nv
+index iter = 1, niter
+distributed OOVV(i, j, a, b)
+served VVVV(a, b, e, f)
+distributed OOOO(m, n, i, j)
+distributed OVVO(m, b, e, j)
+distributed T2(i, j, a, b)
+distributed T2P(i, j, a, b)
+distributed U(i, j, a, b)
+distributed UP(i, j, a, b)
+distributed T2N(i, j, a, b)
+distributed RING(i, j, a, b)
+temp tR(i, j, a, b)
+temp tmp(i, j, a, b)
+temp tres(i, j, a, b)
+temp tqp(i, j, a, b)
+temp tdf(i, j, a, b)
+scalar d1
+scalar d2
+scalar th
+scalar elccd
+
+# initial guess: t = <ij||ab> / D
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  tR(i, j, a, b) = OOVV(i, j, a, b)
+  execute cc_denominator tR(i, j, a, b)
+  put T2(i, j, a, b) = tR(i, j, a, b)
+endpardo i, j, a, b
+sip_barrier
+
+do iter
+  # ring intermediate from the current amplitudes
+  pardo i, j, a, b
+    tmp(i, j, a, b) = 0.0
+    do m
+      do e
+        get T2(i, m, a, e)
+        get OVVO(m, b, e, j)
+        tmp(i, j, a, b) += T2(i, m, a, e) * OVVO(m, b, e, j)
+      enddo e
+    enddo m
+    put RING(i, j, a, b) = tmp(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  # plain update u = R(t) / D, stored in U
+  pardo i, j, a, b
+    get OOVV(i, j, a, b)
+    tR(i, j, a, b) = OOVV(i, j, a, b)
+    tmp(i, j, a, b) = 0.0
+    do e
+      do f
+        request VVVV(a, b, e, f)
+        get T2(i, j, e, f)
+        tmp(i, j, a, b) += VVVV(a, b, e, f) * T2(i, j, e, f)
+      enddo f
+    enddo e
+    tR(i, j, a, b) += 0.5 * tmp(i, j, a, b)
+    tmp(i, j, a, b) = 0.0
+    do m
+      do n
+        get OOOO(m, n, i, j)
+        get T2(m, n, a, b)
+        tmp(i, j, a, b) += OOOO(m, n, i, j) * T2(m, n, a, b)
+      enddo n
+    enddo m
+    tR(i, j, a, b) += 0.5 * tmp(i, j, a, b)
+    get RING(i, j, a, b)
+    get RING(j, i, a, b)
+    get RING(i, j, b, a)
+    get RING(j, i, b, a)
+    tR(i, j, a, b) += RING(i, j, a, b)
+    tR(i, j, a, b) -= RING(j, i, a, b)
+    tR(i, j, a, b) -= RING(i, j, b, a)
+    tR(i, j, a, b) += RING(j, i, b, a)
+    execute cc_denominator tR(i, j, a, b)
+    put U(i, j, a, b) = tR(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+
+  if iter == 1
+    # first sweep: t_next = u; initialize the history arrays
+    pardo i, j, a, b
+      get T2(i, j, a, b)
+      get U(i, j, a, b)
+      tR(i, j, a, b) = T2(i, j, a, b)
+      put T2P(i, j, a, b) = tR(i, j, a, b)
+      tR(i, j, a, b) = U(i, j, a, b)
+      put UP(i, j, a, b) = tR(i, j, a, b)
+      put T2N(i, j, a, b) = tR(i, j, a, b)
+    endpardo i, j, a, b
+  else
+    # mixing coefficient from two collective full contractions
+    d1 = 0.0
+    d2 = 0.0
+    pardo i, j, a, b
+      get U(i, j, a, b)
+      get T2(i, j, a, b)
+      get UP(i, j, a, b)
+      get T2P(i, j, a, b)
+      tres(i, j, a, b) = U(i, j, a, b) - T2(i, j, a, b)
+      tqp(i, j, a, b) = UP(i, j, a, b) - T2P(i, j, a, b)
+      tdf(i, j, a, b) = tres(i, j, a, b) - tqp(i, j, a, b)
+      d1 += tdf(i, j, a, b) * tres(i, j, a, b)
+      d2 += tdf(i, j, a, b) * tdf(i, j, a, b)
+    endpardo i, j, a, b
+    collective d1
+    collective d2
+    th = d1 / (d2 + 1.0e-30)
+    sip_barrier
+
+    # extrapolate and rotate the history
+    pardo i, j, a, b
+      get U(i, j, a, b)
+      get UP(i, j, a, b)
+      get T2(i, j, a, b)
+      tmp(i, j, a, b) = (1.0 - th) * U(i, j, a, b)
+      tmp(i, j, a, b) += th * UP(i, j, a, b)
+      put T2N(i, j, a, b) = tmp(i, j, a, b)
+      tR(i, j, a, b) = T2(i, j, a, b)
+      put T2P(i, j, a, b) = tR(i, j, a, b)
+      tR(i, j, a, b) = U(i, j, a, b)
+      put UP(i, j, a, b) = tR(i, j, a, b)
+    endpardo i, j, a, b
+  endif
+  sip_barrier
+
+  # t <- t_next
+  pardo i, j, a, b
+    get T2N(i, j, a, b)
+    tR(i, j, a, b) = T2N(i, j, a, b)
+    put T2(i, j, a, b) = tR(i, j, a, b)
+  endpardo i, j, a, b
+  sip_barrier
+enddo iter
+
+# E = 1/4 sum <ij||ab> t[i,j,a,b]
+elccd = 0.0
+pardo i, j, a, b
+  get OOVV(i, j, a, b)
+  get T2(i, j, a, b)
+  elccd += OOVV(i, j, a, b) * T2(i, j, a, b)
+endpardo i, j, a, b
+collective elccd
+elccd *= 0.25
+endsial lccd_anderson
+"""
+
+# ---------------------------------------------------------------------------
+# Closed-shell Fock build (the Fig.-6 workload): F = H + J - K/2 with
+# both contraction families over on-demand AO integrals.
+# ---------------------------------------------------------------------------
+FOCK_BUILD = """
+sial fock_build
+symbolic nb
+aoindex mu = 1, nb
+aoindex nu = 1, nb
+aoindex la = 1, nb
+aoindex si = 1, nb
+static H(mu, nu)
+static DENS(mu, nu)
+distributed F(mu, nu)
+temp V(mu, nu, la, si)
+temp W(mu, la, nu, si)
+temp tJ(mu, nu)
+temp tK(mu, nu)
+temp tF(mu, nu)
+
+pardo mu, nu
+  tJ(mu, nu) = 0.0
+  tK(mu, nu) = 0.0
+  do la
+    do si
+      compute_integrals V(mu, nu, la, si)
+      tJ(mu, nu) += V(mu, nu, la, si) * DENS(la, si)
+      compute_integrals W(mu, la, nu, si)
+      tK(mu, nu) += W(mu, la, nu, si) * DENS(la, si)
+    enddo si
+  enddo la
+  tF(mu, nu) = H(mu, nu)
+  tF(mu, nu) += tJ(mu, nu)
+  tK(mu, nu) *= 0.5
+  tF(mu, nu) -= tK(mu, nu)
+  put F(mu, nu) = tF(mu, nu)
+endpardo mu, nu
+endsial fock_build
+"""
+
+# ---------------------------------------------------------------------------
+# Section IV-E's motivating case: A(a,b,c,k) * B(k,l,m,n) produces a
+# SIX-dimensional result whose full seg^6 blocks would not fit in
+# memory.  The subindex mechanism solves it: two of C's dimensions are
+# declared with subindices, so its blocks are seg^4 x sub^2 -- and the
+# operands are accessed as *slices* of their full blocks (the paper's
+# slice/insertion feature) inside `do ... in` loops.
+# ---------------------------------------------------------------------------
+SIXD_SUBINDEX = """
+sial sixd_subindex
+symbolic nb
+aoindex a = 1, nb
+aoindex b = 1, nb
+aoindex c = 1, nb
+aoindex k = 1, nb
+aoindex l = 1, nb
+aoindex m = 1, nb
+aoindex n = 1, nb
+subindex aa of a
+subindex ll of l
+distributed DA(a, b, c, k)
+distributed DB(k, l, m, n)
+distributed DC(aa, b, c, ll, m, n)
+temp TAA(aa, b, c, k)
+temp TBB(k, ll, m, n)
+temp TC(aa, b, c, ll, m, n)
+
+pardo a, b, c, l, m, n
+  do aa in a
+    do ll in l
+      TC(aa, b, c, ll, m, n) = 0.0
+      do k
+        get DA(a, b, c, k)
+        TAA(aa, b, c, k) = DA(aa, b, c, k)
+        get DB(k, l, m, n)
+        TBB(k, ll, m, n) = DB(k, ll, m, n)
+        TC(aa, b, c, ll, m, n) += TAA(aa, b, c, k) * TBB(k, ll, m, n)
+      enddo k
+      put DC(aa, b, c, ll, m, n) = TC(aa, b, c, ll, m, n)
+    enddo ll
+  enddo aa
+endpardo a, b, c, l, m, n
+endsial sixd_subindex
+"""
+
+# ---------------------------------------------------------------------------
+# Checkpoint/restart demonstration: phase one fills an array and
+# checkpoints; a restarted run (restart = 1) skips the expensive phase
+# and reloads the serialized blocks instead -- the paper's rudimentary
+# checkpointing facility built from blocks_to_list / list_to_blocks.
+# ---------------------------------------------------------------------------
+CHECKPOINT_DEMO = """
+sial checkpoint_demo
+symbolic nb
+symbolic restart
+aoindex M = 1, nb
+aoindex N = 1, nb
+distributed D(M, N)
+distributed OUT(M, N)
+temp T(M, N)
+scalar phase2
+
+if restart == 0.0
+  pardo M, N
+    T(M, N) = 1.0
+    put D(M, N) = T(M, N)
+  endpardo M, N
+  sip_barrier
+  checkpoint
+else
+  list_to_blocks D
+endif
+
+pardo M, N
+  get D(M, N)
+  T(M, N) = 2.0 * D(M, N)
+  put OUT(M, N) = T(M, N)
+endpardo M, N
+phase2 = 1.0
+endsial checkpoint_demo
+"""
+
+from .ccsd_sial import CCSD_SIAL  # noqa: E402  (programs registry)
+from .triples_sial import CCSD_T_SIAL  # noqa: E402
+
+ALL_PROGRAMS: dict[str, str] = {
+    "paper_contraction": PAPER_CONTRACTION,
+    "ccsd": CCSD_SIAL,
+    "ccsd_t": CCSD_T_SIAL,
+    "mp2_energy": MP2_ENERGY,
+    "uhf_mp2_energy": UHF_MP2_ENERGY,
+    "ao2mo_transform": AO2MO_TRANSFORM,
+    "lccd_iteration": LCCD_ITERATION,
+    "lccd_anderson": LCCD_ANDERSON,
+    "sixd_subindex": SIXD_SUBINDEX,
+    "fock_build": FOCK_BUILD,
+    "checkpoint_demo": CHECKPOINT_DEMO,
+}

@@ -1,0 +1,110 @@
+"""User super instructions for the SIAL application programs.
+
+The main one is the orbital-energy denominator: dividing an amplitude
+block elementwise by ``e_i + e_j - e_a - e_b`` needs the *global*
+element offsets of the block, which the SIP passes to super
+instructions via ``KernelOperand.element_ranges``.  In ACES III these
+are Fortran super instructions; here they are closures over the
+orbital-energy vectors, built per run.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sip.registry import SuperCall
+
+__all__ = ["make_energy_denominator", "mp2_denominator", "cc_denominator"]
+
+
+def make_energy_denominator(
+    axes: Sequence[tuple[np.ndarray, float]],
+) -> Callable[[SuperCall], float]:
+    """A super instruction dividing a block by an orbital-energy sum.
+
+    ``axes`` pairs each block axis with (energy vector, sign); the
+    denominator at element (p0, p1, ...) is ``sum_k sign_k * eps_k[pk]``.
+    Example: MP2 amplitudes over (i, a, j, b) use
+    ``[(e_occ, +1), (e_virt, -1), (e_occ, +1), (e_virt, -1)]``.
+    """
+    axes = [(np.asarray(e, dtype=np.float64), float(s)) for e, s in axes]
+
+    def denominator(call: SuperCall) -> float:
+        block = call.blocks[0]
+        if len(block.shape) != len(axes):
+            raise ValueError(
+                f"energy denominator built for rank {len(axes)}, "
+                f"applied to rank {len(block.shape)} block"
+            )
+        if call.real and block.data is not None:
+            denom = np.zeros((1,) * len(axes))
+            for k, (eps, sign) in enumerate(axes):
+                lo, hi = block.element_ranges[k]
+                shape = [1] * len(axes)
+                shape[k] = hi - lo
+                denom = denom + sign * eps[lo:hi].reshape(shape)
+            block.data[...] /= denom
+        # one divide (+ the denominator adds) per element
+        return float(len(axes) * prod(block.shape, start=1))
+
+    return denominator
+
+
+def mp2_denominator(
+    e_occ: np.ndarray, e_virt: np.ndarray
+) -> Callable[[SuperCall], float]:
+    """Denominator for (i, a, j, b)-ordered MP2 amplitude blocks."""
+    return make_energy_denominator(
+        [(e_occ, +1.0), (e_virt, -1.0), (e_occ, +1.0), (e_virt, -1.0)]
+    )
+
+
+def cc_denominator(
+    e_occ: np.ndarray, e_virt: np.ndarray
+) -> Callable[[SuperCall], float]:
+    """Denominator for (i, j, a, b)-ordered CC amplitude blocks."""
+    return make_energy_denominator(
+        [(e_occ, +1.0), (e_occ, +1.0), (e_virt, -1.0), (e_virt, -1.0)]
+    )
+
+
+def triples_weight(
+    e_occ: np.ndarray, e_virt: np.ndarray
+) -> Callable[[SuperCall], float]:
+    """In-place triples energy weight for (i,j,k,a,b,c) blocks.
+
+    Given the connected and disconnected T3 blocks (both *undivided*
+    by the denominator), overwrites the first with
+
+        conn * (conn + disc) / D3,   D3 = e_i+e_j+e_k-e_a-e_b-e_c,
+
+    so a scalar contraction with a unit block accumulates the (T)
+    energy.  Used by :data:`repro.programs.triples_sial.CCSD_T_SIAL`.
+    """
+    e_occ = np.asarray(e_occ, dtype=np.float64)
+    e_virt = np.asarray(e_virt, dtype=np.float64)
+    signs = [
+        (e_occ, +1.0),
+        (e_occ, +1.0),
+        (e_occ, +1.0),
+        (e_virt, -1.0),
+        (e_virt, -1.0),
+        (e_virt, -1.0),
+    ]
+
+    def weight(call: SuperCall) -> float:
+        conn, disc = call.blocks[0], call.blocks[1]
+        if call.real and conn.data is not None:
+            d3 = np.zeros((1,) * 6)
+            for k, (eps, sign) in enumerate(signs):
+                lo, hi = conn.element_ranges[k]
+                shape = [1] * 6
+                shape[k] = hi - lo
+                d3 = d3 + sign * eps[lo:hi].reshape(shape)
+            conn.data[...] = conn.data * (conn.data + disc.data) / d3
+        return 4.0 * float(prod(conn.shape, start=1))
+
+    return weight

@@ -1,0 +1,37 @@
+"""SIAL: the Super Instruction Assembly Language.
+
+The domain-specific language of the Super Instruction Architecture
+(paper, Section IV).  This package contains the complete front end:
+
+* :mod:`~repro.sial.lexer`     -- tokenizer,
+* :mod:`~repro.sial.parser`    -- recursive-descent parser,
+* :mod:`~repro.sial.analyzer`  -- semantic checks (index typing, pardo
+  rules, array-kind access rules, single-operation statements),
+* :mod:`~repro.sial.compiler`  -- AST to SIA bytecode,
+* :mod:`~repro.sial.bytecode`  -- the bytecode and descriptor tables
+  interpreted by the SIP.
+"""
+
+from .analyzer import AnalyzedProgram, analyze
+from .ast_nodes import Program
+from .bytecode import CompiledProgram, disassemble
+from .compiler import compile_program, compile_source
+from .errors import LexError, ParseError, SemanticError, SialError
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = [
+    "AnalyzedProgram",
+    "CompiledProgram",
+    "LexError",
+    "ParseError",
+    "Program",
+    "SemanticError",
+    "SialError",
+    "analyze",
+    "compile_program",
+    "compile_source",
+    "disassemble",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,357 @@
+"""Abstract syntax tree for SIAL programs.
+
+The AST mirrors the paper's language surface (Section IV): declarations
+of typed indices and array kinds, `pardo`/`do`/`do ... in` loops, block
+data-movement statements (`get`/`put`/`request`/`prepare`), block
+assignments whose right-hand sides are (restricted) block expressions,
+scalar arithmetic, procedures, barriers, and utility statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .errors import SourceLocation
+
+__all__ = [
+    "Program",
+    "IndexDecl",
+    "SubindexDecl",
+    "ArrayDecl",
+    "ScalarDecl",
+    "SymbolicDecl",
+    "ProcDecl",
+    "Pardo",
+    "Do",
+    "DoIn",
+    "If",
+    "Call",
+    "Get",
+    "Put",
+    "Prepare",
+    "Request",
+    "Create",
+    "Delete",
+    "Allocate",
+    "Deallocate",
+    "ComputeIntegrals",
+    "Execute",
+    "Collective",
+    "Barrier",
+    "BlocksToList",
+    "ListToBlocks",
+    "Checkpoint",
+    "BlockAssign",
+    "ScalarAssign",
+    "BlockRef",
+    "ScalarRef",
+    "NumberLit",
+    "BinaryOp",
+    "UnaryOp",
+    "Condition",
+    "Decl",
+    "Stmt",
+    "Expr",
+]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """Reference to a scalar variable, symbolic constant, or index value."""
+
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """``A(i, j, ...)`` -- one block of an array, selected by index vars."""
+
+    array: str
+    indices: tuple[str, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # '+', '-', '*', '/'
+    left: "Expr"
+    right: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # '-'
+    operand: "Expr"
+    location: Optional[SourceLocation] = None
+
+
+Expr = Union[NumberLit, ScalarRef, BlockRef, BinaryOp, UnaryOp]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A ``where`` clause or ``if`` condition: ``operand relop operand``."""
+
+    op: str  # '==', '!=', '<', '<=', '>', '>='
+    left: Expr
+    right: Expr
+    location: Optional[SourceLocation] = None
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class IndexDecl:
+    name: str
+    kind: str  # 'ao', 'mo', 'moa', 'mob', 'la', 'simple'
+    lo: Expr
+    hi: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class SubindexDecl:
+    name: str
+    super_name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    kind: str  # 'static', 'temp', 'local', 'distributed', 'served'
+    index_names: tuple[str, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ScalarDecl:
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class SymbolicDecl:
+    """A symbolic constant whose value is supplied at initialization."""
+
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class ProcDecl:
+    name: str
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+Decl = Union[IndexDecl, SubindexDecl, ArrayDecl, ScalarDecl, SymbolicDecl, ProcDecl]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+@dataclass
+class Pardo:
+    indices: tuple[str, ...]
+    where: list[Condition]
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class Do:
+    index: str
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class DoIn:
+    """``do ii in i`` -- iterate subsegments of the current segment of i."""
+
+    subindex: str
+    super_index: str
+    body: list["Stmt"]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass
+class If:
+    condition: Condition
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Get:
+    ref: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Put:
+    dst: BlockRef
+    op: str  # '=' or '+='
+    src: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Prepare:
+    dst: BlockRef
+    op: str  # '=' or '+='
+    src: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Request:
+    ref: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Create:
+    array: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    array: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Allocate:
+    ref: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Deallocate:
+    ref: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ComputeIntegrals:
+    """Intrinsic super instruction: fill a block of V on demand."""
+
+    ref: BlockRef
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Execute:
+    """``execute name arg1 arg2 ...`` -- user super instruction."""
+
+    name: str
+    args: tuple[Expr, ...]
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Collective:
+    """``collective s`` -- allreduce-sum scalar s over all workers."""
+
+    scalar: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Barrier:
+    kind: str  # 'sip' or 'server'
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class BlocksToList:
+    array: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ListToBlocks:
+    array: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class BlockAssign:
+    lhs: BlockRef
+    op: str  # '=', '+=', '-=', '*='
+    rhs: Expr
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ScalarAssign:
+    name: str
+    op: str  # '=', '+=', '-=', '*='
+    rhs: Expr
+    location: Optional[SourceLocation] = None
+
+
+Stmt = Union[
+    Pardo,
+    Do,
+    DoIn,
+    If,
+    Call,
+    Get,
+    Put,
+    Prepare,
+    Request,
+    Create,
+    Delete,
+    Allocate,
+    Deallocate,
+    ComputeIntegrals,
+    Execute,
+    Collective,
+    Barrier,
+    BlocksToList,
+    ListToBlocks,
+    Checkpoint,
+    BlockAssign,
+    ScalarAssign,
+]
+
+
+@dataclass
+class Program:
+    name: str
+    decls: list[Decl]
+    body: list[Stmt]
+    location: Optional[SourceLocation] = None
+
+    @property
+    def procs(self) -> dict[str, ProcDecl]:
+        return {d.name.lower(): d for d in self.decls if isinstance(d, ProcDecl)}

@@ -1,0 +1,263 @@
+"""SIA bytecode: the compiled form of a SIAL program.
+
+A compiled program is a flat *instruction table* plus *data descriptor
+tables* (paper, Section V-A): an index table, an array table, a scalar
+table, and a table of symbolic constants whose concrete values are
+supplied at initialization.  Operands in instructions are integer ids
+into these tables, so the SIP interpreter never touches names on the
+hot path.
+
+Scalar expressions (index bounds, fill values, scalar arithmetic) are
+compiled to small RPN programs evaluated against the worker's scalar
+store and current index values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .errors import SourceLocation
+
+__all__ = [
+    "Op",
+    "Instr",
+    "IndexDesc",
+    "ArrayDesc",
+    "BlockOperand",
+    "CompiledCondition",
+    "CompiledProgram",
+    "evaluate_rpn",
+    "disassemble",
+]
+
+
+class Op:
+    """Opcode mnemonics."""
+
+    # control
+    JUMP = "JUMP"
+    DO_START = "DO_START"
+    DO_END = "DO_END"
+    DOIN_START = "DOIN_START"
+    DOIN_END = "DOIN_END"
+    PARDO_START = "PARDO_START"
+    PARDO_END = "PARDO_END"
+    BRANCH_FALSE = "BRANCH_FALSE"
+    CALL = "CALL"
+    RETURN = "RETURN"
+    STOP = "STOP"
+    # data movement
+    GET = "GET"
+    PUT = "PUT"
+    PREPARE = "PREPARE"
+    REQUEST = "REQUEST"
+    CREATE = "CREATE"
+    DELETE = "DELETE"
+    ALLOCATE = "ALLOCATE"
+    DEALLOCATE = "DEALLOCATE"
+    # block compute (super instructions)
+    FILL = "FILL"
+    COPY = "COPY"
+    NEGATE = "NEGATE"
+    SCALE = "SCALE"
+    SCALE_INPLACE = "SCALE_INPLACE"
+    CONTRACT = "CONTRACT"
+    ADDSUB = "ADDSUB"
+    ACCUM = "ACCUM"
+    SCALAR_CONTRACT = "SCALAR_CONTRACT"
+    SCALAR_ASSIGN = "SCALAR_ASSIGN"
+    COMPUTE_INTEGRALS = "COMPUTE_INTEGRALS"
+    EXECUTE = "EXECUTE"
+    # synchronization & utility
+    COLLECTIVE = "COLLECTIVE"
+    SIP_BARRIER = "SIP_BARRIER"
+    SERVER_BARRIER = "SERVER_BARRIER"
+    BLOCKS_TO_LIST = "BLOCKS_TO_LIST"
+    LIST_TO_BLOCKS = "LIST_TO_BLOCKS"
+    CHECKPOINT = "CHECKPOINT"
+
+
+@dataclass(frozen=True)
+class IndexDesc:
+    """Descriptor-table entry for an index variable."""
+
+    name: str
+    kind: str  # 'ao', 'mo', 'moa', 'mob', 'la', 'simple'
+    lo_rpn: tuple  # RPN over numbers and symbolic constants
+    hi_rpn: tuple
+    super_id: Optional[int] = None  # set for subindices
+
+    @property
+    def is_subindex(self) -> bool:
+        return self.super_id is not None
+
+
+@dataclass(frozen=True)
+class ArrayDesc:
+    """Descriptor-table entry for an array."""
+
+    name: str
+    kind: str  # 'static', 'temp', 'local', 'distributed', 'served'
+    index_ids: tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.index_ids)
+
+
+@dataclass(frozen=True)
+class BlockOperand:
+    """An (array, index variables) operand of a block instruction."""
+
+    array_id: int
+    index_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledCondition:
+    op: str  # '==', '!=', '<', '<=', '>', '>='
+    left_rpn: tuple
+    right_rpn: tuple
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: str
+    args: tuple = ()
+    location: Optional[SourceLocation] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instr({self.op}, {self.args})"
+
+
+@dataclass
+class CompiledProgram:
+    """A SIAL program compiled to SIA bytecode."""
+
+    name: str
+    instructions: list[Instr]
+    index_table: list[IndexDesc]
+    array_table: list[ArrayDesc]
+    scalar_table: list[str]
+    symbolic_table: list[str]
+    # pc of each procedure's entry, by lowered name
+    proc_entries: dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+    def index_id(self, name: str) -> int:
+        return self._lookup(self.index_table, name)
+
+    def array_id(self, name: str) -> int:
+        return self._lookup(self.array_table, name)
+
+    def scalar_id(self, name: str) -> int:
+        lowered = name.lower()
+        for i, n in enumerate(self.scalar_table):
+            if n.lower() == lowered:
+                return i
+        raise KeyError(name)
+
+    def symbolic_id(self, name: str) -> int:
+        lowered = name.lower()
+        for i, n in enumerate(self.symbolic_table):
+            if n.lower() == lowered:
+                return i
+        raise KeyError(name)
+
+    @staticmethod
+    def _lookup(table, name: str) -> int:
+        lowered = name.lower()
+        for i, desc in enumerate(table):
+            if desc.name.lower() == lowered:
+                return i
+        raise KeyError(name)
+
+
+# -- RPN evaluation ----------------------------------------------------------
+#
+# RPN items: ('num', v) | ('scalar', id) | ('symbolic', id) | ('index', id)
+#            | ('+',) | ('-',) | ('*',) | ('/',) | ('neg',)
+def evaluate_rpn(
+    rpn: tuple,
+    scalars: Optional[list[float]] = None,
+    symbolics: Optional[list[float]] = None,
+    index_values: Optional[dict[int, int]] = None,
+) -> float:
+    """Evaluate a compiled RPN scalar expression."""
+    stack: list[float] = []
+    for item in rpn:
+        tag = item[0]
+        if tag == "num":
+            stack.append(item[1])
+        elif tag == "scalar":
+            assert scalars is not None
+            stack.append(scalars[item[1]])
+        elif tag == "symbolic":
+            assert symbolics is not None
+            stack.append(symbolics[item[1]])
+        elif tag == "index":
+            assert index_values is not None
+            stack.append(float(index_values[item[1]]))
+        elif tag == "neg":
+            stack.append(-stack.pop())
+        else:
+            b = stack.pop()
+            a = stack.pop()
+            if tag == "+":
+                stack.append(a + b)
+            elif tag == "-":
+                stack.append(a - b)
+            elif tag == "*":
+                stack.append(a * b)
+            elif tag == "/":
+                stack.append(a / b)
+            else:  # pragma: no cover - compiler emits only the above
+                raise ValueError(f"bad RPN op {tag!r}")
+    if len(stack) != 1:
+        raise ValueError("malformed RPN expression")
+    return stack[0]
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate_condition(
+    cond: CompiledCondition,
+    scalars: Optional[list[float]] = None,
+    symbolics: Optional[list[float]] = None,
+    index_values: Optional[dict[int, int]] = None,
+) -> bool:
+    left = evaluate_rpn(cond.left_rpn, scalars, symbolics, index_values)
+    right = evaluate_rpn(cond.right_rpn, scalars, symbolics, index_values)
+    return _COMPARATORS[cond.op](left, right)
+
+
+def disassemble(prog: CompiledProgram) -> str:
+    """Human-readable listing of the bytecode, for debugging and docs."""
+    lines = [f"; program {prog.name}"]
+    lines.append(f"; {len(prog.index_table)} indices, {len(prog.array_table)} arrays")
+    rev_procs = {pc: name for name, pc in prog.proc_entries.items()}
+    for pc, instr in enumerate(prog.instructions):
+        if pc in rev_procs:
+            lines.append(f"proc {rev_procs[pc]}:")
+        args = ", ".join(_fmt_arg(a, prog) for a in instr.args)
+        lines.append(f"  {pc:4d}  {instr.op:<18s} {args}")
+    return "\n".join(lines)
+
+
+def _fmt_arg(arg: Any, prog: CompiledProgram) -> str:
+    if isinstance(arg, BlockOperand):
+        name = prog.array_table[arg.array_id].name
+        idx = ",".join(prog.index_table[i].name for i in arg.index_ids)
+        return f"{name}({idx})"
+    if isinstance(arg, CompiledCondition):
+        return f"<{arg.op}>"
+    return repr(arg)

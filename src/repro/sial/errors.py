@@ -1,0 +1,63 @@
+"""Diagnostics for the SIAL compiler.
+
+All compiler errors carry a source location and render with the
+offending source line and a caret, in the style of modern compilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SourceLocation", "SialError", "LexError", "ParseError", "SemanticError"]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """1-based line/column position in a SIAL source file."""
+
+    line: int
+    column: int
+    filename: str = "<sial>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class SialError(Exception):
+    """Base class for all SIAL compilation errors."""
+
+    def __init__(
+        self,
+        message: str,
+        location: SourceLocation | None = None,
+        source: str | None = None,
+    ) -> None:
+        self.message = message
+        self.location = location
+        self.source_line = ""
+        if location is not None and source is not None:
+            lines = source.splitlines()
+            if 1 <= location.line <= len(lines):
+                self.source_line = lines[location.line - 1]
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.location is None:
+            return self.message
+        out = f"{self.location}: {self.message}"
+        if self.source_line:
+            caret = " " * (self.location.column - 1) + "^"
+            out += f"\n    {self.source_line}\n    {caret}"
+        return out
+
+
+class LexError(SialError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(SialError):
+    """Token stream does not match the SIAL grammar."""
+
+
+class SemanticError(SialError):
+    """Program is grammatical but violates SIAL's static rules."""

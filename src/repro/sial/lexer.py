@@ -1,0 +1,170 @@
+"""Tokenizer for SIAL source code.
+
+SIAL is line-oriented and case-insensitive for keywords (we normalize
+keywords to lower case; identifiers keep their spelling but compare
+case-insensitively, as in Fortran-descended languages).  Comments run
+from ``#`` to end of line.  Newlines are significant: they terminate
+statements, so the lexer emits NEWLINE tokens (collapsing blank lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import LexError, SourceLocation
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS", "INDEX_KINDS", "ARRAY_KINDS"]
+
+
+class TokenKind:
+    """Token kind constants (plain strings for cheap comparison)."""
+
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    KEYWORD = "KEYWORD"
+    OP = "OP"
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+#: Index declaration keywords and the index *kind* they declare.  The
+#: domain-specific kinds (atomic orbital, molecular orbital, ...) allow
+#: the type system to check consistent usage (paper, Section IV-A).
+INDEX_KINDS = {
+    "aoindex": "ao",
+    "moindex": "mo",
+    "moaindex": "moa",
+    "mobindex": "mob",
+    "index": "simple",
+    "laindex": "la",
+}
+
+#: Array kind keywords (paper, Section IV-A).
+ARRAY_KINDS = ("static", "temp", "local", "distributed", "served")
+
+KEYWORDS = frozenset(
+    [
+        "sial",
+        "endsial",
+        "pardo",
+        "endpardo",
+        "do",
+        "enddo",
+        "in",
+        "where",
+        "if",
+        "else",
+        "endif",
+        "proc",
+        "endproc",
+        "call",
+        "get",
+        "put",
+        "prepare",
+        "request",
+        "create",
+        "delete",
+        "allocate",
+        "deallocate",
+        "execute",
+        "collective",
+        "sip_barrier",
+        "server_barrier",
+        "subindex",
+        "of",
+        "scalar",
+        "symbolic",
+        "compute_integrals",
+        "blocks_to_list",
+        "list_to_blocks",
+        "checkpoint",
+        *INDEX_KINDS,
+        *ARRAY_KINDS,
+    ]
+)
+
+_TWO_CHAR_OPS = ("+=", "-=", "*=", "==", "!=", "<=", ">=")
+_ONE_CHAR_OPS = "+-*/()=,<>"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.location})"
+
+
+def tokenize(source: str, filename: str = "<sial>") -> list[Token]:
+    """Tokenize SIAL source, raising :class:`LexError` on bad input."""
+    return list(_tokens(source, filename))
+
+
+def _tokens(source: str, filename: str) -> Iterator[Token]:
+    line_no = 0
+    pending_newline = False
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0]
+        col = 0
+        emitted_on_line = False
+        n = len(line)
+        while col < n:
+            ch = line[col]
+            if ch in " \t\r":
+                col += 1
+                continue
+            loc = SourceLocation(line_no, col + 1, filename)
+            if pending_newline and not emitted_on_line:
+                # emit the newline separating this token from the
+                # previous line's tokens
+                yield Token(TokenKind.NEWLINE, "\n", loc)
+                pending_newline = False
+            if ch.isalpha() or ch == "_":
+                start = col
+                while col < n and (line[col].isalnum() or line[col] == "_"):
+                    col += 1
+                text = line[start:col]
+                lowered = text.lower()
+                if lowered in KEYWORDS:
+                    yield Token(TokenKind.KEYWORD, lowered, loc)
+                else:
+                    yield Token(TokenKind.IDENT, text, loc)
+            elif ch.isdigit() or (
+                ch == "." and col + 1 < n and line[col + 1].isdigit()
+            ):
+                start = col
+                while col < n and (line[col].isdigit() or line[col] == "."):
+                    col += 1
+                # exponent part: 1.0e-3
+                if col < n and line[col] in "eE":
+                    mark = col
+                    col += 1
+                    if col < n and line[col] in "+-":
+                        col += 1
+                    if col < n and line[col].isdigit():
+                        while col < n and line[col].isdigit():
+                            col += 1
+                    else:
+                        col = mark  # not an exponent after all
+                text = line[start:col]
+                if text.count(".") > 1:
+                    raise LexError(f"malformed number {text!r}", loc, source)
+                yield Token(TokenKind.NUMBER, text, loc)
+            elif line[col : col + 2] in _TWO_CHAR_OPS:
+                yield Token(TokenKind.OP, line[col : col + 2], loc)
+                col += 2
+            elif ch in _ONE_CHAR_OPS:
+                yield Token(TokenKind.OP, ch, loc)
+                col += 1
+            else:
+                raise LexError(f"unexpected character {ch!r}", loc, source)
+            emitted_on_line = True
+        if emitted_on_line:
+            pending_newline = True
+    eof_loc = SourceLocation(max(line_no, 1) + 1, 1, filename)
+    if pending_newline:
+        yield Token(TokenKind.NEWLINE, "\n", eof_loc)
+    yield Token(TokenKind.EOF, "", eof_loc)

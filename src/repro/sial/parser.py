@@ -1,0 +1,532 @@
+"""Recursive-descent parser for SIAL.
+
+Grammar sketch (newline-terminated statements; keywords case-insensitive)::
+
+    program   := 'sial' IDENT NL item* 'endsial' [IDENT]
+    item      := decl NL | stmt NL
+    decl      := indexkind IDENT '=' expr ',' expr
+               | 'subindex' IDENT 'of' IDENT
+               | arraykind IDENT '(' identlist ')'
+               | 'scalar' IDENT | 'symbolic' IDENT
+               | 'proc' IDENT NL stmt* 'endproc' [IDENT]
+    stmt      := 'pardo' identlist whereclause* NL stmt* 'endpardo' [identlist]
+               | 'do' IDENT ['in' IDENT] NL stmt* 'enddo' [IDENT]
+               | 'if' cond NL stmt* ['else' NL stmt*] 'endif'
+               | 'call' IDENT
+               | 'get' blockref | 'request' blockref
+               | ('put'|'prepare') blockref ('='|'+=') blockref
+               | ('create'|'delete') IDENT
+               | ('allocate'|'deallocate') blockref
+               | 'compute_integrals' blockref
+               | 'execute' IDENT arg*
+               | 'collective' IDENT
+               | 'sip_barrier' | 'server_barrier'
+               | ('blocks_to_list'|'list_to_blocks') IDENT
+               | 'checkpoint'
+               | lhs ('='|'+='|'-='|'*=') expr          (assignment)
+    expr      := addexpr ; usual precedence + - then * /; unary -
+    blockref  := IDENT '(' identlist ')'
+    cond      := operand relop operand
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import ParseError, SourceLocation
+from .lexer import ARRAY_KINDS, INDEX_KINDS, Token, TokenKind, tokenize
+
+__all__ = ["parse"]
+
+_RELOPS = ("==", "!=", "<", "<=", ">", ">=")
+_ASSIGN_OPS = ("=", "+=", "-=", "*=")
+
+
+def parse(source: str, filename: str = "<sial>") -> ast.Program:
+    """Parse SIAL source text into a :class:`~repro.sial.ast_nodes.Program`."""
+    return _Parser(source, filename).parse_program()
+
+
+class _Parser:
+    def __init__(self, source: str, filename: str) -> None:
+        self.source = source
+        self.filename = filename
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def check_keyword(self, *names: str) -> bool:
+        tok = self.peek()
+        return tok.kind == TokenKind.KEYWORD and tok.text in names
+
+    def match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None, what: str = "") -> Token:
+        if self.check(kind, text):
+            return self.advance()
+        tok = self.peek()
+        wanted = what or (text or kind)
+        found = tok.text or tok.kind
+        raise ParseError(
+            f"expected {wanted}, found {found!r}", tok.location, self.source
+        )
+
+    def expect_newline(self) -> None:
+        if self.check(TokenKind.EOF):
+            return
+        self.expect(TokenKind.NEWLINE, what="end of statement")
+
+    def skip_newlines(self) -> None:
+        while self.match(TokenKind.NEWLINE):
+            pass
+
+    def error(self, message: str, loc: Optional[SourceLocation] = None) -> ParseError:
+        if loc is None:
+            loc = self.peek().location
+        return ParseError(message, loc, self.source)
+
+    # -- program -----------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        self.skip_newlines()
+        start = self.expect(TokenKind.KEYWORD, "sial")
+        name = self.expect(TokenKind.IDENT, what="program name").text
+        self.expect_newline()
+        decls: list[ast.Decl] = []
+        body: list[ast.Stmt] = []
+        self.skip_newlines()
+        while not self.check_keyword("endsial"):
+            if self.check(TokenKind.EOF):
+                raise self.error("missing 'endsial'")
+            item = self.parse_item()
+            if isinstance(item, _DECL_TYPES):
+                decls.append(item)
+            else:
+                body.append(item)
+            self.skip_newlines()
+        self.advance()  # endsial
+        trailer = self.match(TokenKind.IDENT)
+        if trailer is not None and trailer.text.lower() != name.lower():
+            raise self.error(
+                f"'endsial {trailer.text}' does not match 'sial {name}'",
+                trailer.location,
+            )
+        self.skip_newlines()
+        self.expect(TokenKind.EOF, what="end of file")
+        return ast.Program(name=name, decls=decls, body=body, location=start.location)
+
+    def parse_item(self):
+        tok = self.peek()
+        if tok.kind == TokenKind.KEYWORD:
+            if tok.text in INDEX_KINDS:
+                return self.parse_index_decl()
+            if tok.text in ARRAY_KINDS:
+                return self.parse_array_decl()
+            if tok.text == "subindex":
+                return self.parse_subindex_decl()
+            if tok.text == "scalar":
+                return self.parse_scalar_decl()
+            if tok.text == "symbolic":
+                return self.parse_symbolic_decl()
+            if tok.text == "proc":
+                return self.parse_proc_decl()
+        return self.parse_stmt()
+
+    # -- declarations --------------------------------------------------------
+    def parse_index_decl(self) -> ast.IndexDecl:
+        tok = self.advance()
+        kind = INDEX_KINDS[tok.text]
+        name = self.expect(TokenKind.IDENT, what="index name").text
+        self.expect(TokenKind.OP, "=")
+        lo = self.parse_expr()
+        self.expect(TokenKind.OP, ",")
+        hi = self.parse_expr()
+        self.expect_newline()
+        return ast.IndexDecl(name=name, kind=kind, lo=lo, hi=hi, location=tok.location)
+
+    def parse_subindex_decl(self) -> ast.SubindexDecl:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="subindex name").text
+        self.expect(TokenKind.KEYWORD, "of")
+        super_name = self.expect(TokenKind.IDENT, what="super index name").text
+        self.expect_newline()
+        return ast.SubindexDecl(name=name, super_name=super_name, location=tok.location)
+
+    def parse_array_decl(self) -> ast.ArrayDecl:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="array name").text
+        self.expect(TokenKind.OP, "(")
+        names = self.parse_ident_list()
+        self.expect(TokenKind.OP, ")")
+        self.expect_newline()
+        return ast.ArrayDecl(
+            name=name, kind=tok.text, index_names=tuple(names), location=tok.location
+        )
+
+    def parse_scalar_decl(self) -> ast.ScalarDecl:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="scalar name").text
+        self.expect_newline()
+        return ast.ScalarDecl(name=name, location=tok.location)
+
+    def parse_symbolic_decl(self) -> ast.SymbolicDecl:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="constant name").text
+        self.expect_newline()
+        return ast.SymbolicDecl(name=name, location=tok.location)
+
+    def parse_proc_decl(self) -> ast.ProcDecl:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="procedure name").text
+        self.expect_newline()
+        body = self.parse_block(("endproc",))
+        self.advance()  # endproc
+        trailer = self.match(TokenKind.IDENT)
+        if trailer is not None and trailer.text.lower() != name.lower():
+            raise self.error(
+                f"'endproc {trailer.text}' does not match 'proc {name}'",
+                trailer.location,
+            )
+        self.expect_newline()
+        return ast.ProcDecl(name=name, body=body, location=tok.location)
+
+    # -- statements ----------------------------------------------------------
+    def parse_block(self, terminators: tuple[str, ...]) -> list[ast.Stmt]:
+        """Parse statements until (but not consuming) a terminator keyword."""
+        body: list[ast.Stmt] = []
+        self.skip_newlines()
+        while not self.check_keyword(*terminators):
+            if self.check(TokenKind.EOF):
+                raise self.error(f"missing {' or '.join(terminators)!r}")
+            body.append(self.parse_stmt())
+            self.skip_newlines()
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.kind == TokenKind.KEYWORD:
+            handler = {
+                "pardo": self.parse_pardo,
+                "do": self.parse_do,
+                "if": self.parse_if,
+                "call": self.parse_call,
+                "get": self.parse_get,
+                "request": self.parse_request,
+                "put": self.parse_put,
+                "prepare": self.parse_prepare,
+                "create": self.parse_create,
+                "delete": self.parse_delete,
+                "allocate": self.parse_allocate,
+                "deallocate": self.parse_deallocate,
+                "compute_integrals": self.parse_compute_integrals,
+                "execute": self.parse_execute,
+                "collective": self.parse_collective,
+                "sip_barrier": self.parse_barrier,
+                "server_barrier": self.parse_barrier,
+                "blocks_to_list": self.parse_blocks_to_list,
+                "list_to_blocks": self.parse_list_to_blocks,
+                "checkpoint": self.parse_checkpoint,
+            }.get(tok.text)
+            if handler is None:
+                raise self.error(f"unexpected keyword {tok.text!r}")
+            return handler()
+        if tok.kind == TokenKind.IDENT:
+            return self.parse_assignment()
+        raise self.error(f"unexpected token {tok.text or tok.kind!r}")
+
+    def parse_pardo(self) -> ast.Pardo:
+        tok = self.advance()
+        indices = self.parse_ident_list()
+        where: list[ast.Condition] = []
+        while self.check_keyword("where"):
+            self.advance()
+            where.append(self.parse_condition())
+            while self.match(TokenKind.OP, ","):
+                where.append(self.parse_condition())
+        self.expect_newline()
+        body = self.parse_block(("endpardo",))
+        self.advance()  # endpardo
+        trailer = []
+        while self.check(TokenKind.IDENT):
+            trailer.append(self.advance().text)
+            if not self.match(TokenKind.OP, ","):
+                break
+        if trailer and [t.lower() for t in trailer] != [i.lower() for i in indices]:
+            raise self.error(
+                f"endpardo indices {trailer} do not match pardo indices {list(indices)}",
+                tok.location,
+            )
+        self.expect_newline()
+        return ast.Pardo(
+            indices=tuple(indices), where=where, body=body, location=tok.location
+        )
+
+    def parse_do(self) -> ast.Stmt:
+        tok = self.advance()
+        index = self.expect(TokenKind.IDENT, what="loop index").text
+        super_index = None
+        if self.check_keyword("in"):
+            self.advance()
+            super_index = self.expect(TokenKind.IDENT, what="super index").text
+        self.expect_newline()
+        body = self.parse_block(("enddo",))
+        self.advance()  # enddo
+        trailer = self.match(TokenKind.IDENT)
+        if trailer is not None and trailer.text.lower() != index.lower():
+            raise self.error(
+                f"'enddo {trailer.text}' does not match 'do {index}'", trailer.location
+            )
+        self.expect_newline()
+        if super_index is not None:
+            return ast.DoIn(
+                subindex=index,
+                super_index=super_index,
+                body=body,
+                location=tok.location,
+            )
+        return ast.Do(index=index, body=body, location=tok.location)
+
+    def parse_if(self) -> ast.If:
+        tok = self.advance()
+        cond = self.parse_condition()
+        self.expect_newline()
+        then_body = self.parse_block(("else", "endif"))
+        else_body: list[ast.Stmt] = []
+        if self.check_keyword("else"):
+            self.advance()
+            self.expect_newline()
+            else_body = self.parse_block(("endif",))
+        self.advance()  # endif
+        self.expect_newline()
+        return ast.If(
+            condition=cond,
+            then_body=then_body,
+            else_body=else_body,
+            location=tok.location,
+        )
+
+    def parse_call(self) -> ast.Call:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="procedure name").text
+        self.expect_newline()
+        return ast.Call(name=name, location=tok.location)
+
+    def parse_get(self) -> ast.Get:
+        tok = self.advance()
+        ref = self.parse_block_ref()
+        self.expect_newline()
+        return ast.Get(ref=ref, location=tok.location)
+
+    def parse_request(self) -> ast.Request:
+        tok = self.advance()
+        ref = self.parse_block_ref()
+        self.expect_newline()
+        return ast.Request(ref=ref, location=tok.location)
+
+    def _parse_put_like(self, cls):
+        tok = self.advance()
+        dst = self.parse_block_ref()
+        op_tok = self.peek()
+        if not (op_tok.kind == TokenKind.OP and op_tok.text in ("=", "+=")):
+            raise self.error(
+                f"{tok.text} requires '=' or '+=', found {op_tok.text!r}",
+                op_tok.location,
+            )
+        self.advance()
+        src = self.parse_block_ref()
+        self.expect_newline()
+        return cls(dst=dst, op=op_tok.text, src=src, location=tok.location)
+
+    def parse_put(self) -> ast.Put:
+        return self._parse_put_like(ast.Put)
+
+    def parse_prepare(self) -> ast.Prepare:
+        return self._parse_put_like(ast.Prepare)
+
+    def parse_create(self) -> ast.Create:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="array name").text
+        self.expect_newline()
+        return ast.Create(array=name, location=tok.location)
+
+    def parse_delete(self) -> ast.Delete:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="array name").text
+        self.expect_newline()
+        return ast.Delete(array=name, location=tok.location)
+
+    def parse_allocate(self) -> ast.Allocate:
+        tok = self.advance()
+        ref = self.parse_block_ref()
+        self.expect_newline()
+        return ast.Allocate(ref=ref, location=tok.location)
+
+    def parse_deallocate(self) -> ast.Deallocate:
+        tok = self.advance()
+        ref = self.parse_block_ref()
+        self.expect_newline()
+        return ast.Deallocate(ref=ref, location=tok.location)
+
+    def parse_compute_integrals(self) -> ast.ComputeIntegrals:
+        tok = self.advance()
+        ref = self.parse_block_ref()
+        self.expect_newline()
+        return ast.ComputeIntegrals(ref=ref, location=tok.location)
+
+    def parse_execute(self) -> ast.Execute:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="super instruction name").text
+        args: list[ast.Expr] = []
+        while not self.check(TokenKind.NEWLINE) and not self.check(TokenKind.EOF):
+            args.append(self.parse_primary())
+            self.match(TokenKind.OP, ",")
+        self.expect_newline()
+        return ast.Execute(name=name, args=tuple(args), location=tok.location)
+
+    def parse_collective(self) -> ast.Collective:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="scalar name").text
+        self.expect_newline()
+        return ast.Collective(scalar=name, location=tok.location)
+
+    def parse_barrier(self) -> ast.Barrier:
+        tok = self.advance()
+        self.expect_newline()
+        kind = "sip" if tok.text == "sip_barrier" else "server"
+        return ast.Barrier(kind=kind, location=tok.location)
+
+    def parse_blocks_to_list(self) -> ast.BlocksToList:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="array name").text
+        self.expect_newline()
+        return ast.BlocksToList(array=name, location=tok.location)
+
+    def parse_list_to_blocks(self) -> ast.ListToBlocks:
+        tok = self.advance()
+        name = self.expect(TokenKind.IDENT, what="array name").text
+        self.expect_newline()
+        return ast.ListToBlocks(array=name, location=tok.location)
+
+    def parse_checkpoint(self) -> ast.Checkpoint:
+        tok = self.advance()
+        self.expect_newline()
+        return ast.Checkpoint(location=tok.location)
+
+    def parse_assignment(self) -> ast.Stmt:
+        name_tok = self.expect(TokenKind.IDENT)
+        if self.check(TokenKind.OP, "("):
+            lhs = self.finish_block_ref(name_tok)
+            op = self.parse_assign_op()
+            rhs = self.parse_expr()
+            self.expect_newline()
+            return ast.BlockAssign(lhs=lhs, op=op, rhs=rhs, location=name_tok.location)
+        op = self.parse_assign_op()
+        rhs = self.parse_expr()
+        self.expect_newline()
+        return ast.ScalarAssign(
+            name=name_tok.text, op=op, rhs=rhs, location=name_tok.location
+        )
+
+    def parse_assign_op(self) -> str:
+        tok = self.peek()
+        if tok.kind == TokenKind.OP and tok.text in _ASSIGN_OPS:
+            self.advance()
+            return tok.text
+        raise self.error(f"expected assignment operator, found {tok.text!r}")
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        left = self.parse_term()
+        while self.check(TokenKind.OP, "+") or self.check(TokenKind.OP, "-"):
+            op_tok = self.advance()
+            right = self.parse_term()
+            left = ast.BinaryOp(
+                op=op_tok.text, left=left, right=right, location=op_tok.location
+            )
+        return left
+
+    def parse_term(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.check(TokenKind.OP, "*") or self.check(TokenKind.OP, "/"):
+            op_tok = self.advance()
+            right = self.parse_unary()
+            left = ast.BinaryOp(
+                op=op_tok.text, left=left, right=right, location=op_tok.location
+            )
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check(TokenKind.OP, "-"):
+            tok = self.advance()
+            return ast.UnaryOp(op="-", operand=self.parse_unary(), location=tok.location)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == TokenKind.NUMBER:
+            self.advance()
+            return ast.NumberLit(value=float(tok.text), location=tok.location)
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            if self.check(TokenKind.OP, "("):
+                return self.finish_block_ref(tok)
+            return ast.ScalarRef(name=tok.text, location=tok.location)
+        if self.match(TokenKind.OP, "("):
+            inner = self.parse_expr()
+            self.expect(TokenKind.OP, ")")
+            return inner
+        raise self.error(f"expected expression, found {tok.text or tok.kind!r}")
+
+    def parse_block_ref(self) -> ast.BlockRef:
+        name_tok = self.expect(TokenKind.IDENT, what="array name")
+        return self.finish_block_ref(name_tok)
+
+    def finish_block_ref(self, name_tok: Token) -> ast.BlockRef:
+        self.expect(TokenKind.OP, "(")
+        names = self.parse_ident_list()
+        self.expect(TokenKind.OP, ")")
+        return ast.BlockRef(
+            array=name_tok.text, indices=tuple(names), location=name_tok.location
+        )
+
+    def parse_ident_list(self) -> list[str]:
+        names = [self.expect(TokenKind.IDENT, what="identifier").text]
+        while self.match(TokenKind.OP, ","):
+            names.append(self.expect(TokenKind.IDENT, what="identifier").text)
+        return names
+
+    def parse_condition(self) -> ast.Condition:
+        left = self.parse_expr()
+        tok = self.peek()
+        if not (tok.kind == TokenKind.OP and tok.text in _RELOPS):
+            raise self.error(f"expected comparison operator, found {tok.text!r}")
+        self.advance()
+        right = self.parse_expr()
+        return ast.Condition(op=tok.text, left=left, right=right, location=tok.location)
+
+
+_DECL_TYPES = (
+    ast.IndexDecl,
+    ast.SubindexDecl,
+    ast.ArrayDecl,
+    ast.ScalarDecl,
+    ast.SymbolicDecl,
+    ast.ProcDecl,
+)

@@ -1,0 +1,168 @@
+"""Pretty-printer for SIAL ASTs.
+
+Renders a parsed program back to canonical SIAL source.  The printer
+and parser form a round-trip pair (``parse(pretty(ast)) == ast`` up to
+source locations), which the property-based tests exercise; it is also
+what the CLI's ``format`` command uses.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+__all__ = ["pretty", "format_source"]
+
+_INDENT = "  "
+
+
+def format_source(source: str, filename: str = "<sial>") -> str:
+    """Parse and re-render SIAL source in canonical form."""
+    from .parser import parse
+
+    return pretty(parse(source, filename))
+
+
+def pretty(program: ast.Program) -> str:
+    lines: list[str] = [f"sial {program.name}"]
+    for decl in program.decls:
+        lines.extend(_decl(decl))
+    if program.decls and program.body:
+        lines.append("")
+    for stmt in program.body:
+        lines.extend(_stmt(stmt, 0))
+    lines.append(f"endsial {program.name}")
+    return "\n".join(lines) + "\n"
+
+
+_KIND_KEYWORD = {
+    "ao": "aoindex",
+    "mo": "moindex",
+    "moa": "moaindex",
+    "mob": "mobindex",
+    "la": "laindex",
+    "simple": "index",
+}
+
+
+def _decl(decl: ast.Decl) -> list[str]:
+    if isinstance(decl, ast.IndexDecl):
+        kw = _KIND_KEYWORD[decl.kind]
+        return [f"{kw} {decl.name} = {_expr(decl.lo)}, {_expr(decl.hi)}"]
+    if isinstance(decl, ast.SubindexDecl):
+        return [f"subindex {decl.name} of {decl.super_name}"]
+    if isinstance(decl, ast.ArrayDecl):
+        return [f"{decl.kind} {decl.name}({', '.join(decl.index_names)})"]
+    if isinstance(decl, ast.ScalarDecl):
+        return [f"scalar {decl.name}"]
+    if isinstance(decl, ast.SymbolicDecl):
+        return [f"symbolic {decl.name}"]
+    if isinstance(decl, ast.ProcDecl):
+        lines = [f"proc {decl.name}"]
+        for stmt in decl.body:
+            lines.extend(_stmt(stmt, 1))
+        lines.append(f"endproc {decl.name}")
+        return lines
+    raise TypeError(f"unknown declaration {decl!r}")  # pragma: no cover
+
+
+def _stmt(stmt: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Pardo):
+        head = f"pardo {', '.join(stmt.indices)}"
+        if stmt.where:
+            head += " where " + ", ".join(_cond(c) for c in stmt.where)
+        lines = [pad + head]
+        for s in stmt.body:
+            lines.extend(_stmt(s, depth + 1))
+        lines.append(pad + f"endpardo {', '.join(stmt.indices)}")
+        return lines
+    if isinstance(stmt, ast.Do):
+        lines = [pad + f"do {stmt.index}"]
+        for s in stmt.body:
+            lines.extend(_stmt(s, depth + 1))
+        lines.append(pad + f"enddo {stmt.index}")
+        return lines
+    if isinstance(stmt, ast.DoIn):
+        lines = [pad + f"do {stmt.subindex} in {stmt.super_index}"]
+        for s in stmt.body:
+            lines.extend(_stmt(s, depth + 1))
+        lines.append(pad + f"enddo {stmt.subindex}")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [pad + f"if {_cond(stmt.condition)}"]
+        for s in stmt.then_body:
+            lines.extend(_stmt(s, depth + 1))
+        if stmt.else_body:
+            lines.append(pad + "else")
+            for s in stmt.else_body:
+                lines.extend(_stmt(s, depth + 1))
+        lines.append(pad + "endif")
+        return lines
+    if isinstance(stmt, ast.Call):
+        return [pad + f"call {stmt.name}"]
+    if isinstance(stmt, ast.Get):
+        return [pad + f"get {_expr(stmt.ref)}"]
+    if isinstance(stmt, ast.Request):
+        return [pad + f"request {_expr(stmt.ref)}"]
+    if isinstance(stmt, ast.Put):
+        return [pad + f"put {_expr(stmt.dst)} {stmt.op} {_expr(stmt.src)}"]
+    if isinstance(stmt, ast.Prepare):
+        return [pad + f"prepare {_expr(stmt.dst)} {stmt.op} {_expr(stmt.src)}"]
+    if isinstance(stmt, ast.Create):
+        return [pad + f"create {stmt.array}"]
+    if isinstance(stmt, ast.Delete):
+        return [pad + f"delete {stmt.array}"]
+    if isinstance(stmt, ast.Allocate):
+        return [pad + f"allocate {_expr(stmt.ref)}"]
+    if isinstance(stmt, ast.Deallocate):
+        return [pad + f"deallocate {_expr(stmt.ref)}"]
+    if isinstance(stmt, ast.ComputeIntegrals):
+        return [pad + f"compute_integrals {_expr(stmt.ref)}"]
+    if isinstance(stmt, ast.Execute):
+        args = ", ".join(_expr(a) for a in stmt.args)
+        return [pad + f"execute {stmt.name} {args}".rstrip()]
+    if isinstance(stmt, ast.Collective):
+        return [pad + f"collective {stmt.scalar}"]
+    if isinstance(stmt, ast.Barrier):
+        return [pad + ("sip_barrier" if stmt.kind == "sip" else "server_barrier")]
+    if isinstance(stmt, ast.BlocksToList):
+        return [pad + f"blocks_to_list {stmt.array}"]
+    if isinstance(stmt, ast.ListToBlocks):
+        return [pad + f"list_to_blocks {stmt.array}"]
+    if isinstance(stmt, ast.Checkpoint):
+        return [pad + "checkpoint"]
+    if isinstance(stmt, ast.BlockAssign):
+        return [pad + f"{_expr(stmt.lhs)} {stmt.op} {_expr(stmt.rhs)}"]
+    if isinstance(stmt, ast.ScalarAssign):
+        return [pad + f"{stmt.name} {stmt.op} {_expr(stmt.rhs)}"]
+    raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def _cond(cond: ast.Condition) -> str:
+    return f"{_expr(cond.left)} {cond.op} {_expr(cond.right)}"
+
+
+def _expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.NumberLit):
+        value = expr.value
+        if value == int(value) and abs(value) < 1e15:
+            # keep a decimal point so the value reads as a float literal
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(expr, ast.ScalarRef):
+        return expr.name
+    if isinstance(expr, ast.BlockRef):
+        return f"{expr.array}({', '.join(expr.indices)})"
+    if isinstance(expr, ast.UnaryOp):
+        inner = _expr(expr.operand, parent_prec=3)
+        return f"-{inner}"
+    if isinstance(expr, ast.BinaryOp):
+        prec = 1 if expr.op in "+-" else 2
+        left = _expr(expr.left, parent_prec=prec)
+        # right side binds one tighter to preserve left associativity
+        right = _expr(expr.right, parent_prec=prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover

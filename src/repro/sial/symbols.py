@@ -1,0 +1,157 @@
+"""Symbol tables for the SIAL compiler.
+
+Identifiers in SIAL are case-insensitive (the language descends from the
+Fortran world); the table normalizes lookups but remembers the declared
+spelling for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import SemanticError, SourceLocation
+
+__all__ = [
+    "IndexSymbol",
+    "SubindexSymbol",
+    "ArraySymbol",
+    "ScalarSymbol",
+    "SymbolicSymbol",
+    "ProcSymbol",
+    "SymbolTable",
+]
+
+#: Index kinds considered *segment* indices (they select blocks).  A
+#: 'simple' index counts iterations and addresses nothing.
+SEGMENT_KINDS = frozenset({"ao", "mo", "moa", "mob", "la"})
+
+
+@dataclass(frozen=True)
+class IndexSymbol:
+    name: str
+    kind: str  # 'ao', 'mo', 'moa', 'mob', 'la', 'simple'
+    lo: ast.Expr
+    hi: ast.Expr
+    location: Optional[SourceLocation] = None
+
+    @property
+    def is_segment_index(self) -> bool:
+        return self.kind in SEGMENT_KINDS
+
+
+@dataclass(frozen=True)
+class SubindexSymbol:
+    name: str
+    super_name: str
+    kind: str  # inherited from the super index
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ArraySymbol:
+    name: str
+    kind: str  # 'static', 'temp', 'local', 'distributed', 'served'
+    index_names: tuple[str, ...]
+    location: Optional[SourceLocation] = None
+
+    @property
+    def rank(self) -> int:
+        return len(self.index_names)
+
+
+@dataclass(frozen=True)
+class ScalarSymbol:
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class SymbolicSymbol:
+    name: str
+    location: Optional[SourceLocation] = None
+
+
+@dataclass(frozen=True)
+class ProcSymbol:
+    name: str
+    decl: ast.ProcDecl
+    location: Optional[SourceLocation] = None
+
+
+Symbol = (
+    IndexSymbol
+    | SubindexSymbol
+    | ArraySymbol
+    | ScalarSymbol
+    | SymbolicSymbol
+    | ProcSymbol
+)
+
+_KIND_NAMES = {
+    IndexSymbol: "index",
+    SubindexSymbol: "subindex",
+    ArraySymbol: "array",
+    ScalarSymbol: "scalar",
+    SymbolicSymbol: "symbolic constant",
+    ProcSymbol: "procedure",
+}
+
+
+@dataclass
+class SymbolTable:
+    """Case-insensitive map of declared names to symbols."""
+
+    source: str = ""
+    _symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def declare(self, symbol: Symbol) -> None:
+        key = symbol.name.lower()
+        existing = self._symbols.get(key)
+        if existing is not None:
+            kind = _KIND_NAMES[type(existing)]
+            raise SemanticError(
+                f"{symbol.name!r} already declared as {kind}",
+                symbol.location,
+                self.source,
+            )
+        self._symbols[key] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        return self._symbols.get(name.lower())
+
+    def require(
+        self,
+        name: str,
+        expected: type | tuple[type, ...],
+        location: Optional[SourceLocation],
+        what: str,
+    ) -> Symbol:
+        sym = self.lookup(name)
+        if sym is None:
+            raise SemanticError(f"undeclared {what} {name!r}", location, self.source)
+        if not isinstance(sym, expected):
+            kind = _KIND_NAMES[type(sym)]
+            raise SemanticError(
+                f"{name!r} is a {kind}, not a {what}", location, self.source
+            )
+        return sym
+
+    def arrays(self) -> list[ArraySymbol]:
+        return [s for s in self._symbols.values() if isinstance(s, ArraySymbol)]
+
+    def indices(self) -> list[IndexSymbol]:
+        return [s for s in self._symbols.values() if isinstance(s, IndexSymbol)]
+
+    def subindices(self) -> list[SubindexSymbol]:
+        return [s for s in self._symbols.values() if isinstance(s, SubindexSymbol)]
+
+    def scalars(self) -> list[ScalarSymbol]:
+        return [s for s in self._symbols.values() if isinstance(s, ScalarSymbol)]
+
+    def symbolics(self) -> list[SymbolicSymbol]:
+        return [s for s in self._symbols.values() if isinstance(s, SymbolicSymbol)]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._symbols

@@ -1,0 +1,68 @@
+"""Network performance models for the simulated MPI substrate.
+
+A :class:`Network` converts a message size into a transfer time using
+the classic latency/bandwidth (alpha-beta) model, with a separate CPU
+*injection overhead* charged to the sender.  Machine descriptions in
+:mod:`repro.machines` instantiate one of these per simulated system.
+
+Intra-rank "transfers" (a rank sending to itself, which the SIP uses
+when a block is locally owned) are free except for a small memcpy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Network", "payload_nbytes"]
+
+_CONTROL_MESSAGE_BYTES = 256
+
+
+def payload_nbytes(payload: object, explicit: int | None = None) -> int:
+    """Best-effort size in bytes of a message payload.
+
+    NumPy arrays and anything exposing ``nbytes`` report their true
+    size; other Python objects (control messages: chunk assignments,
+    block requests, acknowledgements) are charged a small fixed size.
+    """
+    if explicit is not None:
+        return explicit
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return _CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class Network:
+    """Alpha-beta network model.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency in seconds (the "alpha" term).
+    bandwidth:
+        Point-to-point bandwidth in bytes/second (the "beta" term is
+        ``1/bandwidth``).
+    send_overhead:
+        CPU time the sender spends injecting a message (charged before
+        the send request completes; this is what asynchronous progress
+        overlaps against).
+    memcpy_bandwidth:
+        Local copy bandwidth used for self-sends.
+    """
+
+    latency: float = 2.0e-6
+    bandwidth: float = 1.0e9
+    send_overhead: float = 0.5e-6
+    memcpy_bandwidth: float = 8.0e9
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        """One-way delivery time for ``nbytes`` from ``src`` to ``dst``."""
+        if src == dst:
+            return nbytes / self.memcpy_bandwidth
+        return self.latency + nbytes / self.bandwidth
+
+    def injection_time(self, nbytes: int) -> float:
+        """Sender CPU time consumed by initiating a transfer."""
+        return self.send_overhead

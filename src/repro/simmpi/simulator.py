@@ -1,0 +1,340 @@
+"""Deterministic discrete-event simulation engine.
+
+This module is the foundation of the simulated MPI substrate
+(:mod:`repro.simmpi`).  It provides a classic event-driven simulator in
+the style of SimPy, but trimmed down to exactly what the SIP runtime
+needs and made fully deterministic: events scheduled for the same
+simulated time fire in the order they were scheduled (a monotonically
+increasing sequence number breaks ties), so a given program produces an
+identical event trace on every run.
+
+Processes are Python generators that *yield* effect objects:
+
+* :class:`Timeout` -- advance the process's local time by a duration.
+* :class:`Event`   -- suspend until another process triggers the event.
+* :class:`AnyOf` / :class:`AllOf` -- composite waits.
+
+``yield from`` composes sub-generators naturally, which the SIP bytecode
+interpreter relies on heavily (every super instruction that may block is
+a sub-generator).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Process",
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when processes remain but no event can ever fire again."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; a call to :meth:`succeed` (or
+    :meth:`fail`) makes it *triggered* and schedules the resumption of
+    every waiting process at the current simulated time.  Triggering an
+    event twice is an error -- it almost always indicates a protocol bug
+    in the caller (e.g. completing the same receive twice).
+    """
+
+    __slots__ = ("sim", "_value", "_triggered", "_failed", "_callbacks", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._triggered = False
+        self._failed = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has no value yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._failed = True
+        self._value = exc
+        self._flush()
+        return self
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim._schedule_call(0.0, cb, self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Invoke *cb(event)* when triggered (immediately if already)."""
+        if self._triggered:
+            self.sim._schedule_call(0.0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Effect: suspend the yielding process for ``delay`` simulated time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout: {self.delay}")
+
+
+class AnyOf:
+    """Effect: resume when *any* of the given events has triggered.
+
+    The yielded value is the list of events that are triggered at resume
+    time (at least one, possibly several if they fired simultaneously).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+
+
+class AllOf:
+    """Effect: resume when *all* of the given events have triggered."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events = list(events)
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running simulated process wrapping a generator."""
+
+    __slots__ = ("sim", "gen", "name", "finished", "result", "error", "done_event")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_event = Event(sim, name=f"done:{name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+@dataclass(order=True)
+class _ScheduledCall:
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+
+class Simulator:
+    """The discrete-event engine.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_process(sim), name="worker-0")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_ScheduledCall] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._active = 0
+        self._errors: list[BaseException] = []
+        self.trace: Optional[Callable[[float, str], None]] = None
+
+    # -- scheduling primitives -------------------------------------------
+    def _schedule_call(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, _ScheduledCall(self.now + delay, self._seq, fn, args))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout_event(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers after ``delay`` simulated time."""
+        ev = Event(self, name=f"timeout+{delay:g}")
+        self._schedule_call(delay, lambda: ev.succeed(value))
+        return ev
+
+    # -- processes ---------------------------------------------------------
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Start a new process from generator *gen*; returns its handle."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._active += 1
+        self._schedule_call(0.0, self._step, proc, None, None)
+        return proc
+
+    def _step(
+        self,
+        proc: Process,
+        value: Any,
+        exc: Optional[BaseException],
+    ) -> None:
+        try:
+            if exc is not None:
+                effect = proc.gen.throw(exc)
+            else:
+                effect = proc.gen.send(value)
+        except StopIteration as stop:
+            self._finish(proc, stop.value, None)
+            return
+        except BaseException as err:  # noqa: BLE001 - must surface process crashes
+            self._finish(proc, None, err)
+            return
+        self._handle_effect(proc, effect)
+
+    def _handle_effect(self, proc: Process, effect: Any) -> None:
+        if isinstance(effect, Timeout):
+            self._schedule_call(effect.delay, self._step, proc, None, None)
+        elif isinstance(effect, Event):
+            effect.add_callback(lambda ev: self._resume_from_event(proc, ev))
+        elif isinstance(effect, AnyOf):
+            self._wait_any(proc, effect.events)
+        elif isinstance(effect, AllOf):
+            self._wait_all(proc, effect.events)
+        else:
+            self._finish(
+                proc,
+                None,
+                SimulationError(
+                    f"process {proc.name!r} yielded unsupported effect {effect!r}"
+                ),
+            )
+
+    def _resume_from_event(self, proc: Process, ev: Event) -> None:
+        if ev.failed:
+            self._step(proc, None, ev.value)
+        else:
+            self._step(proc, ev.value, None)
+
+    def _wait_any(self, proc: Process, events: list[Event]) -> None:
+        fired = {"done": False}
+
+        def on_trigger(_ev: Event) -> None:
+            if fired["done"]:
+                return
+            fired["done"] = True
+            ready = [e for e in events if e.triggered]
+            self._step(proc, ready, None)
+
+        already = [e for e in events if e.triggered]
+        if already:
+            self._schedule_call(0.0, lambda: on_trigger(already[0]))
+            return
+        for e in events:
+            e.add_callback(on_trigger)
+
+    def _wait_all(self, proc: Process, events: list[Event]) -> None:
+        remaining = {"n": sum(1 for e in events if not e.triggered)}
+        if remaining["n"] == 0:
+            self._schedule_call(0.0, self._step, proc, [e.value for e in events], None)
+            return
+
+        def on_trigger(_ev: Event) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._step(proc, [e.value for e in events], None)
+
+        for e in events:
+            if not e.triggered:
+                e.add_callback(on_trigger)
+
+    def _finish(self, proc: Process, result: Any, error: Optional[BaseException]) -> None:
+        proc.finished = True
+        proc.result = result
+        proc.error = error
+        self._active -= 1
+        if error is not None:
+            self._errors.append(error)
+            proc.done_event.fail(error)
+        else:
+            proc.done_event.succeed(result)
+
+    # -- main loop ---------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated time *until*).
+
+        Returns the final simulated time.  Raises the first process
+        error encountered, and :class:`DeadlockError` if processes
+        remain un-finished with an empty queue (i.e. they all wait on
+        events nobody will trigger).
+        """
+        while self._queue:
+            call = self._queue[0]
+            if until is not None and call.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if call.time < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = call.time
+            call.fn(*call.args)
+            if self._errors:
+                raise self._errors[0]
+        if self._active > 0:
+            waiting = [p.name for p in self._processes if not p.finished]
+            raise DeadlockError(
+                f"deadlock at t={self.now:g}: processes still waiting: {waiting[:10]}"
+                + ("..." if len(waiting) > 10 else "")
+            )
+        return self.now

@@ -1,0 +1,54 @@
+"""SIP: the Super Instruction Processor.
+
+The parallel virtual machine that executes SIA bytecode (paper,
+Section V): a master that analyses memory in a dry run and doles out
+pardo chunks, workers interpreting bytecode with asynchronous block
+communication, lookahead prefetching and LRU block caches, and I/O
+servers backing disk-resident (served) arrays with write-back caches
+and asynchronous disk I/O -- all on the deterministic simulated MPI of
+:mod:`repro.simmpi`.
+"""
+
+from .backend import KernelOperand, ModelBackend, RealBackend
+from .blocks import Block, BlockId, ResolvedIndexTable
+from .cache import BlockCache
+from .config import SIPConfig, SIPError
+from .distributed import BarrierViolation, ConflictTracker, Placement
+from .dryrun import DryRunReport, InfeasibleComputation, dry_run
+from .memory import BlockPool, OutOfBlockMemory
+from .profiling import RunProfile, WorkerProfile
+from .registry import GLOBAL_REGISTRY, SuperCall, SuperInstructionRegistry, register
+from .runner import RunResult, run_program, run_source
+from .scheduler import GuidedScheduler, StaticScheduler, enumerate_pardo
+
+__all__ = [
+    "BarrierViolation",
+    "Block",
+    "BlockCache",
+    "BlockId",
+    "BlockPool",
+    "ConflictTracker",
+    "DryRunReport",
+    "GLOBAL_REGISTRY",
+    "GuidedScheduler",
+    "InfeasibleComputation",
+    "KernelOperand",
+    "ModelBackend",
+    "OutOfBlockMemory",
+    "Placement",
+    "RealBackend",
+    "ResolvedIndexTable",
+    "RunProfile",
+    "RunResult",
+    "SIPConfig",
+    "SIPError",
+    "StaticScheduler",
+    "SuperCall",
+    "SuperInstructionRegistry",
+    "WorkerProfile",
+    "dry_run",
+    "enumerate_pardo",
+    "register",
+    "run_program",
+    "run_source",
+]

@@ -1,0 +1,221 @@
+"""Compute backends: the super-instruction kernels.
+
+Super instructions take one or two blocks as input and produce a new
+block, never communicating (paper, Section III).  The SIP treats them
+as opaque; here they come in two flavours sharing one interface:
+
+* :class:`RealBackend` executes numpy kernels (einsum/transpose play
+  the role of the paper's Fortran+DGEMM implementations) *and* charges
+  modeled time;
+* :class:`ModelBackend` charges only the modeled time, letting the
+  simulator run performance experiments without touching data.
+
+Every method returns the simulated seconds the instruction costs; the
+interpreter yields a Timeout for that amount.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from math import prod
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..costmodel import CostModel
+from .config import SIPError
+
+__all__ = ["KernelOperand", "ComputeBackend", "RealBackend", "ModelBackend", "make_backend"]
+
+
+@dataclass
+class KernelOperand:
+    """A block operand as seen by a kernel.
+
+    ``data`` is the (already sliced) ndarray view in real mode, None in
+    model mode.  ``index_ids`` names each axis by the index variable
+    addressing it; kernels align axes by matching these ids.
+    ``element_ranges`` gives, per axis, the global element offsets the
+    block covers within its dimension -- user super instructions (e.g.
+    orbital-energy denominators) need them to know *which* elements
+    they are looking at.
+    """
+
+    shape: tuple[int, ...]
+    index_ids: tuple[int, ...]
+    data: Optional[np.ndarray] = None
+    element_ranges: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def nbytes(self) -> int:
+        return prod(self.shape, start=1) * 8
+
+
+def _perm(dst_ids: tuple[int, ...], src_ids: tuple[int, ...]) -> tuple[int, ...]:
+    """Axes permutation mapping src layout onto dst layout.
+
+    Handles repeated index variables (e.g. a diagonal block ``D(M, M)``)
+    by matching each destination axis to the first unused source axis
+    with the same id.
+    """
+    used = [False] * len(src_ids)
+    perm = []
+    for ix in dst_ids:
+        for pos, sid in enumerate(src_ids):
+            if sid == ix and not used[pos]:
+                used[pos] = True
+                perm.append(pos)
+                break
+        else:
+            raise SIPError(f"operand index mismatch: {dst_ids} vs {src_ids}")
+    return tuple(perm)
+
+
+class ComputeBackend:
+    """Shared cost accounting; subclasses add/skip real data movement."""
+
+    real = False
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+
+    # -- kernels -----------------------------------------------------------
+    def fill(self, dst: KernelOperand, value: float, op: str) -> float:
+        if self.real:
+            if op == "=":
+                dst.data[...] = value
+            elif op == "+=":
+                dst.data[...] += value
+            else:
+                dst.data[...] -= value
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def copy(self, dst: KernelOperand, src: KernelOperand) -> float:
+        if self.real:
+            dst.data[...] = np.transpose(src.data, _perm(dst.index_ids, src.index_ids))
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def accumulate(self, dst: KernelOperand, op: str, src: KernelOperand) -> float:
+        if self.real:
+            aligned = np.transpose(src.data, _perm(dst.index_ids, src.index_ids))
+            if op == "+=":
+                dst.data[...] += aligned
+            else:
+                dst.data[...] -= aligned
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def scale(
+        self, dst: KernelOperand, op: str, src: KernelOperand, factor: float
+    ) -> float:
+        if self.real:
+            aligned = factor * np.transpose(
+                src.data, _perm(dst.index_ids, src.index_ids)
+            )
+            if op == "=":
+                dst.data[...] = aligned
+            elif op == "+=":
+                dst.data[...] += aligned
+            else:
+                dst.data[...] -= aligned
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def scale_inplace(self, dst: KernelOperand, factor: float) -> float:
+        if self.real:
+            dst.data[...] *= factor
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def negate(self, dst: KernelOperand, src: KernelOperand) -> float:
+        if self.real:
+            dst.data[...] = -np.transpose(
+                src.data, _perm(dst.index_ids, src.index_ids)
+            )
+        return self.cost.elementwise_time(dst.nbytes)
+
+    def addsub(
+        self, dst: KernelOperand, op: str, a: KernelOperand, b: KernelOperand
+    ) -> float:
+        if self.real:
+            aa = np.transpose(a.data, _perm(dst.index_ids, a.index_ids))
+            bb = np.transpose(b.data, _perm(dst.index_ids, b.index_ids))
+            dst.data[...] = aa + bb if op == "+" else aa - bb
+        return self.cost.elementwise_time(2 * dst.nbytes)
+
+    def contract(
+        self, dst: KernelOperand, op: str, a: KernelOperand, b: KernelOperand
+    ) -> float:
+        contracted_shape = tuple(
+            dim
+            for dim, ix in zip(a.shape, a.index_ids)
+            if ix not in dst.index_ids
+        )
+        if self.real:
+            subscripts, letters = _einsum_subscripts(a, b, dst.index_ids)
+            result = np.einsum(subscripts, a.data, b.data, optimize=True)
+            if op == "=":
+                dst.data[...] = result
+            elif op == "+=":
+                dst.data[...] += result
+            else:
+                dst.data[...] -= result
+        return self.cost.contraction_time(dst.shape, contracted_shape)
+
+    def scalar_contract(self, a: KernelOperand, b: KernelOperand) -> tuple[float, float]:
+        """Full contraction to a scalar; returns (value, cost)."""
+        value = 0.0
+        if self.real:
+            aligned = np.transpose(b.data, _perm(a.index_ids, b.index_ids))
+            value = float(np.sum(a.data * aligned))
+        cost = self.cost.contraction_time((), a.shape)
+        return value, cost
+
+    def compute_integrals(
+        self,
+        dst: KernelOperand,
+        element_ranges: tuple[tuple[int, int], ...],
+        source: Optional[Callable],
+    ) -> float:
+        n_elements = prod(dst.shape, start=1)
+        if self.real:
+            if source is None:
+                raise SIPError(
+                    "compute_integrals used but no integral_source configured"
+                )
+            values = source(element_ranges)
+            if values.shape != dst.shape:
+                raise SIPError(
+                    f"integral_source returned shape {values.shape}, "
+                    f"expected {dst.shape}"
+                )
+            dst.data[...] = values
+        return self.cost.integral_time(n_elements)
+
+
+class RealBackend(ComputeBackend):
+    real = True
+
+
+class ModelBackend(ComputeBackend):
+    real = False
+
+
+def make_backend(kind: str, cost: CostModel) -> ComputeBackend:
+    if kind == "real":
+        return RealBackend(cost)
+    if kind == "model":
+        return ModelBackend(cost)
+    raise ValueError(f"unknown backend {kind!r}")
+
+
+def _einsum_subscripts(
+    a: KernelOperand, b: KernelOperand, out_ids: tuple[int, ...]
+) -> tuple[str, dict[int, str]]:
+    letters: dict[int, str] = {}
+    pool = iter(string.ascii_lowercase)
+    for ix in (*a.index_ids, *b.index_ids, *out_ids):
+        if ix not in letters:
+            letters[ix] = next(pool)
+    a_sub = "".join(letters[i] for i in a.index_ids)
+    b_sub = "".join(letters[i] for i in b.index_ids)
+    out_sub = "".join(letters[i] for i in out_ids)
+    return f"{a_sub},{b_sub}->{out_sub}", letters

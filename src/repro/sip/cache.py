@@ -1,0 +1,188 @@
+"""LRU block caches.
+
+Workers cache remote distributed-array blocks they fetched (so a recent
+``get`` is free), and I/O servers cache served-array blocks with
+write-back semantics (paper, Section V-B: "Each I/O server contains a
+cache ... Replacement is done using a LRU strategy").
+
+Entries move through three states:
+
+* *pending*  -- a fetch is in flight; an Event fires on arrival;
+* *ready*    -- data present (and, on servers, possibly *dirty*);
+* evicted    -- removed by LRU pressure; a later use must refetch.
+
+Pending and pinned entries are never evicted.  The cache records the
+statistics the prefetch-tuning ablation needs: hits, misses, evictions
+of blocks that were fetched but never used (the BlueGene/P pathology
+from Section VI-A), and refetches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..simmpi.simulator import Event
+from .blocks import Block, BlockId
+from .config import SIPError
+
+__all__ = ["BlockCache", "CacheEntry", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    evicted_before_use: int = 0
+    refetches: int = 0
+
+
+@dataclass
+class CacheEntry:
+    block: Optional[Block] = None
+    arrival: Optional[Event] = None  # pending fetch completion
+    dirty: bool = False
+    pinned: int = 0
+    used: bool = False  # read at least once since insertion
+    fetch_count: int = 0
+
+    @property
+    def pending(self) -> bool:
+        return self.block is None
+
+
+class BlockCache:
+    """An LRU cache of blocks keyed by :class:`BlockId`."""
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        name: str = "cache",
+        on_evict: Optional[Callable[[BlockId, CacheEntry], None]] = None,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity_blocks
+        self.name = name
+        self.on_evict = on_evict
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[BlockId, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._entries
+
+    def lookup(self, block_id: BlockId, touch: bool = True) -> Optional[CacheEntry]:
+        entry = self._entries.get(block_id)
+        if entry is not None and touch:
+            self._entries.move_to_end(block_id)
+        return entry
+
+    def record_use(self, block_id: BlockId, hit: bool) -> None:
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        entry = self._entries.get(block_id)
+        if entry is not None:
+            entry.used = True
+
+    def insert_pending(self, block_id: BlockId, arrival: Event) -> CacheEntry:
+        """Register an in-flight fetch; evicts LRU if at capacity."""
+        if block_id in self._entries:
+            raise SIPError(f"{self.name}: duplicate pending insert of {block_id}")
+        self._make_room()
+        entry = CacheEntry(arrival=arrival, fetch_count=1)
+        self._entries[block_id] = entry
+        self.stats.insertions += 1
+        return entry
+
+    def fulfil(self, block_id: BlockId, block: Block) -> None:
+        """Complete a pending fetch (the entry may have been evicted)."""
+        entry = self._entries.get(block_id)
+        if entry is None:
+            return  # evicted while in flight; arrival event still fires
+        entry.block = block
+        entry.arrival = None
+
+    def insert_ready(
+        self, block_id: BlockId, block: Block, dirty: bool = False
+    ) -> CacheEntry:
+        """Insert a complete block (server prepare / local store)."""
+        entry = self._entries.get(block_id)
+        if entry is not None:
+            entry.block = block
+            entry.dirty = dirty or entry.dirty
+            entry.arrival = None
+            self._entries.move_to_end(block_id)
+            return entry
+        self._make_room()
+        entry = CacheEntry(block=block, dirty=dirty)
+        self._entries[block_id] = entry
+        self.stats.insertions += 1
+        return entry
+
+    def mark_refetch(self, block_id: BlockId) -> None:
+        self.stats.refetches += 1
+
+    def remove(self, block_id: BlockId) -> None:
+        self._entries.pop(block_id, None)
+
+    def clear_clean(self) -> None:
+        """Drop every clean, unpinned, non-pending entry (sip_barrier)."""
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if not entry.dirty and entry.pinned == 0 and not entry.pending:
+                del self._entries[key]
+
+    def pin(self, block_id: BlockId) -> None:
+        self._entries[block_id].pinned += 1
+
+    def unpin(self, block_id: BlockId) -> None:
+        entry = self._entries[block_id]
+        if entry.pinned <= 0:  # pragma: no cover - protocol bug guard
+            raise SIPError(f"{self.name}: unpin of unpinned {block_id}")
+        entry.pinned -= 1
+
+    def evictable(self, entry: CacheEntry) -> bool:
+        return entry.pinned == 0 and not entry.pending and not entry.dirty
+
+    def _make_room(self) -> None:
+        if len(self._entries) < self.capacity:
+            return
+        for key in list(self._entries):  # LRU order
+            entry = self._entries[key]
+            if self.evictable(entry):
+                del self._entries[key]
+                self.stats.evictions += 1
+                if not entry.used:
+                    self.stats.evicted_before_use += 1
+                if self.on_evict is not None:
+                    self.on_evict(key, entry)
+                if len(self._entries) < self.capacity:
+                    return
+        if len(self._entries) >= self.capacity:
+            raise SIPError(
+                f"{self.name}: cache full of pinned/pending/dirty blocks "
+                f"({len(self._entries)} of {self.capacity}); increase the "
+                "cache size or reduce prefetch depth"
+            )
+
+    def items(self):
+        return self._entries.items()
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.pending)
+
+    def any_pending_arrival(self) -> Optional[Event]:
+        """The arrival event of some in-flight fetch (backpressure hook)."""
+        for entry in self._entries.values():
+            if entry.pending and entry.arrival is not None:
+                return entry.arrival
+        return None

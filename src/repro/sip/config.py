@@ -1,0 +1,140 @@
+"""Runtime configuration of the SIP virtual machine.
+
+Everything the paper treats as a runtime parameter lives here: the
+number of workers and I/O servers, segment sizes (globally or per index
+kind), the prefetch lookahead depth, block-cache budgets, the pardo
+chunking policy, and the target machine model.  SIAL programs never see
+any of this -- retuning for a new platform means changing a
+:class:`SIPConfig`, not the program (paper, Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..machines import LAPTOP, Machine
+
+__all__ = ["SIPConfig", "SIPError"]
+
+
+class SIPError(Exception):
+    """Base class for SIP runtime errors."""
+
+
+@dataclass
+class SIPConfig:
+    """Tunable parameters of one SIP run.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker ranks (the master and I/O servers are extra).
+    io_servers:
+        Number of I/O server ranks backing served arrays.
+    segment_size:
+        Default elements per segment for every segment-index kind.
+    segment_sizes:
+        Per-kind overrides, e.g. ``{"ao": 12, "mo": 8}``.
+    subsegments_per_segment:
+        How many subsegments a subindex carves out of each segment.
+    prefetch_depth:
+        How many future loop iterations the lookahead prefetcher
+        requests blocks for.  0 disables prefetching.
+    cache_blocks:
+        Capacity of each worker's remote-block LRU cache, in blocks.
+    server_cache_blocks:
+        Capacity of each I/O server's block cache, in blocks.
+    chunk_factor:
+        Guided-scheduling aggressiveness: a chunk is
+        ``ceil(remaining / (chunk_factor * workers))`` iterations.
+    backend:
+        ``"real"`` executes numpy kernels (correctness); ``"model"``
+        charges only modeled time (scaling studies).
+    machine:
+        Machine performance model used for all costs.
+    memory_per_worker:
+        Override of the machine's per-rank memory budget, bytes.
+    validate_barriers:
+        Detect conflicting distributed/served accesses that are not
+        separated by the appropriate barrier (paper, Section IV-C).
+    integral_source:
+        Callable mapping per-axis global element ranges to an ndarray
+        of two-electron integrals; used by ``compute_integrals``.
+    inputs:
+        Initial contents for arrays, by (case-insensitive) name.
+        Static arrays are replicated; distributed/served arrays are
+        scattered to their owners before simulated time starts.
+    external_store:
+        Dict shared across runs for ``blocks_to_list`` /
+        ``list_to_blocks`` serialization and checkpoint/restart.
+    superinstructions:
+        Extra user super instructions: name -> callable (see
+        :mod:`repro.sip.registry`).
+    trace:
+        Optional callable ``(time, rank, text)`` for debugging.
+    """
+
+    workers: int = 4
+    io_servers: int = 1
+    segment_size: int = 4
+    segment_sizes: dict[str, int] = field(default_factory=dict)
+    subsegments_per_segment: int = 2
+    prefetch_depth: int = 2
+    cache_blocks: int = 64
+    server_cache_blocks: int = 128
+    chunk_factor: int = 2
+    scheduling: str = "guided"
+    backend: str = "real"
+    machine: Machine = LAPTOP
+    memory_per_worker: Optional[float] = None
+    validate_barriers: bool = True
+    integral_source: Optional[Callable[..., Any]] = None
+    inputs: dict[str, Any] = field(default_factory=dict)
+    external_store: dict[str, Any] = field(default_factory=dict)
+    superinstructions: dict[str, Callable[..., Any]] = field(default_factory=dict)
+    trace: Optional[Callable[[float, int, str], None]] = None
+    tracer: Optional[Any] = None  # a repro.sip.tracing.TraceRecorder
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.io_servers < 0:
+            raise ValueError("io_servers must be >= 0")
+        if self.segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        if self.backend not in ("real", "model"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.scheduling not in ("guided", "static"):
+            raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
+
+    @property
+    def memory_budget(self) -> float:
+        if self.memory_per_worker is not None:
+            return self.memory_per_worker
+        return self.machine.memory_per_rank
+
+    # -- rank layout: [master][workers...][io servers...] -------------------
+    @property
+    def world_size(self) -> int:
+        return 1 + self.workers + self.io_servers
+
+    @property
+    def master_rank(self) -> int:
+        return 0
+
+    def worker_rank(self, worker_index: int) -> int:
+        return 1 + worker_index
+
+    def server_rank(self, server_index: int) -> int:
+        return 1 + self.workers + server_index
+
+    @property
+    def worker_ranks(self) -> range:
+        return range(1, 1 + self.workers)
+
+    @property
+    def server_ranks(self) -> range:
+        return range(1 + self.workers, self.world_size)

@@ -1,0 +1,154 @@
+"""Dry-run memory-feasibility analysis.
+
+Before committing supercomputer time, the master inspects the program
+and estimates each worker's memory requirement from the number of
+workers, the array sizes, and the distributed data layout (paper,
+Section V-B).  If the computation cannot fit, the report says so *and*
+states how many workers would be sufficient -- exactly the user
+experience the paper describes.
+
+The estimate covers, per worker:
+
+* replicated static arrays (full size each),
+* the largest owned share of every distributed array (exact, from the
+  placement function),
+* one live block per temp array and per local array (the block-stack
+  working set),
+* the remote-block cache reserve (``cache_blocks`` x largest block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, prod
+
+from ..sial.bytecode import CompiledProgram
+from .blocks import ResolvedIndexTable, block_nbytes
+from .config import SIPConfig, SIPError
+
+__all__ = ["DryRunReport", "dry_run", "InfeasibleComputation"]
+
+
+class InfeasibleComputation(SIPError):
+    """The computation does not fit in the configured memory."""
+
+
+@dataclass
+class DryRunReport:
+    feasible: bool
+    workers: int
+    budget_bytes: float
+    static_bytes: int
+    distributed_max_bytes: int
+    temp_bytes: int
+    local_bytes: int
+    cache_reserve_bytes: int
+    array_bytes: dict[str, int]
+    required_workers: int
+
+    @property
+    def per_worker_bytes(self) -> int:
+        return (
+            self.static_bytes
+            + self.distributed_max_bytes
+            + self.temp_bytes
+            + self.local_bytes
+            + self.cache_reserve_bytes
+        )
+
+    def report(self) -> str:
+        lines = [
+            f"dry run: {self.workers} workers, "
+            f"{self.budget_bytes / 1e6:.1f} MB per worker",
+            f"  static (replicated):     {self.static_bytes:>14d} B",
+            f"  distributed (max owned): {self.distributed_max_bytes:>14d} B",
+            f"  temp working set:        {self.temp_bytes:>14d} B",
+            f"  local working set:       {self.local_bytes:>14d} B",
+            f"  block cache reserve:     {self.cache_reserve_bytes:>14d} B",
+            f"  total per worker:        {self.per_worker_bytes:>14d} B",
+        ]
+        for name, nbytes in sorted(self.array_bytes.items()):
+            lines.append(f"    array {name:<12s} {nbytes:>14d} B total")
+        if self.feasible:
+            lines.append("  FEASIBLE")
+        else:
+            lines.append(
+                f"  INFEASIBLE: would need at least {self.required_workers} "
+                "workers at this memory size"
+            )
+        return "\n".join(lines)
+
+
+def dry_run(
+    program: CompiledProgram, config: SIPConfig, table: ResolvedIndexTable
+) -> DryRunReport:
+    """Estimate per-worker memory and feasibility for this configuration."""
+    static_bytes = 0
+    temp_bytes = 0
+    local_bytes = 0
+    dist_totals: list[int] = []
+    dist_max_block = 0
+    array_bytes: dict[str, int] = {}
+    max_block = 0
+
+    for desc in program.array_table:
+        dims = [table[i] for i in desc.index_ids]
+        total = prod((d.n_elements for d in dims), start=1) * 8
+        largest_block = prod(
+            (max((s.length for s in d.segments), default=d.n_elements) for d in dims),
+            start=1,
+        ) * 8
+        array_bytes[desc.name] = total
+        max_block = max(max_block, largest_block)
+        if desc.kind == "static":
+            static_bytes += total
+        elif desc.kind == "temp":
+            temp_bytes += largest_block
+        elif desc.kind == "local":
+            local_bytes += largest_block
+        elif desc.kind == "distributed":
+            dist_totals.append(total)
+            dist_max_block = max(dist_max_block, largest_block)
+        # served arrays live on the I/O servers' disks, not worker RAM
+
+    cache_reserve = config.cache_blocks * max_block
+
+    def dist_share(workers: int) -> int:
+        # owned share: ceil-split of each array plus one block of slack
+        # for placement imbalance
+        return sum(ceil(t / workers) + dist_max_block for t in dist_totals)
+
+    per_worker = (
+        static_bytes
+        + dist_share(config.workers)
+        + temp_bytes
+        + local_bytes
+        + cache_reserve
+    )
+    budget = config.memory_budget
+    feasible = per_worker <= budget
+
+    fixed = static_bytes + temp_bytes + local_bytes + cache_reserve
+    if fixed >= budget:
+        required = -1  # no worker count can help
+    else:
+        required = 1
+        total_dist = sum(dist_totals)
+        head = budget - fixed - dist_max_block * max(1, len(dist_totals))
+        if head > 0:
+            required = max(1, ceil(total_dist / head))
+        else:
+            required = -1
+
+    return DryRunReport(
+        feasible=feasible,
+        workers=config.workers,
+        budget_bytes=budget,
+        static_bytes=static_bytes,
+        distributed_max_bytes=dist_share(config.workers),
+        temp_bytes=temp_bytes,
+        local_bytes=local_bytes,
+        cache_reserve_bytes=cache_reserve,
+        array_bytes=array_bytes,
+        required_workers=required,
+    )

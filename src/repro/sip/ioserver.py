@@ -1,0 +1,243 @@
+"""SIP I/O servers: the disk-backed (served) array ranks.
+
+Each I/O server owns a static share of every served array's blocks, a
+write-back LRU cache, and one simulated disk.  All of its operations
+are non-blocking (paper, Section V-B): a ``prepare`` is acknowledged as
+soon as the block lands in the cache and is *lazily* written to disk; a
+``request`` is answered from the cache when possible and otherwise
+spawns an asynchronous disk read, so a slow disk never stalls the
+message loop.  Blocks are materialized only when actually filled with
+data, which keeps symmetric arrays cheap to declare (paper, Section
+V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..simmpi import Disk
+from ..simmpi.comm import SimComm
+from .blocks import Block, BlockId
+from .cache import BlockCache, CacheEntry
+from .config import SIPError
+from .distributed import ConflictTracker
+from .messages import (
+    Ack,
+    BlockReply,
+    PrepareBlock,
+    RequestBlock,
+    SERVER_TAG,
+    Shutdown,
+    message_nbytes,
+)
+from .runtime import SharedRuntime
+
+__all__ = ["IOServerProcess"]
+
+
+class IOServerProcess:
+    def __init__(
+        self, rt: SharedRuntime, server_index: int, comm: SimComm
+    ) -> None:
+        self.rt = rt
+        self.server_index = server_index
+        self.rank = rt.config.server_rank(server_index)
+        self.comm = comm
+        self.sim = rt.sim
+        self.cache = BlockCache(
+            rt.config.server_cache_blocks, name=f"ioserver{server_index}.cache"
+        )
+        self.disk = Disk(
+            rt.sim,
+            seek_latency=rt.config.machine.disk_seek,
+            bandwidth=rt.config.machine.disk_bandwidth,
+            name=f"disk{server_index}",
+        )
+        # "on-disk" contents: ndarray in real mode, block shape in model mode
+        self.disk_data: dict[BlockId, object] = {}
+        self.trackers: dict[int, ConflictTracker] = {}
+        self._writeback_version: dict[BlockId, int] = {}
+        # broadcast event: "an entry just became evictable" -- used as
+        # back-pressure when the cache is full of dirty/pending blocks
+        self._clean_signal = None
+
+    def tracker(self, epoch: int) -> ConflictTracker:
+        t = self.trackers.get(epoch)
+        if t is None:
+            t = self.trackers[epoch] = ConflictTracker(
+                "served", enabled=self.rt.config.validate_barriers
+            )
+        return t
+
+    # -- main pump -----------------------------------------------------------
+    def run(self) -> Generator:
+        while True:
+            msg = yield from self.comm.recv(tag=SERVER_TAG)
+            payload = msg.payload
+            if isinstance(payload, Shutdown):
+                return
+            if isinstance(payload, PrepareBlock):
+                self._handle_prepare(payload, msg.source)
+            elif isinstance(payload, RequestBlock):
+                self._handle_request(payload, msg.source)
+            else:
+                raise SIPError(f"I/O server got unexpected message {payload!r}")
+
+    # -- prepare -----------------------------------------------------------------
+    def _handle_prepare(self, p: PrepareBlock, source: int) -> None:
+        self.tracker(p.epoch).record_write(p.worker_index, p.block_id, p.op)
+        bid = p.block_id
+        entry = self.cache.lookup(bid)
+        if entry is not None and not entry.pending:
+            self._apply(entry.block, p)
+            entry.dirty = True
+            self._start_writeback(bid)
+            self._ack(p, source)
+        else:
+            # contents must be pulled (pending fetch / disk) or cache
+            # space must free up first; do it off the message pump
+            self.sim.spawn(
+                self._prepare_later(p, source),
+                name=f"ioserver{self.server_index}.prepare",
+            )
+
+    def _prepare_later(self, p: PrepareBlock, source: int) -> Generator:
+        entry = yield from self._ensure_cached(p.block_id, allow_missing=True)
+        self._apply(entry.block, p)
+        entry.dirty = True
+        self._start_writeback(p.block_id)
+        self._ack(p, source)
+
+    def _ack(self, p: PrepareBlock, source: int) -> None:
+        self.comm.isend(Ack(p.ack_tag), dest=source, tag=p.ack_tag)
+
+    def _apply(self, block: Block, p: PrepareBlock) -> None:
+        if block.data is None or p.block.data is None:
+            return
+        if p.op == "=":
+            block.data[...] = p.block.data
+        else:
+            block.data[...] += p.block.data
+
+    def _fresh_block(self, bid: BlockId) -> Block:
+        shape = self.rt.block_shape(bid)
+        data = np.zeros(shape, dtype=np.float64) if self.rt.real else None
+        return Block(shape, data)
+
+    def _start_writeback(self, bid: BlockId) -> None:
+        version = self._writeback_version.get(bid, 0) + 1
+        self._writeback_version[bid] = version
+        entry = self.cache.lookup(bid, touch=False)
+        snapshot = (
+            entry.block.data.copy()
+            if entry.block.data is not None
+            else entry.block.shape
+        )
+        nbytes = entry.block.nbytes
+
+        def writer() -> Generator:
+            yield self.disk.write(nbytes)
+            self.disk_data[bid] = snapshot
+            current = self.cache.lookup(bid, touch=False)
+            if current is not None and self._writeback_version.get(bid) == version:
+                current.dirty = False
+                self._signal_clean()
+
+        self.sim.spawn(writer(), name=f"ioserver{self.server_index}.writeback")
+
+    # -- request -----------------------------------------------------------------
+    def _handle_request(self, p: RequestBlock, source: int) -> None:
+        self.tracker(p.epoch).record_read(p.worker_index, p.block_id)
+        entry = self.cache.lookup(p.block_id)
+        if entry is not None and not entry.pending:
+            self.cache.record_use(p.block_id, hit=True)
+            self._reply(p, source, entry.block)
+            return
+        self.cache.record_use(p.block_id, hit=False)
+        self.sim.spawn(
+            self._request_later(p, source),
+            name=f"ioserver{self.server_index}.read",
+        )
+
+    def _request_later(self, p: RequestBlock, source: int) -> Generator:
+        entry = yield from self._ensure_cached(p.block_id, allow_missing=False)
+        self._reply(p, source, entry.block)
+
+    def _ensure_cached(self, bid: BlockId, allow_missing: bool) -> Generator:
+        """Get a ready cache entry, loading from disk if necessary.
+
+        Applies back-pressure: if the cache is full of dirty/pending
+        blocks, wait for a write-back to complete before inserting.
+        """
+        while True:
+            entry = self.cache.lookup(bid)
+            if entry is None:
+                arrival = self.sim.event(name=f"diskload {bid}")
+                try:
+                    self.cache.insert_pending(bid, arrival)
+                except SIPError:
+                    yield self._wait_clean()
+                    continue
+                block = yield from self._load_block(bid, allow_missing)
+                self.cache.fulfil(bid, block)
+                arrival.succeed(None)
+                self._signal_clean()
+                entry = self.cache.lookup(bid)
+                if entry is not None and entry.block is not None:
+                    return entry
+                continue  # evicted mid-load: retry
+            if entry.pending:
+                yield entry.arrival
+                continue
+            return entry
+
+    def _wait_clean(self):
+        """An event firing the next time a cache entry becomes evictable."""
+        if self._clean_signal is None or self._clean_signal.triggered:
+            self._clean_signal = self.sim.event(name="server-cache-clean")
+        return self._clean_signal
+
+    def _signal_clean(self) -> None:
+        if self._clean_signal is not None and not self._clean_signal.triggered:
+            self._clean_signal.succeed(None)
+
+    def _load_block(self, bid: BlockId, allow_missing: bool) -> Generator:
+        """Read a block from disk (or create zeros if allowed)."""
+        stored = self.disk_data.get(bid)
+        if stored is None:
+            if not allow_missing:
+                desc = self.rt.array_desc(bid.array_id)
+                raise SIPError(
+                    f"request of block {bid.coords} of served array "
+                    f"{desc.name!r} that was never prepared"
+                )
+            return self._fresh_block(bid)
+        shape = self.rt.block_shape(bid)
+        yield self.disk.read(int(np.prod(shape)) * 8)
+        if isinstance(stored, np.ndarray):
+            return Block(shape, stored.copy())
+        return Block(shape, None)
+
+    def _reply(self, p: RequestBlock, source: int, block: Block) -> None:
+        reply = BlockReply(p.block_id, block.copy())
+        self.comm.isend(
+            reply, dest=source, tag=p.reply_tag, nbytes=message_nbytes(reply)
+        )
+
+    # -- post-run access (outside simulated time) -------------------------------
+    def current_blocks(self, array_id: int) -> dict[tuple[int, ...], Block]:
+        """Freshest contents of one array's blocks on this server."""
+        out: dict[tuple[int, ...], Block] = {}
+        for bid, stored in self.disk_data.items():
+            if bid.array_id != array_id:
+                continue
+            if isinstance(stored, np.ndarray):
+                out[bid.coords] = Block(stored.shape, stored)
+            else:
+                out[bid.coords] = Block(tuple(stored), None)
+        for bid, entry in self.cache.items():
+            if bid.array_id == array_id and entry.block is not None:
+                out[bid.coords] = entry.block
+        return out

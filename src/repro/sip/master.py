@@ -1,0 +1,117 @@
+"""The SIP master rank.
+
+The master sets up the calculation (the dry run happens before
+simulated time starts; see :mod:`repro.sip.dryrun`) and then serves
+two request streams from the workers (paper, Section V-B):
+
+* **pardo chunks** -- iterations are doled out in shrinking chunks
+  (guided self-scheduling); each request costs the master a fixed CPU
+  overhead, which is exactly the serialization term that caps strong
+  scaling at very large worker counts (Fig. 6);
+* **collective scalar sums** -- the SIAL ``collective`` statement.
+
+When every worker has reported completion, the master shuts down the
+service pumps and I/O servers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simmpi import Timeout
+from ..simmpi.comm import SimComm
+from .config import SIPError
+from .messages import (
+    MASTER_TAG,
+    SERVER_TAG,
+    SERVICE_TAG,
+    ChunkReply,
+    ChunkRequest,
+    CollectiveContribution,
+    CollectiveResult,
+    Shutdown,
+    WorkerDone,
+)
+from .runtime import SharedRuntime
+from .scheduler import GuidedScheduler, StaticScheduler, enumerate_pardo
+
+__all__ = ["MasterProcess"]
+
+# rough wire size of one iteration tuple in a chunk reply
+_BYTES_PER_ITERATION = 16
+
+
+class MasterProcess:
+    def __init__(self, rt: SharedRuntime, comm: SimComm) -> None:
+        self.rt = rt
+        self.comm = comm
+        self.config = rt.config
+        self.schedulers: dict[tuple[int, int], object] = {}
+        self.collectives: dict[int, list[CollectiveContribution]] = {}
+        self.collective_sources: dict[int, dict[int, int]] = {}
+        self.chunks_served = 0
+
+    def run(self) -> Generator:
+        done = 0
+        while done < self.config.workers:
+            msg = yield from self.comm.recv(tag=MASTER_TAG)
+            payload = msg.payload
+            if isinstance(payload, ChunkRequest):
+                yield Timeout(self.config.machine.master_chunk_overhead)
+                chunk = self._next_chunk(payload)
+                reply = ChunkReply(tuple(chunk))
+                self.comm.isend(
+                    reply,
+                    dest=msg.source,
+                    tag=payload.reply_tag,
+                    nbytes=64 + _BYTES_PER_ITERATION * len(chunk),
+                )
+                self.chunks_served += 1
+            elif isinstance(payload, CollectiveContribution):
+                self._collect(payload, msg.source)
+            elif isinstance(payload, WorkerDone):
+                done += 1
+            else:
+                raise SIPError(f"master got unexpected message {payload!r}")
+        for rank in self.config.worker_ranks:
+            self.comm.isend(Shutdown(), dest=rank, tag=SERVICE_TAG)
+        for rank in self.config.server_ranks:
+            self.comm.isend(Shutdown(), dest=rank, tag=SERVER_TAG)
+
+    def _next_chunk(self, req: ChunkRequest) -> list[tuple[int, ...]]:
+        key = (req.pardo_pc, req.activation)
+        sched = self.schedulers.get(key)
+        if sched is None:
+            instr = self.rt.program.instructions[req.pardo_pc]
+            _pardo_id, index_ids, conditions, _exit, _gets = instr.args
+            iterations = enumerate_pardo(self.rt.table, index_ids, conditions)
+            if self.config.scheduling == "static":
+                sched = StaticScheduler(iterations, self.config.workers)
+            else:
+                sched = GuidedScheduler(
+                    iterations, self.config.workers, self.config.chunk_factor
+                )
+            self.schedulers[key] = sched
+        if isinstance(sched, StaticScheduler):
+            return sched.next_chunk_for(req.worker_index)
+        return sched.next_chunk()
+
+    def _collect(self, payload: CollectiveContribution, source: int) -> None:
+        pending = self.collectives.setdefault(payload.seq, [])
+        self.collective_sources.setdefault(payload.seq, {})[
+            payload.worker_index
+        ] = source
+        pending.append(payload)
+        if len(pending) == self.config.workers:
+            # deterministic order: sum by worker index
+            total = sum(
+                p.value for p in sorted(pending, key=lambda p: p.worker_index)
+            )
+            sources = self.collective_sources.pop(payload.seq)
+            for p in pending:
+                self.comm.isend(
+                    CollectiveResult(total),
+                    dest=sources[p.worker_index],
+                    tag=p.reply_tag,
+                )
+            del self.collectives[payload.seq]

@@ -1,0 +1,148 @@
+"""Wire messages exchanged between SIP ranks.
+
+Rank layout: rank 0 is the master, then workers, then I/O servers.
+Three well-known tags exist -- every rank's *service* mailbox
+(block traffic between workers), the master's mailbox, and each I/O
+server's mailbox.  Replies go to per-request tags allocated from a
+counter on the requesting rank, so a requester can wait selectively on
+exactly its own reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .blocks import Block, BlockId
+
+__all__ = [
+    "SERVICE_TAG",
+    "MASTER_TAG",
+    "SERVER_TAG",
+    "REPLY_TAG_BASE",
+    "HEADER_BYTES",
+    "GetBlock",
+    "PutBlock",
+    "BlockReply",
+    "Ack",
+    "ChunkRequest",
+    "ChunkReply",
+    "CollectiveContribution",
+    "CollectiveResult",
+    "RequestBlock",
+    "PrepareBlock",
+    "WorkerDone",
+    "Shutdown",
+    "message_nbytes",
+]
+
+SERVICE_TAG = 1
+MASTER_TAG = 2
+SERVER_TAG = 3
+REPLY_TAG_BASE = 1000
+
+#: Envelope overhead charged per message on top of block payloads.
+HEADER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class GetBlock:
+    """Worker -> owner worker: send me this distributed block."""
+
+    block_id: BlockId
+    reply_tag: int
+    worker_index: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class PutBlock:
+    """Worker -> owner worker: store ('=') or accumulate ('+=')."""
+
+    block_id: BlockId
+    op: str
+    block: Block
+    worker_index: int
+    epoch: int
+    ack_tag: int
+
+
+@dataclass(frozen=True)
+class BlockReply:
+    block_id: BlockId
+    block: Block
+
+
+@dataclass(frozen=True)
+class Ack:
+    tag: int
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """Worker -> master: give me pardo iterations."""
+
+    pardo_pc: int
+    activation: int
+    worker_index: int
+    reply_tag: int
+
+
+@dataclass(frozen=True)
+class ChunkReply:
+    iterations: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class CollectiveContribution:
+    """Worker -> master: my term of an allreduce-sum."""
+
+    seq: int
+    worker_index: int
+    value: float
+    reply_tag: int
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    value: float
+
+
+@dataclass(frozen=True)
+class RequestBlock:
+    """Worker -> I/O server: fetch a served block."""
+
+    block_id: BlockId
+    reply_tag: int
+    worker_index: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class PrepareBlock:
+    """Worker -> I/O server: store ('=') or accumulate ('+=')."""
+
+    block_id: BlockId
+    op: str
+    block: Block
+    worker_index: int
+    epoch: int
+    ack_tag: int
+
+
+@dataclass(frozen=True)
+class WorkerDone:
+    worker_index: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    pass
+
+
+def message_nbytes(msg: Any) -> Optional[int]:
+    """Explicit wire size for messages carrying blocks; None = default."""
+    block = getattr(msg, "block", None)
+    if block is not None:
+        return HEADER_BYTES + block.nbytes
+    return None

@@ -1,0 +1,83 @@
+"""User super instructions (the SIAL ``execute`` statement).
+
+New computational kernels can be added to the SIP without changing the
+SIAL language (paper, Section IV-C): register a Python callable under a
+name and invoke it from SIAL with ``execute name args...``.
+
+The callable receives a :class:`SuperCall`:
+
+* ``call.blocks``  -- the block arguments as
+  :class:`~repro.sip.backend.KernelOperand` (writable ndarray views in
+  real mode, shape-only in model mode);
+* ``call.scalars`` -- the scalar arguments by position;
+* ``call.real``    -- whether data is present.
+
+It may return a flop count (float) used for cost modeling; returning
+None charges a default elementwise cost over the block arguments.
+Super instructions must not communicate -- they only see their
+arguments, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .backend import KernelOperand
+from .config import SIPError
+
+__all__ = ["SuperCall", "SuperInstructionRegistry", "GLOBAL_REGISTRY", "register"]
+
+
+@dataclass
+class SuperCall:
+    """Arguments handed to a user super instruction."""
+
+    name: str
+    blocks: list[KernelOperand]
+    scalars: list[float]
+    real: bool
+
+
+SuperFn = Callable[[SuperCall], Optional[float]]
+
+
+@dataclass
+class SuperInstructionRegistry:
+    """Name -> implementation mapping, with a global default table."""
+
+    table: dict[str, SuperFn] = field(default_factory=dict)
+
+    def register(self, name: str, fn: SuperFn) -> None:
+        key = name.lower()
+        if key in self.table:
+            raise SIPError(f"super instruction {name!r} already registered")
+        self.table[key] = fn
+
+    def lookup(self, name: str) -> SuperFn:
+        fn = self.table.get(name.lower())
+        if fn is None:
+            known = ", ".join(sorted(self.table)) or "(none)"
+            raise SIPError(
+                f"unknown super instruction {name!r}; registered: {known}"
+            )
+        return fn
+
+    def merged_with(self, extra: dict[str, SuperFn]) -> "SuperInstructionRegistry":
+        merged = dict(self.table)
+        for name, fn in extra.items():
+            merged[name.lower()] = fn
+        return SuperInstructionRegistry(merged)
+
+
+GLOBAL_REGISTRY = SuperInstructionRegistry()
+
+
+def register(name: str) -> Callable[[SuperFn], SuperFn]:
+    """Decorator registering a super instruction in the global table."""
+
+    def deco(fn: SuperFn) -> SuperFn:
+        GLOBAL_REGISTRY.register(name, fn)
+        return fn
+
+    return deco

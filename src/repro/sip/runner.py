@@ -1,0 +1,202 @@
+"""Top-level execution of a compiled SIAL program on the simulated SIP.
+
+``run_program`` wires a master, N workers (each with a service pump),
+and M I/O servers onto a simulated MPI world, scatters any initial
+array contents, runs the discrete-event simulation to completion, and
+returns a :class:`RunResult` with the simulated wall time, the full
+profile, scalar values, and (in real mode) array contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..sial.bytecode import CompiledProgram
+from ..sial.compiler import compile_source
+from ..simmpi import Simulator, World
+from .blocks import Block, BlockId
+from .config import SIPConfig, SIPError
+from .dryrun import DryRunReport, InfeasibleComputation, dry_run
+from .ioserver import IOServerProcess
+from .master import MasterProcess
+from .profiling import RunProfile
+from .runtime import SharedRuntime
+from .vm import WorkerProcess
+
+__all__ = ["RunResult", "run_program", "run_source"]
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced."""
+
+    elapsed: float
+    profile: RunProfile
+    scalars: dict[str, float]
+    dry_run: DryRunReport
+    stats: dict[str, Any]
+    external_store: dict[str, Any]
+    _rt: SharedRuntime = field(repr=False, default=None)
+    _workers: list = field(repr=False, default_factory=list)
+    _servers: list = field(repr=False, default_factory=list)
+
+    def array(self, name: str) -> np.ndarray:
+        """Gather a named array's final contents (real mode only)."""
+        rt = self._rt
+        array_id = rt.array_id_by_name(name)
+        desc = rt.array_desc(array_id)
+        blocks: dict[tuple[int, ...], Block] = {}
+        if desc.kind == "static":
+            for bid, block in self._workers[0].local_blocks.items():
+                if bid.array_id == array_id:
+                    blocks[bid.coords] = block
+        elif desc.kind == "distributed":
+            for w in self._workers:
+                for bid, block in w.owned.items():
+                    if bid.array_id == array_id:
+                        blocks[bid.coords] = block
+        elif desc.kind == "served":
+            for s in self._servers:
+                blocks.update(s.current_blocks(array_id))
+        else:
+            raise SIPError(
+                f"array {name!r} has kind {desc.kind!r}; only static, "
+                "distributed and served arrays persist after a run"
+            )
+        return rt.assemble_array(array_id, blocks)
+
+    def scalar(self, name: str) -> float:
+        return self.scalars[name.lower()]
+
+
+def run_source(
+    source: str,
+    config: Optional[SIPConfig] = None,
+    symbolics: Optional[dict[str, float]] = None,
+) -> RunResult:
+    """Compile SIAL source and run it (convenience wrapper)."""
+    return run_program(compile_source(source), config, symbolics)
+
+
+def run_program(
+    program: CompiledProgram,
+    config: Optional[SIPConfig] = None,
+    symbolics: Optional[dict[str, float]] = None,
+) -> RunResult:
+    config = config if config is not None else SIPConfig()
+    symbolics = symbolics or {}
+
+    sim = Simulator()
+    world = World(sim, config.world_size, config.machine.network())
+    rt = SharedRuntime(program, config, symbolics, sim, world)
+
+    report = dry_run(program, config, rt.table)
+    if not report.feasible:
+        raise InfeasibleComputation(report.report())
+
+    workers = [
+        WorkerProcess(rt, i, world.comm(config.worker_rank(i)))
+        for i in range(config.workers)
+    ]
+    servers = [
+        IOServerProcess(rt, i, world.comm(config.server_rank(i)))
+        for i in range(config.io_servers)
+    ]
+    master = MasterProcess(rt, world.comm(config.master_rank))
+
+    _scatter_inputs(rt, workers, servers)
+
+    sim.spawn(master.run(), name="master")
+    for i, w in enumerate(workers):
+        sim.spawn(w.run(), name=f"worker{i}")
+        sim.spawn(w.service(), name=f"worker{i}.service")
+    for i, s in enumerate(servers):
+        sim.spawn(s.run(), name=f"ioserver{i}")
+
+    sim.run()
+
+    elapsed = max((w.profile.elapsed for w in workers), default=0.0)
+    profile = RunProfile(
+        workers=[w.profile for w in workers], elapsed=elapsed, program=program
+    )
+    scalars = {
+        name.lower(): workers[0].scalars[i]
+        for i, name in enumerate(program.scalar_table)
+    }
+    stats = _collect_stats(rt, workers, servers, master)
+    return RunResult(
+        elapsed=elapsed,
+        profile=profile,
+        scalars=scalars,
+        dry_run=report,
+        stats=stats,
+        external_store=rt.external_store,
+        _rt=rt,
+        _workers=workers,
+        _servers=servers,
+    )
+
+
+def _scatter_inputs(
+    rt: SharedRuntime, workers: list[WorkerProcess], servers: list[IOServerProcess]
+) -> None:
+    """Pre-load initial array contents (outside simulated time)."""
+    for name, value in rt.config.inputs.items():
+        try:
+            array_id = rt.array_id_by_name(name)
+        except KeyError:
+            raise SIPError(f"input provided for undeclared array {name!r}") from None
+        desc = rt.array_desc(array_id)
+        if desc.kind == "static":
+            for w in workers:
+                for coords, block in rt.blocks_from_input(array_id, value).items():
+                    w.local_blocks[BlockId(array_id, coords)] = block
+        elif desc.kind == "distributed":
+            placement = rt.placements[array_id]
+            blocks = rt.blocks_from_input(array_id, value)
+            for coords, block in blocks.items():
+                owner = placement.owner_index(coords)
+                workers[owner].owned[BlockId(array_id, coords)] = block
+        elif desc.kind == "served":
+            placement = rt.served_placements[array_id]
+            blocks = rt.blocks_from_input(array_id, value)
+            for coords, block in blocks.items():
+                sidx = placement.owner_index(coords)
+                bid = BlockId(array_id, coords)
+                if block.data is not None:
+                    servers[sidx].disk_data[bid] = block.data
+                else:
+                    servers[sidx].disk_data[bid] = block.shape
+        elif desc.kind == "temp" or desc.kind == "local":
+            raise SIPError(
+                f"cannot provide input for {desc.kind} array {name!r}; "
+                "only static, distributed, and served arrays take inputs"
+            )
+
+
+def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
+    cache_hits = sum(w.cache.stats.hits for w in workers)
+    cache_misses = sum(w.cache.stats.misses for w in workers)
+    return {
+        "messages_sent": rt.world.stats.messages_sent,
+        "bytes_sent": rt.world.stats.bytes_sent,
+        "remote_bytes": rt.world.stats.remote_bytes,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "cache_evictions": sum(w.cache.stats.evictions for w in workers),
+        "cache_evicted_before_use": sum(
+            w.cache.stats.evicted_before_use for w in workers
+        ),
+        "refetches": sum(w.cache.stats.refetches for w in workers),
+        "pool_peak_bytes": max((w.pool.stats.peak_bytes for w in workers), default=0),
+        "chunks_served": master.chunks_served,
+        "server_cache_hits": sum(s.cache.stats.hits for s in servers),
+        "server_cache_misses": sum(s.cache.stats.misses for s in servers),
+        "disk_reads": sum(s.disk.stats.reads for s in servers),
+        "disk_writes": sum(s.disk.stats.writes for s in servers),
+        "disk_bytes_read": sum(s.disk.stats.bytes_read for s in servers),
+        "disk_bytes_written": sum(s.disk.stats.bytes_written for s in servers),
+    }

@@ -1,0 +1,174 @@
+"""Shared runtime state of one SIP execution.
+
+The :class:`SharedRuntime` is built once per run from the compiled
+program, the symbolic-constant values, and the :class:`SIPConfig`.  It
+holds everything that is *logically global*: the resolved index table,
+block placements, the cost model and backend factory, barrier objects,
+and the external store used for serialization/checkpointing.  Rank
+processes (master, workers, I/O servers) each hold a reference; all
+*data* stays in per-rank structures, and simulated communication is the
+only way data moves between ranks during execution.
+
+Input scatter and output gather happen outside simulated time (they
+model the application's file I/O, which the paper's measurements also
+exclude).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..costmodel import CostModel
+from ..sial.bytecode import ArrayDesc, CompiledProgram
+from ..simmpi import Barrier, Simulator, World
+from .backend import make_backend
+from .blocks import Block, BlockId, ResolvedIndexTable, block_shape
+from .config import SIPConfig, SIPError
+from .distributed import Placement
+from .registry import GLOBAL_REGISTRY, SuperInstructionRegistry
+
+__all__ = ["SharedRuntime"]
+
+
+class SharedRuntime:
+    def __init__(
+        self,
+        program: CompiledProgram,
+        config: SIPConfig,
+        symbolics: dict[str, float],
+        sim: Simulator,
+        world: World,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.sim = sim
+        self.world = world
+        self.table = ResolvedIndexTable(
+            program,
+            symbolics,
+            segment_size=config.segment_size,
+            segment_sizes=config.segment_sizes,
+            subsegments_per_segment=config.subsegments_per_segment,
+        )
+        self.cost = CostModel(config.machine)
+        self.registry: SuperInstructionRegistry = GLOBAL_REGISTRY.merged_with(
+            config.superinstructions
+        )
+        self.external_store: dict[str, Any] = config.external_store
+
+        # placements for distributed and served arrays
+        self.placements: dict[int, Placement] = {}
+        self.served_placements: dict[int, Placement] = {}
+        for array_id, desc in enumerate(program.array_table):
+            if desc.kind == "distributed":
+                self.placements[array_id] = Placement(
+                    self.table, array_id, config.workers
+                )
+            elif desc.kind == "served":
+                if config.io_servers == 0:
+                    raise SIPError(
+                        f"program declares served array {desc.name!r} but "
+                        "config.io_servers is 0"
+                    )
+                self.served_placements[array_id] = Placement(
+                    self.table, array_id, config.io_servers
+                )
+
+        self.worker_barrier = Barrier(
+            world, config.worker_ranks, name="sip_barrier"
+        )
+        self.server_barrier_obj = Barrier(
+            world, config.worker_ranks, name="server_barrier"
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def array_desc(self, array_id: int) -> ArrayDesc:
+        return self.program.array_table[array_id]
+
+    def array_id_by_name(self, name: str) -> int:
+        return self.program.array_id(name)
+
+    def owner_rank(self, block_id: BlockId) -> int:
+        """World rank of the worker owning a distributed block."""
+        idx = self.placements[block_id.array_id].owner_index(block_id.coords)
+        return self.config.worker_rank(idx)
+
+    def server_rank_for(self, block_id: BlockId) -> int:
+        idx = self.served_placements[block_id.array_id].owner_index(block_id.coords)
+        return self.config.server_rank(idx)
+
+    def block_shape(self, block_id: BlockId) -> tuple[int, ...]:
+        return block_shape(
+            self.table, self.array_desc(block_id.array_id), block_id.coords
+        )
+
+    def make_backend(self):
+        return make_backend(self.config.backend, self.cost)
+
+    @property
+    def real(self) -> bool:
+        return self.config.backend == "real"
+
+    # -- block space enumeration ------------------------------------------------
+    def all_blocks(self, array_id: int):
+        """Iterate all block coordinates of an array."""
+        from itertools import product
+
+        desc = self.array_desc(array_id)
+        space = self.table.array_block_space(desc)
+        yield from product(*space)
+
+    # -- input scatter ------------------------------------------------------------
+    def blocks_from_input(
+        self, array_id: int, value: Optional[np.ndarray]
+    ) -> dict[tuple[int, ...], Block]:
+        """Slice a full input ndarray (or None = zeros) into blocks."""
+        desc = self.array_desc(array_id)
+        full_shape = self.table.array_shape(desc)
+        if value is not None:
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != full_shape:
+                raise SIPError(
+                    f"input for array {desc.name!r} has shape {value.shape}, "
+                    f"declared shape is {full_shape}"
+                )
+        out: dict[tuple[int, ...], Block] = {}
+        for coords in self.all_blocks(array_id):
+            shape = block_shape(self.table, desc, coords)
+            data = None
+            if self.real:
+                if value is None:
+                    data = np.zeros(shape, dtype=np.float64)
+                else:
+                    slices = tuple(
+                        slice(
+                            self.table[i].segment(c).start,
+                            self.table[i].segment(c).stop,
+                        )
+                        for i, c in zip(desc.index_ids, coords)
+                    )
+                    data = np.ascontiguousarray(value[slices])
+            out[coords] = Block(shape, data)
+        return out
+
+    def assemble_array(
+        self, array_id: int, blocks: dict[tuple[int, ...], Block]
+    ) -> np.ndarray:
+        """Place blocks back into a full ndarray (real mode only)."""
+        if not self.real:
+            raise SIPError("array contents are not available in model mode")
+        desc = self.array_desc(array_id)
+        full = np.zeros(self.table.array_shape(desc), dtype=np.float64)
+        for coords, block in blocks.items():
+            if block.data is None:
+                continue
+            slices = tuple(
+                slice(
+                    self.table[i].segment(c).start, self.table[i].segment(c).stop
+                )
+                for i, c in zip(desc.index_ids, coords)
+            )
+            full[slices] = block.data
+        return full

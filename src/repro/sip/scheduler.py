@@ -1,0 +1,107 @@
+"""Master-side pardo scheduling.
+
+All parallelism in SIAL is the pardo loop; the master enumerates its
+iteration space (the cross product of the index ranges filtered by the
+``where`` clauses) and doles it out to workers in *chunks* whose size
+decreases as the computation proceeds -- the guided self-scheduling
+policy the paper compares to OpenMP's ``guided`` (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from math import ceil
+from typing import Iterable, Sequence
+
+from ..sial.bytecode import CompiledCondition, evaluate_condition
+from .blocks import ResolvedIndexTable
+
+__all__ = ["enumerate_pardo", "GuidedScheduler", "StaticScheduler", "make_scheduler"]
+
+
+def enumerate_pardo(
+    table: ResolvedIndexTable,
+    index_ids: Sequence[int],
+    conditions: Sequence[CompiledCondition],
+    symbolics: Sequence[float] | None = None,
+) -> list[tuple[int, ...]]:
+    """All (ordered) iteration tuples of a pardo loop."""
+    sym = list(symbolics) if symbolics is not None else table.symbolic_values
+    ranges = [table[i].values() for i in index_ids]
+    out: list[tuple[int, ...]] = []
+    for combo in product(*ranges):
+        values = dict(zip(index_ids, combo))
+        if all(
+            evaluate_condition(c, symbolics=sym, index_values=values)
+            for c in conditions
+        ):
+            out.append(combo)
+    return out
+
+
+@dataclass
+class GuidedScheduler:
+    """Shrinking-chunk dole-out of one pardo's iterations.
+
+    The first chunks are large (so dole-out overhead is amortized) and
+    chunk size decreases with the remaining work (so the tail balances
+    load): ``chunk = ceil(remaining / (chunk_factor * workers))``.
+    """
+
+    iterations: list[tuple[int, ...]]
+    workers: int
+    chunk_factor: int = 2
+    min_chunk: int = 1
+    _pos: int = 0
+    chunks_served: int = 0
+
+    def next_chunk(self) -> list[tuple[int, ...]]:
+        remaining = len(self.iterations) - self._pos
+        if remaining <= 0:
+            return []
+        size = max(self.min_chunk, ceil(remaining / (self.chunk_factor * self.workers)))
+        chunk = self.iterations[self._pos : self._pos + size]
+        self._pos += len(chunk)
+        self.chunks_served += 1
+        return chunk
+
+    @property
+    def done(self) -> bool:
+        return self._pos >= len(self.iterations)
+
+
+@dataclass
+class StaticScheduler:
+    """Ablation baseline: equal pre-partitioned chunks, one per worker.
+
+    Worker ``w`` receives the ``w``-th contiguous slice on its first
+    request and nothing afterwards -- classic static scheduling, which
+    load-imbalances when iteration costs vary.
+    """
+
+    iterations: list[tuple[int, ...]]
+    workers: int
+    _served: set[int] = field(default_factory=set)
+
+    def next_chunk_for(self, worker_index: int) -> list[tuple[int, ...]]:
+        if worker_index in self._served:
+            return []
+        self._served.add(worker_index)
+        n = len(self.iterations)
+        per = ceil(n / self.workers) if n else 0
+        lo = worker_index * per
+        return self.iterations[lo : lo + per]
+
+
+def make_scheduler(
+    policy: str,
+    iterations: list[tuple[int, ...]],
+    workers: int,
+    chunk_factor: int,
+):
+    if policy == "guided":
+        return GuidedScheduler(iterations, workers, chunk_factor)
+    if policy == "static":
+        return StaticScheduler(iterations, workers)
+    raise ValueError(f"unknown scheduling policy {policy!r}")

@@ -1,0 +1,134 @@
+"""Execution tracing: per-worker timelines of super instructions.
+
+The SIP's coarse instruction granularity makes detailed tracing cheap
+(paper, Section VI-B); this module records one event per executed
+(slow) instruction -- start/end simulated time, busy/wait split, rank
+and opcode -- and renders text timelines that make communication
+overlap visible:
+
+    w0 |####....####======####|
+    w1 |..####====####....####|
+
+where ``#`` is contraction time, ``=`` other kernels, ``.`` waiting.
+
+Attach a :class:`TraceRecorder` via ``SIPConfig.tracer``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..sial.bytecode import Op
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+# timeline glyphs by opcode family
+_GLYPHS = {
+    Op.CONTRACT: "#",
+    Op.SCALAR_CONTRACT: "#",
+    Op.COMPUTE_INTEGRALS: "%",
+    Op.EXECUTE: "x",
+    Op.FILL: "=",
+    Op.COPY: "=",
+    Op.NEGATE: "=",
+    Op.SCALE: "=",
+    Op.SCALE_INPLACE: "=",
+    Op.ACCUM: "=",
+    Op.ADDSUB: "=",
+    Op.PUT: ">",
+    Op.PREPARE: ">",
+    Op.SIP_BARRIER: "|",
+    Op.SERVER_BARRIER: "|",
+    Op.COLLECTIVE: "+",
+    Op.PARDO_START: "?",
+    Op.BLOCKS_TO_LIST: "s",
+    Op.LIST_TO_BLOCKS: "s",
+    Op.CHECKPOINT: "s",
+}
+_WAIT_GLYPH = "."
+_IDLE_GLYPH = " "
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    worker: int
+    pc: int
+    op: str
+    start: float
+    end: float
+    wait: float
+
+    @property
+    def busy(self) -> float:
+        return (self.end - self.start) - self.wait
+
+
+@dataclass
+class TraceRecorder:
+    """Collects instruction events; query or render after the run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self, worker: int, pc: int, op: str, start: float, end: float, wait: float
+    ) -> None:
+        self.events.append(TraceEvent(worker, pc, op, start, end, wait))
+
+    # -- queries -----------------------------------------------------------
+    def for_worker(self, worker: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.worker == worker]
+
+    def op_counts(self) -> Counter:
+        return Counter(e.op for e in self.events)
+
+    def total_busy(self) -> float:
+        return sum(e.busy for e in self.events)
+
+    def total_wait(self) -> float:
+        return sum(e.wait for e in self.events)
+
+    def span(self) -> tuple[float, float]:
+        if not self.events:
+            return (0.0, 0.0)
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    # -- rendering ---------------------------------------------------------
+    def timeline(self, width: int = 72) -> str:
+        """Per-worker text gantt over the traced span."""
+        if not self.events:
+            return "(no events traced)"
+        t0, t1 = self.span()
+        duration = max(t1 - t0, 1e-30)
+        workers = sorted({e.worker for e in self.events})
+        lines = [
+            f"timeline: {duration:.6f} s across {len(workers)} workers "
+            f"(# contract, % integrals, = kernels, > put, . wait, | barrier)"
+        ]
+        for w in workers:
+            cells = [_IDLE_GLYPH] * width
+            for e in self.for_worker(w):
+                lo = int((e.start - t0) / duration * width)
+                hi = max(lo + 1, int((e.end - t0) / duration * width))
+                hi = min(hi, width)
+                glyph = _GLYPHS.get(e.op, "=")
+                span = hi - lo
+                wait_cells = 0
+                if e.end > e.start:
+                    wait_cells = int(round(span * e.wait / (e.end - e.start)))
+                for i in range(lo, hi):
+                    cells[i] = _WAIT_GLYPH if i - lo < wait_cells else glyph
+            lines.append(f"w{w:<3d}|{''.join(cells)}|")
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        counts = self.op_counts()
+        lines = ["traced instruction counts:"]
+        for op, n in counts.most_common():
+            lines.append(f"  {op:<18s} {n}")
+        lines.append(f"total busy: {self.total_busy():.6f} s")
+        lines.append(f"total wait: {self.total_wait():.6f} s")
+        return "\n".join(lines)

@@ -1,0 +1,1173 @@
+"""The SIP worker: a bytecode interpreter on a simulated MPI rank.
+
+Each worker executes the whole program SPMD-style; pardo iterations are
+the only work division (chunks come from the master).  The design
+mirrors the paper's Section V:
+
+* all messaging is asynchronous -- ``get``/``put`` only *initiate*
+  communication; the super instruction that needs a block waits for it
+  if it has not arrived (and that wait is accounted separately, giving
+  the paper's per-instruction busy/wait profile);
+* a lookahead prefetcher issues ``get``s for upcoming loop iterations;
+* remote blocks live in a per-worker LRU cache; a block evicted before
+  use must be refetched (the BlueGene/P pathology of Section VI-A);
+* each worker also runs a *service pump* answering block requests and
+  applying puts/accumulates for the distributed blocks it owns;
+* barrier misuse (conflicting accesses within one epoch) is detected at
+  the owning rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..sial.bytecode import (
+    BlockOperand,
+    CompiledProgram,
+    Op,
+    evaluate_condition,
+    evaluate_rpn,
+)
+from ..simmpi import Timeout
+from ..simmpi.comm import SimComm
+from .backend import KernelOperand
+from .blocks import Block, BlockId
+from .cache import BlockCache
+from .config import SIPError
+from .distributed import ConflictTracker
+from .memory import BlockPool
+from .messages import (
+    HEADER_BYTES,
+    MASTER_TAG,
+    REPLY_TAG_BASE,
+    SERVER_TAG,
+    SERVICE_TAG,
+    Ack,
+    BlockReply,
+    ChunkRequest,
+    CollectiveContribution,
+    GetBlock,
+    PrepareBlock,
+    PutBlock,
+    RequestBlock,
+    Shutdown,
+    WorkerDone,
+    message_nbytes,
+)
+from .profiling import WorkerProfile
+from .runtime import SharedRuntime
+
+__all__ = ["WorkerProcess", "ResolvedOperand"]
+
+LOCAL_KINDS = ("static", "temp", "local")
+
+
+@dataclass(frozen=True)
+class ResolvedOperand:
+    """A block operand resolved against the current index values."""
+
+    block_id: BlockId
+    kind: str
+    index_ids: tuple[int, ...]
+    shape: tuple[int, ...]
+    slices: Optional[tuple[slice, ...]]
+    element_ranges: tuple[tuple[int, int], ...]
+
+
+@dataclass
+class _PardoState:
+    activation: int
+    entry_time: float
+    chunk: tuple[tuple[int, ...], ...] = ()
+    pos: int = 0
+
+
+@dataclass
+class _DoState:
+    values: list[int]
+    pos: int = 0
+
+
+class WorkerProcess:
+    """One SIP worker rank."""
+
+    def __init__(
+        self, rt: SharedRuntime, worker_index: int, comm: SimComm
+    ) -> None:
+        self.rt = rt
+        self.config = rt.config
+        self.worker_index = worker_index
+        self.rank = rt.config.worker_rank(worker_index)
+        self.comm = comm
+        self.sim = rt.sim
+        self.backend = rt.make_backend()
+        self.profile = WorkerProfile()
+        self.pool = BlockPool(
+            rt.config.memory_budget,
+            real=rt.real,
+            name=f"worker{worker_index}",
+        )
+        self.cache = BlockCache(
+            rt.config.cache_blocks, name=f"worker{worker_index}.cache"
+        )
+
+        # interpreter state ---------------------------------------------------
+        self.scalars: list[float] = [0.0] * len(rt.program.scalar_table)
+        self.index_values: dict[int, int] = {}
+        self.local_blocks: dict[BlockId, Block] = {}
+        self.temp_current: dict[int, BlockId] = {}
+        self.owned: dict[BlockId, Block] = {}
+        self.call_stack: list[int] = []
+        self.do_states: dict[int, _DoState] = {}
+        self.pardo_states: dict[int, _PardoState] = {}
+        self.pardo_activations: dict[int, int] = {}
+        self.current_pardo: Optional[int] = None  # pardo_id while inside
+
+        # communication bookkeeping ------------------------------------------
+        self._tag_counter = REPLY_TAG_BASE
+        self.outstanding_put_acks: list = []
+        self.outstanding_prepare_acks: list = []
+        self.epoch = 0
+        self.served_epoch = 0
+        self.collective_seq = 0
+        self.checkpoint_seq = 0
+        self.ever_fetched: set[BlockId] = set()
+        self.trackers: dict[int, ConflictTracker] = {}
+        self._wait_acc = 0.0
+        self._shutdown = False
+
+        self._fast = {
+            Op.JUMP: self.op_jump,
+            Op.BRANCH_FALSE: self.op_branch_false,
+            Op.CALL: self.op_call,
+            Op.RETURN: self.op_return,
+            Op.DO_START: self.op_do_start,
+            Op.DO_END: self.op_do_end,
+            Op.DOIN_START: self.op_doin_start,
+            Op.DOIN_END: self.op_doin_end,
+            Op.PARDO_END: self.op_pardo_end,
+            Op.GET: self.op_get,
+            Op.REQUEST: self.op_request,
+            Op.CREATE: self.op_create,
+            Op.DELETE: self.op_delete,
+            Op.ALLOCATE: self.op_allocate,
+            Op.DEALLOCATE: self.op_deallocate,
+            Op.SCALAR_ASSIGN: self.op_scalar_assign,
+        }
+        self._slow = {
+            Op.PARDO_START: self.op_pardo_start,
+            Op.FILL: self.op_fill,
+            Op.COPY: self.op_copy,
+            Op.NEGATE: self.op_negate,
+            Op.SCALE: self.op_scale,
+            Op.SCALE_INPLACE: self.op_scale_inplace,
+            Op.ACCUM: self.op_accum,
+            Op.ADDSUB: self.op_addsub,
+            Op.CONTRACT: self.op_contract,
+            Op.SCALAR_CONTRACT: self.op_scalar_contract,
+            Op.COMPUTE_INTEGRALS: self.op_compute_integrals,
+            Op.EXECUTE: self.op_execute,
+            Op.PUT: self.op_put,
+            Op.PREPARE: self.op_prepare,
+            Op.SIP_BARRIER: self.op_sip_barrier,
+            Op.SERVER_BARRIER: self.op_server_barrier,
+            Op.COLLECTIVE: self.op_collective,
+            Op.BLOCKS_TO_LIST: self.op_blocks_to_list,
+            Op.LIST_TO_BLOCKS: self.op_list_to_blocks,
+            Op.CHECKPOINT: self.op_checkpoint,
+        }
+
+    # ======================================================================
+    # main loops
+    # ======================================================================
+    def run(self) -> Generator:
+        """The worker's main interpreter loop (a simulated process)."""
+        instrs = self.rt.program.instructions
+        start_time = self.sim.now
+        pc = 0
+        while True:
+            instr = instrs[pc]
+            if instr.op == Op.STOP:
+                break
+            fast = self._fast.get(instr.op)
+            if fast is not None:
+                pc = fast(instr, pc)
+                continue
+            handler = self._slow.get(instr.op)
+            if handler is None:
+                raise SIPError(f"worker cannot execute opcode {instr.op}")
+            self._wait_acc = 0.0
+            t0 = self.sim.now
+            old_pc = pc
+            pc = yield from handler(instr, pc)
+            elapsed = self.sim.now - t0
+            wait = self._wait_acc
+            self.profile.record_instr(old_pc, elapsed - wait, wait)
+            if self.current_pardo is not None:
+                self.profile.pardo_stats(self.current_pardo).wait_time += wait
+            if self.config.tracer is not None and elapsed > 0:
+                self.config.tracer.record(
+                    self.worker_index, old_pc, instr.op, t0, self.sim.now, wait
+                )
+        # drain outstanding writes so they land before we report done
+        yield from self._wait_events(self.outstanding_put_acks)
+        yield from self._wait_events(self.outstanding_prepare_acks)
+        self.profile.elapsed = self.sim.now - start_time
+        self.comm.isend(
+            WorkerDone(self.worker_index),
+            dest=self.config.master_rank,
+            tag=MASTER_TAG,
+        )
+
+    def service(self) -> Generator:
+        """Answer block requests / apply puts for blocks this rank owns.
+
+        Modeled as an always-responsive progress engine (the paper's
+        workers poll between instructions; an instantaneous responder
+        is the idealization of a well-tuned polling interval).
+        """
+        while True:
+            msg = yield from self.comm.recv(tag=SERVICE_TAG)
+            payload = msg.payload
+            if isinstance(payload, Shutdown):
+                return
+            if isinstance(payload, GetBlock):
+                block = self.owned.get(payload.block_id)
+                if block is None:
+                    raise SIPError(
+                        f"get of unwritten distributed block {payload.block_id} "
+                        f"(array "
+                        f"{self.rt.array_desc(payload.block_id.array_id).name!r})"
+                    )
+                self.tracker(payload.epoch).record_read(
+                    payload.worker_index, payload.block_id
+                )
+                reply = BlockReply(payload.block_id, block.copy())
+                self.comm.isend(
+                    reply,
+                    dest=msg.source,
+                    tag=payload.reply_tag,
+                    nbytes=message_nbytes(reply),
+                )
+            elif isinstance(payload, PutBlock):
+                self.apply_put(
+                    payload.block_id,
+                    payload.op,
+                    payload.block,
+                    payload.worker_index,
+                    payload.epoch,
+                )
+                self.comm.isend(Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag)
+            else:
+                raise SIPError(f"unexpected service message {payload!r}")
+
+    # ======================================================================
+    # helpers
+    # ======================================================================
+    def next_tag(self) -> int:
+        self._tag_counter += 1
+        return self._tag_counter
+
+    def tracker(self, epoch: int) -> ConflictTracker:
+        t = self.trackers.get(epoch)
+        if t is None:
+            t = self.trackers[epoch] = ConflictTracker(
+                "distributed", enabled=self.config.validate_barriers
+            )
+        return t
+
+    def _wait(self, event) -> Generator:
+        """Wait on an event, accounting the time as wait time."""
+        t0 = self.sim.now
+        value = yield event
+        self._wait_acc += self.sim.now - t0
+        return value
+
+    def _wait_events(self, events: list) -> Generator:
+        while events:
+            ev = events.pop()
+            if not ev.triggered:
+                yield from self._wait(ev)
+
+    def eval_rpn(self, rpn: tuple) -> float:
+        return evaluate_rpn(
+            rpn,
+            scalars=self.scalars,
+            symbolics=self.rt.table.symbolic_values,
+            index_values=self.index_values,
+        )
+
+    # -- operand resolution ---------------------------------------------------
+    def resolve(self, op: BlockOperand) -> ResolvedOperand:
+        rt = self.rt
+        desc = rt.array_desc(op.array_id)
+        table = rt.table
+        coords: list[int] = []
+        slices: list[slice] = []
+        shape: list[int] = []
+        eranges: list[tuple[int, int]] = []
+        any_slice = False
+        for did, uid in zip(desc.index_ids, op.index_ids):
+            val = self.index_values.get(uid)
+            if val is None:
+                raise SIPError(
+                    f"index {table[uid].name!r} has no value here "
+                    f"(array {desc.name!r})"
+                )
+            ri_u = table[uid]
+            if ri_u.is_subindex and not table[did].is_subindex:
+                # a subindex used on a full-segment dimension slices the
+                # block; any subindex of a same-kind, same-partition
+                # index works (the analyzer already checked the kind)
+                parent = ri_u.super_segment_of(val)
+                sub = ri_u.segment(val)
+                if not 1 <= parent <= table[did].n_segments:
+                    raise SIPError(
+                        f"subindex {ri_u.name!r} segment {val} falls outside "
+                        f"dimension {table[did].name!r} of {desc.name!r}"
+                    )
+                pseg = table[did].segment(parent)
+                if sub.start < pseg.start or sub.stop > pseg.stop:
+                    raise SIPError(
+                        f"subindex {ri_u.name!r} and dimension "
+                        f"{table[did].name!r} of {desc.name!r} have "
+                        "incompatible segmentations"
+                    )
+                coords.append(parent)
+                slices.append(slice(sub.start - pseg.start, sub.stop - pseg.start))
+                shape.append(sub.length)
+                eranges.append((sub.start, sub.stop))
+                any_slice = True
+            else:
+                nd = table[did].n_segments
+                if not 1 <= val <= nd:
+                    raise SIPError(
+                        f"segment {val} of index {ri_u.name!r} is outside the "
+                        f"declared range of dimension {table[did].name!r} of "
+                        f"array {desc.name!r} (1..{nd})"
+                    )
+                seg = table[did].segment(val)
+                used_seg = ri_u.segment(val) if not ri_u.is_simple else seg
+                if used_seg.length != seg.length:
+                    raise SIPError(
+                        f"index {ri_u.name!r} and dimension {table[did].name!r} "
+                        f"of {desc.name!r} have incompatible segmentations"
+                    )
+                coords.append(val)
+                slices.append(slice(0, seg.length))
+                shape.append(seg.length)
+                eranges.append((seg.start, seg.stop))
+        return ResolvedOperand(
+            block_id=BlockId(op.array_id, tuple(coords)),
+            kind=desc.kind,
+            index_ids=op.index_ids,
+            shape=tuple(shape),
+            slices=tuple(slices) if any_slice else None,
+            element_ranges=tuple(eranges),
+        )
+
+    # -- block acquisition (read path) ----------------------------------------
+    def acquire(self, r: ResolvedOperand) -> Generator:
+        """Obtain the block behind an operand, waiting if in flight."""
+        if r.kind in LOCAL_KINDS:
+            block = self.local_blocks.get(r.block_id)
+            if block is None:
+                desc = self.rt.array_desc(r.block_id.array_id)
+                raise SIPError(
+                    f"block {r.block_id.coords} of {desc.kind} array "
+                    f"{desc.name!r} read before it was written"
+                )
+            return block
+        if r.kind == "distributed":
+            if self.rt.owner_rank(r.block_id) == self.rank:
+                block = self.owned.get(r.block_id)
+                if block is None:
+                    raise SIPError(
+                        f"get of unwritten distributed block {r.block_id}"
+                    )
+                self.tracker(self.epoch).record_read(self.worker_index, r.block_id)
+                return block
+            return (yield from self._acquire_cached(r, self._issue_get))
+        if r.kind == "served":
+            return (yield from self._acquire_cached(r, self._issue_request))
+        raise SIPError(f"cannot read array kind {r.kind!r}")
+
+    def _issue_with_backpressure(self, bid: BlockId, issue) -> Generator:
+        """Issue a fetch, waiting for cache space when it is full of
+        in-flight blocks (demand fetches outrank prefetches)."""
+        while True:
+            try:
+                return issue(bid)
+            except SIPError:
+                pending = self.cache.any_pending_arrival()
+                if pending is None:
+                    raise
+                yield from self._wait(pending)
+
+    def _acquire_cached(self, r: ResolvedOperand, issue) -> Generator:
+        bid = r.block_id
+        entry = self.cache.lookup(bid)
+        if entry is None:
+            # miss: never requested, or evicted before use -> refetch
+            if bid in self.ever_fetched:
+                self.cache.mark_refetch(bid)
+            entry = yield from self._issue_with_backpressure(bid, issue)
+            self.cache.record_use(bid, hit=False)
+        else:
+            self.cache.record_use(bid, hit=not entry.pending)
+        if entry.pending:
+            yield from self._wait(entry.arrival)
+            entry = self.cache.lookup(bid)
+            if entry is None or entry.pending:
+                # evicted between arrival and resume: refetch synchronously
+                self.cache.mark_refetch(bid)
+                entry = yield from self._issue_with_backpressure(bid, issue)
+                yield from self._wait(entry.arrival)
+                entry = self.cache.lookup(bid)
+                if entry is None or entry.block is None:
+                    raise SIPError(
+                        f"block {bid} thrashed out of the cache; increase "
+                        "cache_blocks or reduce prefetch_depth"
+                    )
+        self.cache.record_use(bid, hit=True)  # mark used for eviction stats
+        self.cache.stats.hits -= 1  # the extra record_use is bookkeeping only
+        return entry.block
+
+    def _issue_get(self, bid: BlockId):
+        owner = self.rt.owner_rank(bid)
+        reply_tag = self.next_tag()
+        arrival = self.sim.event(name=f"arrive {bid}")
+        entry = self.cache.insert_pending(bid, arrival)
+        req = self.comm.irecv(source=owner, tag=reply_tag)
+
+        def on_reply(ev) -> None:
+            msg = ev.value
+            self.cache.fulfil(bid, msg.payload.block)
+            arrival.succeed(None)
+
+        req.event.add_callback(on_reply)
+        self.comm.isend(
+            GetBlock(bid, reply_tag, self.worker_index, self.epoch),
+            dest=owner,
+            tag=SERVICE_TAG,
+        )
+        self.ever_fetched.add(bid)
+        return entry
+
+    def _issue_request(self, bid: BlockId):
+        server = self.rt.server_rank_for(bid)
+        reply_tag = self.next_tag()
+        arrival = self.sim.event(name=f"arrive-served {bid}")
+        entry = self.cache.insert_pending(bid, arrival)
+        req = self.comm.irecv(source=server, tag=reply_tag)
+
+        def on_reply(ev) -> None:
+            msg = ev.value
+            self.cache.fulfil(bid, msg.payload.block)
+            arrival.succeed(None)
+
+        req.event.add_callback(on_reply)
+        self.comm.isend(
+            RequestBlock(bid, reply_tag, self.worker_index, self.served_epoch),
+            dest=server,
+            tag=SERVER_TAG,
+        )
+        self.ever_fetched.add(bid)
+        return entry
+
+    # -- write targets ----------------------------------------------------------
+    def write_target(self, r: ResolvedOperand, needs_existing: bool) -> Block:
+        """The local block an instruction writes into, allocating if needed.
+
+        ``needs_existing`` is True for accumulate ops and slice
+        insertions, which read-modify-write: a fresh block is zeroed.
+        """
+        bid = r.block_id
+        if r.kind == "temp":
+            current = self.temp_current.get(bid.array_id)
+            if current == bid:
+                return self.local_blocks[bid]
+            if r.slices is not None:
+                raise SIPError(
+                    f"insertion into temp block {bid} that does not exist yet"
+                )
+            if current is not None:
+                old = self.local_blocks.pop(current)
+                self.pool.free(old)
+            block = self._alloc_block(bid, zero=needs_existing)
+            self.temp_current[bid.array_id] = bid
+            self.local_blocks[bid] = block
+            return block
+        if r.kind in ("local", "static"):
+            block = self.local_blocks.get(bid)
+            if block is None:
+                if r.slices is not None:
+                    raise SIPError(
+                        f"insertion into missing block {bid} of array "
+                        f"{self.rt.array_desc(bid.array_id).name!r}; "
+                        "allocate it first"
+                    )
+                block = self._alloc_block(bid, zero=needs_existing)
+                self.local_blocks[bid] = block
+            return block
+        verb = "put" if r.kind == "distributed" else "prepare"
+        raise SIPError(
+            f"{r.kind} array blocks are written with '{verb}', "
+            "not direct assignment"
+        )
+
+    def _alloc_block(self, bid: BlockId, zero: bool) -> Block:
+        shape = self.rt.block_shape(bid)
+        block = self.pool.allocate(shape)
+        if zero and block.data is not None:
+            block.data[...] = 0.0
+        return block
+
+    def kernel_operand(self, r: ResolvedOperand, block: Block) -> KernelOperand:
+        data = None
+        if block.data is not None:
+            data = block.data[r.slices] if r.slices is not None else block.data
+        return KernelOperand(
+            shape=r.shape,
+            index_ids=r.index_ids,
+            data=data,
+            element_ranges=r.element_ranges,
+        )
+
+    # -- put application (shared with the service pump) --------------------------
+    def apply_put(
+        self,
+        bid: BlockId,
+        op: str,
+        incoming: Block,
+        writer_index: int,
+        epoch: int,
+    ) -> None:
+        self.tracker(epoch).record_write(writer_index, bid, op)
+        block = self.owned.get(bid)
+        if block is None:
+            block = self._alloc_block(bid, zero=True)
+            self.owned[bid] = block
+        if block.data is not None and incoming.data is not None:
+            if op == "=":
+                block.data[...] = incoming.data
+            else:
+                block.data[...] += incoming.data
+
+    # ======================================================================
+    # fast opcode handlers (no simulated time passes)
+    # ======================================================================
+    def op_jump(self, instr, pc: int) -> int:
+        return instr.args[0]
+
+    def op_branch_false(self, instr, pc: int) -> int:
+        cond, target = instr.args
+        ok = evaluate_condition(
+            cond,
+            scalars=self.scalars,
+            symbolics=self.rt.table.symbolic_values,
+            index_values=self.index_values,
+        )
+        return pc + 1 if ok else target
+
+    def op_call(self, instr, pc: int) -> int:
+        self.call_stack.append(pc + 1)
+        return instr.args[0]
+
+    def op_return(self, instr, pc: int) -> int:
+        if not self.call_stack:
+            raise SIPError("RETURN with empty call stack")
+        return self.call_stack.pop()
+
+    def op_do_start(self, instr, pc: int) -> int:
+        index_id, exit_pc, get_pcs = instr.args
+        values = list(self.rt.table[index_id].values())
+        if not values:
+            return exit_pc
+        self.do_states[pc] = _DoState(values=values)
+        self.index_values[index_id] = values[0]
+        self._prefetch_future(get_pcs, index_id, values[1 : 1 + self.config.prefetch_depth])
+        return pc + 1
+
+    def op_do_end(self, instr, pc: int) -> int:
+        index_id, body_start = instr.args
+        start_pc = body_start - 1
+        state = self.do_states[start_pc]
+        state.pos += 1
+        if state.pos < len(state.values):
+            self.index_values[index_id] = state.values[state.pos]
+            nxt = state.values[
+                state.pos + 1 : state.pos + 1 + self.config.prefetch_depth
+            ]
+            get_pcs = self.rt.program.instructions[start_pc].args[2]
+            self._prefetch_future(get_pcs, index_id, nxt)
+            return body_start
+        del self.do_states[start_pc]
+        self.index_values.pop(index_id, None)
+        return pc + 1
+
+    def op_doin_start(self, instr, pc: int) -> int:
+        sub_id, exit_pc, get_pcs = instr.args
+        sub = self.rt.table[sub_id]
+        super_val = self.index_values.get(sub.super_id)
+        if super_val is None:
+            raise SIPError(
+                f"'do {sub.name} in ...' outside a loop over its super index"
+            )
+        values = list(sub.subvalues_of(super_val))
+        if not values:
+            return exit_pc
+        self.do_states[pc] = _DoState(values=values)
+        self.index_values[sub_id] = values[0]
+        self._prefetch_future(get_pcs, sub_id, values[1 : 1 + self.config.prefetch_depth])
+        return pc + 1
+
+    op_doin_end = op_do_end  # identical mechanics
+
+    def op_pardo_end(self, instr, pc: int) -> int:
+        return instr.args[0]
+
+    def op_get(self, instr, pc: int) -> int:
+        r = self.resolve(instr.args[0])
+        bid = r.block_id
+        if self.rt.owner_rank(bid) == self.rank:
+            if bid not in self.owned:
+                raise SIPError(f"get of unwritten distributed block {bid}")
+            self.tracker(self.epoch).record_read(self.worker_index, bid)
+            return pc + 1
+        if self.cache.lookup(bid, touch=False) is None:
+            if bid in self.ever_fetched:
+                self.cache.mark_refetch(bid)
+            try:
+                self._issue_get(bid)
+            except SIPError:
+                pass  # cache momentarily full of in-flight blocks; the
+                # instruction that *uses* the block fetches with backpressure
+        return pc + 1
+
+    def op_request(self, instr, pc: int) -> int:
+        r = self.resolve(instr.args[0])
+        bid = r.block_id
+        if self.cache.lookup(bid, touch=False) is None:
+            if bid in self.ever_fetched:
+                self.cache.mark_refetch(bid)
+            try:
+                self._issue_request(bid)
+            except SIPError:
+                pass
+        return pc + 1
+
+    def op_create(self, instr, pc: int) -> int:
+        return pc + 1  # storage is lazy; creation is a declaration of intent
+
+    def op_delete(self, instr, pc: int) -> int:
+        array_id = instr.args[0]
+        for bid in [b for b in self.owned if b.array_id == array_id]:
+            self.pool.free(self.owned.pop(bid))
+        for bid in [b for b, e in list(self.cache.items()) if b.array_id == array_id]:
+            self.cache.remove(bid)
+        return pc + 1
+
+    def op_allocate(self, instr, pc: int) -> int:
+        r = self.resolve(instr.args[0])
+        if r.block_id not in self.local_blocks:
+            self.local_blocks[r.block_id] = self._alloc_block(r.block_id, zero=True)
+        return pc + 1
+
+    def op_deallocate(self, instr, pc: int) -> int:
+        r = self.resolve(instr.args[0])
+        block = self.local_blocks.pop(r.block_id, None)
+        if block is None:
+            raise SIPError(f"deallocate of missing block {r.block_id}")
+        self.pool.free(block)
+        return pc + 1
+
+    def op_scalar_assign(self, instr, pc: int) -> int:
+        scalar_id, op, rpn = instr.args
+        value = self.eval_rpn(rpn)
+        if op == "=":
+            self.scalars[scalar_id] = value
+        elif op == "+=":
+            self.scalars[scalar_id] += value
+        elif op == "-=":
+            self.scalars[scalar_id] -= value
+        else:  # '*='
+            self.scalars[scalar_id] *= value
+        return pc + 1
+
+    # ======================================================================
+    # prefetch
+    # ======================================================================
+    def _prefetch_future(
+        self, get_pcs: tuple[int, ...], index_id: int, future_values
+    ) -> None:
+        """Issue gets for upcoming iterations of one loop index."""
+        if not get_pcs or self.config.prefetch_depth == 0:
+            return
+        saved = self.index_values.get(index_id)
+        instrs = self.rt.program.instructions
+        for v in future_values:
+            if self.cache.pending_count >= self.cache.capacity - 2:
+                break  # leave room for demand fetches
+            self.index_values[index_id] = v
+            for gpc in get_pcs:
+                instr = instrs[gpc]
+                try:
+                    r = self.resolve(instr.args[0])
+                except SIPError:
+                    continue  # depends on an index not currently bound
+                bid = r.block_id
+                if self.cache.lookup(bid, touch=False) is not None:
+                    continue
+                if instr.op == Op.GET:
+                    if self.rt.owner_rank(bid) == self.rank:
+                        continue
+                    try:
+                        self._issue_get(bid)
+                    except SIPError:
+                        return  # cache full of pending blocks: stop prefetching
+                elif instr.op == Op.REQUEST:
+                    try:
+                        self._issue_request(bid)
+                    except SIPError:
+                        return
+        if saved is None:
+            self.index_values.pop(index_id, None)
+        else:
+            self.index_values[index_id] = saved
+
+    def _prefetch_pardo(
+        self, get_pcs: tuple[int, ...], index_ids: tuple[int, ...], tuples
+    ) -> None:
+        """Issue gets for upcoming pardo iterations in the current chunk."""
+        if not get_pcs or self.config.prefetch_depth == 0:
+            return
+        saved = {i: self.index_values.get(i) for i in index_ids}
+        instrs = self.rt.program.instructions
+        for combo in tuples:
+            if self.cache.pending_count >= self.cache.capacity - 2:
+                break  # leave room for demand fetches
+            for i, v in zip(index_ids, combo):
+                self.index_values[i] = v
+            for gpc in get_pcs:
+                instr = instrs[gpc]
+                try:
+                    r = self.resolve(instr.args[0])
+                except SIPError:
+                    continue
+                bid = r.block_id
+                if self.cache.lookup(bid, touch=False) is not None:
+                    continue
+                try:
+                    if instr.op == Op.GET:
+                        if self.rt.owner_rank(bid) == self.rank:
+                            continue
+                        self._issue_get(bid)
+                    elif instr.op == Op.REQUEST:
+                        self._issue_request(bid)
+                except SIPError:
+                    break
+        for i, v in saved.items():
+            if v is None:
+                self.index_values.pop(i, None)
+            else:
+                self.index_values[i] = v
+
+    # ======================================================================
+    # slow opcode handlers (generators)
+    # ======================================================================
+    def op_pardo_start(self, instr, pc: int) -> Generator:
+        pardo_id, index_ids, conditions, exit_pc, get_pcs = instr.args
+        stats = self.profile.pardo_stats(pardo_id)
+        state = self.pardo_states.get(pc)
+        if state is None:
+            activation = self.pardo_activations.get(pc, 0)
+            state = _PardoState(activation=activation, entry_time=self.sim.now)
+            self.pardo_states[pc] = state
+            self.current_pardo = pardo_id
+            stats.entries += 1
+        while True:
+            if state.pos < len(state.chunk):
+                combo = state.chunk[state.pos]
+                state.pos += 1
+                for i, v in zip(index_ids, combo):
+                    self.index_values[i] = v
+                stats.iterations += 1
+                depth = self.config.prefetch_depth
+                self._prefetch_pardo(
+                    get_pcs, index_ids, state.chunk[state.pos : state.pos + depth]
+                )
+                return pc + 1
+            # chunk exhausted: ask the master for more
+            reply_tag = self.next_tag()
+            req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
+            self.comm.isend(
+                ChunkRequest(pc, state.activation, self.worker_index, reply_tag),
+                dest=self.config.master_rank,
+                tag=MASTER_TAG,
+            )
+            t0 = self.sim.now
+            msg = yield from self._wait(req.event)
+            stats.chunk_wait += self.sim.now - t0
+            iterations = msg.payload.iterations
+            if not iterations:
+                # pardo complete for this worker
+                del self.pardo_states[pc]
+                self.pardo_activations[pc] = state.activation + 1
+                for i in index_ids:
+                    self.index_values.pop(i, None)
+                stats.elapsed += self.sim.now - state.entry_time
+                self.current_pardo = None
+                return exit_pc
+            state.chunk = iterations
+            state.pos = 0
+
+    def op_fill(self, instr, pc: int) -> Generator:
+        dst_op, op, rpn = instr.args
+        r = self.resolve(dst_op)
+        value = self.eval_rpn(rpn)
+        block = self.write_target(r, needs_existing=(op != "=" or r.slices is not None))
+        cost = self.backend.fill(self.kernel_operand(r, block), value, op)
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_copy(self, instr, pc: int) -> Generator:
+        dst_op, src_op = instr.args
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(dst_r, needs_existing=dst_r.slices is not None)
+        cost = self.backend.copy(
+            self.kernel_operand(dst_r, dst_block),
+            self.kernel_operand(src_r, src_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_negate(self, instr, pc: int) -> Generator:
+        dst_op, src_op = instr.args
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(dst_r, needs_existing=dst_r.slices is not None)
+        cost = self.backend.negate(
+            self.kernel_operand(dst_r, dst_block),
+            self.kernel_operand(src_r, src_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_scale(self, instr, pc: int) -> Generator:
+        dst_op, op, src_op, rpn = instr.args
+        factor = self.eval_rpn(rpn)
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(
+            dst_r, needs_existing=(op != "=" or dst_r.slices is not None)
+        )
+        cost = self.backend.scale(
+            self.kernel_operand(dst_r, dst_block),
+            op,
+            self.kernel_operand(src_r, src_block),
+            factor,
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_scale_inplace(self, instr, pc: int) -> Generator:
+        dst_op, rpn = instr.args
+        factor = self.eval_rpn(rpn)
+        r = self.resolve(dst_op)
+        block = self.write_target(r, needs_existing=True)
+        cost = self.backend.scale_inplace(self.kernel_operand(r, block), factor)
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_accum(self, instr, pc: int) -> Generator:
+        dst_op, op, src_op = instr.args
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(dst_r, needs_existing=True)
+        cost = self.backend.accumulate(
+            self.kernel_operand(dst_r, dst_block),
+            op,
+            self.kernel_operand(src_r, src_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_addsub(self, instr, pc: int) -> Generator:
+        dst_op, sign, a_op, b_op = instr.args
+        a_r = self.resolve(a_op)
+        a_block = yield from self.acquire(a_r)
+        b_r = self.resolve(b_op)
+        b_block = yield from self.acquire(b_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(dst_r, needs_existing=dst_r.slices is not None)
+        cost = self.backend.addsub(
+            self.kernel_operand(dst_r, dst_block),
+            sign,
+            self.kernel_operand(a_r, a_block),
+            self.kernel_operand(b_r, b_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_contract(self, instr, pc: int) -> Generator:
+        dst_op, op, a_op, b_op = instr.args
+        a_r = self.resolve(a_op)
+        a_block = yield from self.acquire(a_r)
+        b_r = self.resolve(b_op)
+        b_block = yield from self.acquire(b_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(
+            dst_r, needs_existing=(op != "=" or dst_r.slices is not None)
+        )
+        cost = self.backend.contract(
+            self.kernel_operand(dst_r, dst_block),
+            op,
+            self.kernel_operand(a_r, a_block),
+            self.kernel_operand(b_r, b_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_scalar_contract(self, instr, pc: int) -> Generator:
+        scalar_id, op, a_op, b_op = instr.args
+        a_r = self.resolve(a_op)
+        a_block = yield from self.acquire(a_r)
+        b_r = self.resolve(b_op)
+        b_block = yield from self.acquire(b_r)
+        value, cost = self.backend.scalar_contract(
+            self.kernel_operand(a_r, a_block),
+            self.kernel_operand(b_r, b_block),
+        )
+        yield Timeout(cost)
+        if op == "=":
+            self.scalars[scalar_id] = value
+        elif op == "+=":
+            self.scalars[scalar_id] += value
+        else:
+            self.scalars[scalar_id] -= value
+        return pc + 1
+
+    def op_compute_integrals(self, instr, pc: int) -> Generator:
+        r = self.resolve(instr.args[0])
+        block = self.write_target(r, needs_existing=r.slices is not None)
+        cost = self.backend.compute_integrals(
+            self.kernel_operand(r, block),
+            r.element_ranges,
+            self.config.integral_source,
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_execute(self, instr, pc: int) -> Generator:
+        name, arg_spec = instr.args
+        fn = self.rt.registry.lookup(name)
+        blocks: list[KernelOperand] = []
+        scalars: list[float] = []
+        for kind, value in arg_spec:
+            if kind == "block":
+                r = self.resolve(value)
+                if r.kind not in LOCAL_KINDS:
+                    raise SIPError(
+                        f"execute {name}: block arguments must be static/"
+                        f"temp/local arrays (got {r.kind!r}); get/request "
+                        "into a temp first"
+                    )
+                block = self.local_blocks.get(r.block_id)
+                if block is None:
+                    block = self.write_target(r, needs_existing=True)
+                blocks.append(self.kernel_operand(r, block))
+            elif kind == "num":
+                scalars.append(value)
+            elif kind == "scalar":
+                scalars.append(self.scalars[value])
+            elif kind == "symbolic":
+                scalars.append(self.rt.table.symbolic_values[value])
+            elif kind == "index":
+                v = self.index_values.get(value)
+                if v is None:
+                    raise SIPError(f"execute {name}: index argument not bound")
+                scalars.append(float(v))
+        from .registry import SuperCall
+
+        flops = fn(SuperCall(name=name, blocks=blocks, scalars=scalars, real=self.rt.real))
+        if flops is None:
+            nbytes = sum(b.nbytes for b in blocks) or 8
+            cost = self.rt.cost.elementwise_time(nbytes)
+        else:
+            cost = self.rt.cost.flops_time(float(flops))
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_put(self, instr, pc: int) -> Generator:
+        dst_op, op, src_op = instr.args
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        if dst_r.slices is not None:
+            raise SIPError("put of a sub-block slice is not supported")
+        if src_r.slices is not None:
+            src_block = self._materialize_view(src_r, src_block)
+        if src_block.shape != dst_r.shape:
+            raise SIPError(
+                f"put shape mismatch: {src_block.shape} -> {dst_r.shape}"
+            )
+        bid = dst_r.block_id
+        owner = self.rt.owner_rank(bid)
+        if owner == self.rank:
+            self.apply_put(bid, op, src_block, self.worker_index, self.epoch)
+            cost = self.rt.cost.elementwise_time(src_block.nbytes)
+            yield Timeout(cost)
+            return pc + 1
+        ack_tag = self.next_tag()
+        req = self.comm.irecv(source=owner, tag=ack_tag)
+        self.outstanding_put_acks.append(req.event)
+        payload = PutBlock(bid, op, src_block.copy(), self.worker_index, self.epoch, ack_tag)
+        self.comm.isend(
+            payload, dest=owner, tag=SERVICE_TAG, nbytes=message_nbytes(payload)
+        )
+        yield Timeout(self.rt.config.machine.send_overhead)
+        return pc + 1
+
+    def op_prepare(self, instr, pc: int) -> Generator:
+        dst_op, op, src_op = instr.args
+        src_r = self.resolve(src_op)
+        src_block = yield from self.acquire(src_r)
+        dst_r = self.resolve(dst_op)
+        if dst_r.slices is not None:
+            raise SIPError("prepare of a sub-block slice is not supported")
+        if src_r.slices is not None:
+            src_block = self._materialize_view(src_r, src_block)
+        bid = dst_r.block_id
+        server = self.rt.server_rank_for(bid)
+        ack_tag = self.next_tag()
+        req = self.comm.irecv(source=server, tag=ack_tag)
+        self.outstanding_prepare_acks.append(req.event)
+        payload = PrepareBlock(
+            bid, op, src_block.copy(), self.worker_index, self.served_epoch, ack_tag
+        )
+        self.comm.isend(
+            payload, dest=server, tag=SERVER_TAG, nbytes=message_nbytes(payload)
+        )
+        yield Timeout(self.rt.config.machine.send_overhead)
+        return pc + 1
+
+    def _materialize_view(self, r: ResolvedOperand, block: Block) -> Block:
+        data = None
+        if block.data is not None:
+            data = block.data[r.slices].copy()
+        return Block(r.shape, data)
+
+    def op_sip_barrier(self, instr, pc: int) -> Generator:
+        yield from self._wait_events(self.outstanding_put_acks)
+        yield from self._barrier_wait(self.rt.worker_barrier)
+        self.epoch += 1
+        self._clear_cache_kind("distributed")
+        return pc + 1
+
+    def op_server_barrier(self, instr, pc: int) -> Generator:
+        yield from self._wait_events(self.outstanding_prepare_acks)
+        yield from self._barrier_wait(self.rt.server_barrier_obj)
+        self.served_epoch += 1
+        self._clear_cache_kind("served")
+        return pc + 1
+
+    def _barrier_wait(self, barrier) -> Generator:
+        t0 = self.sim.now
+        yield from barrier.wait(self.comm)
+        self._wait_acc += self.sim.now - t0
+
+    def _clear_cache_kind(self, kind: str) -> None:
+        drop = [
+            bid
+            for bid, entry in list(self.cache.items())
+            if self.rt.array_desc(bid.array_id).kind == kind and not entry.pending
+        ]
+        for bid in drop:
+            self.cache.remove(bid)
+
+    def op_collective(self, instr, pc: int) -> Generator:
+        scalar_id = instr.args[0]
+        seq = self.collective_seq
+        self.collective_seq += 1
+        reply_tag = self.next_tag()
+        req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
+        self.comm.isend(
+            CollectiveContribution(
+                seq, self.worker_index, self.scalars[scalar_id], reply_tag
+            ),
+            dest=self.config.master_rank,
+            tag=MASTER_TAG,
+        )
+        msg = yield from self._wait(req.event)
+        self.scalars[scalar_id] = msg.payload.value
+        return pc + 1
+
+    # -- serialization & checkpoint -------------------------------------------
+    def op_blocks_to_list(self, instr, pc: int) -> Generator:
+        array_id = instr.args[0]
+        yield from self._serialize_array(array_id)
+        yield from self._barrier_wait(self.rt.worker_barrier)
+        return pc + 1
+
+    def _serialize_array(self, array_id: int) -> Generator:
+        desc = self.rt.array_desc(array_id)
+        store = self.rt.external_store.setdefault(desc.name.lower(), {})
+        total = 0
+        for bid, block in self.owned.items():
+            if bid.array_id != array_id:
+                continue
+            store[bid.coords] = (
+                block.data.copy() if block.data is not None else block.shape
+            )
+            total += block.nbytes
+        if total:
+            yield Timeout(total / self.rt.config.machine.copy_bandwidth)
+
+    def op_list_to_blocks(self, instr, pc: int) -> Generator:
+        array_id = instr.args[0]
+        desc = self.rt.array_desc(array_id)
+        store = self.rt.external_store.get(desc.name.lower())
+        if store is None:
+            raise SIPError(
+                f"list_to_blocks: no serialized data for array {desc.name!r} "
+                "in the external store"
+            )
+        placement = self.rt.placements[array_id]
+        total = 0
+        for coords in placement.owned_by(self.worker_index):
+            saved = store.get(coords)
+            if saved is None:
+                # blocks are materialized only when filled with data; a
+                # block absent from the store was never written
+                continue
+            bid = BlockId(array_id, coords)
+            block = self.owned.get(bid)
+            if block is None:
+                block = self._alloc_block(bid, zero=False)
+                self.owned[bid] = block
+            if block.data is not None:
+                block.data[...] = saved
+            total += block.nbytes
+        if total:
+            yield Timeout(total / self.rt.config.machine.copy_bandwidth)
+        yield from self._barrier_wait(self.rt.worker_barrier)
+        return pc + 1
+
+    def op_checkpoint(self, instr, pc: int) -> Generator:
+        """Serialize every distributed array plus the scalar state."""
+        for array_id, desc in enumerate(self.rt.program.array_table):
+            if desc.kind == "distributed":
+                yield from self._serialize_array(array_id)
+        if self.worker_index == 0:
+            self.rt.external_store["__scalars__"] = list(self.scalars)
+            self.rt.external_store["__checkpoint_seq__"] = self.checkpoint_seq
+        self.checkpoint_seq += 1
+        yield from self._barrier_wait(self.rt.worker_barrier)
+        return pc + 1

@@ -1,0 +1,152 @@
+"""Unit tests for the mini Global Arrays toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GACluster, GAError, GAMemoryError
+from repro.machines import LAPTOP, Machine
+
+
+def run_program(n_ranks, program, preload=None):
+    cluster = GACluster(n_ranks, machine=LAPTOP)
+    if preload:
+        for name, value in preload.items():
+            cluster.preload(name, value.shape, value)
+    results = cluster.run(program)
+    return cluster, results
+
+
+def test_create_and_roundtrip_put_get():
+    def program(env):
+        yield from env.create("a", (8, 4))
+        if env.rank == 0:
+            data = np.arange(8.0).reshape(2, 4)
+            yield from env.put("a", (3, 0), (5, 4), data)
+        yield from env.sync()
+        patch = yield from env.get("a", (3, 0), (5, 4))
+        return patch
+
+    _, results = run_program(2, program)
+    expected = np.arange(8.0).reshape(2, 4)
+    for patch in results:
+        assert np.array_equal(patch, expected)
+
+
+def test_get_spanning_multiple_owners():
+    value = np.arange(48.0).reshape(12, 4)
+
+    def program(env):
+        patch = yield from env.get("v", (2, 1), (11, 3))
+        return patch
+
+    _, results = run_program(3, program, preload={"v": value})
+    for patch in results:
+        assert np.array_equal(patch, value[2:11, 1:3])
+
+
+def test_accumulate_is_atomic_across_ranks():
+    def program(env):
+        yield from env.create("a", (4, 4))
+        ones = np.ones((4, 4))
+        yield from env.acc("a", (0, 0), (4, 4), ones)
+        yield from env.sync()
+        patch = yield from env.get("a", (0, 0), (4, 4))
+        return patch
+
+    cluster, results = run_program(4, program)
+    for patch in results:
+        assert np.all(patch == 4.0)
+    assert np.all(cluster.read_array("a") == 4.0)
+
+
+def test_patch_out_of_bounds_rejected():
+    value = np.zeros((4, 4))
+
+    def program(env):
+        yield from env.get("v", (0, 0), (5, 4))
+
+    with pytest.raises(GAError, match="outside array"):
+        run_program(1, program, preload={"v": value})
+
+
+def test_unknown_array_rejected():
+    def program(env):
+        yield from env.get("nope", (0, 0), (1, 1))
+
+    with pytest.raises(GAError, match="unknown"):
+        run_program(1, program)
+
+
+def test_sync_waits_for_outstanding_writes():
+    # rank 0 puts, everyone syncs, rank 1 must observe the data
+    def program(env):
+        yield from env.create("a", (4, 2))
+        if env.rank == 0:
+            yield from env.put("a", (2, 0), (4, 2), np.full((2, 2), 7.0))
+        yield from env.sync()
+        patch = yield from env.get("a", (2, 0), (4, 2))
+        return patch
+
+    _, results = run_program(2, program)
+    assert np.all(results[1] == 7.0)
+
+
+def test_nbget_overlaps_and_matches_blocking_get():
+    value = np.arange(64.0).reshape(8, 8)
+
+    def program(env):
+        h = env.nbget("v", (0, 0), (4, 8))
+        blocking = yield from env.get("v", (4, 0), (8, 8))
+        early = yield from h.wait()
+        return early, blocking
+
+    _, results = run_program(2, program, preload={"v": value})
+    early, blocking = results[0]
+    assert np.array_equal(early, value[0:4])
+    assert np.array_equal(blocking, value[4:8])
+
+
+def test_reduce_sum():
+    def program(env):
+        total = yield from env.reduce_sum(float(env.rank + 1))
+        return total
+
+    _, results = run_program(4, program)
+    assert results == [10.0, 10.0, 10.0, 10.0]
+
+
+def test_allocate_local_enforces_budget():
+    tiny = Machine(name="tiny", flop_rate=1e9, memory_per_rank=500.0)
+
+    def program(env):
+        env.allocate_local((4, 4))  # 128 B fine
+        env.allocate_local((8, 8))  # 512 B: over budget
+        yield from env.sync()
+
+    cluster = GACluster(2, machine=tiny)
+    with pytest.raises(GAMemoryError):
+        cluster.run(program)
+
+
+def test_local_share_counts_against_budget():
+    small = Machine(name="small", flop_rate=1e9, memory_per_rank=3000.0)
+    value = np.zeros((32, 8))  # 2048 B total, 1024 B/rank share
+
+    def program(env):
+        env.allocate_local((16, 16))  # 2048 B + 1024 share > 3000
+        yield from env.sync()
+
+    cluster = GACluster(2, machine=small)
+    cluster.preload("v", value.shape, value)
+    with pytest.raises(GAMemoryError):
+        cluster.run(program)
+
+
+def test_elapsed_time_recorded():
+    def program(env):
+        yield from env.create("a", (4, 4))
+        yield env.compute(1e6)
+        yield from env.sync()
+
+    cluster, _ = run_program(2, program)
+    assert cluster.elapsed > 0

@@ -1,0 +1,64 @@
+"""Tests for the NWChem-style GA MP2 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAMemoryError, ga_mp2, nwchem_feasible, nwchem_memory_floor
+from repro.chem import CYTOSINE_OH, ao_to_mo, make_integrals, mp2_energy_rhf, rhf
+from repro.machines import Machine
+
+
+@pytest.fixture(scope="module")
+def mp2_inputs():
+    n, no = 8, 3
+    ints = make_integrals(n, seed=42)
+    scf = rhf(ints.h, ints.eri, no)
+    emo = ao_to_mo(ints.eri, scf.mo_coeff)
+    o, v = slice(0, no), slice(no, n)
+    return (
+        np.ascontiguousarray(emo[o, v, o, v]),
+        scf.mo_energy[o],
+        scf.mo_energy[v],
+        mp2_energy_rhf(emo, scf.mo_energy, no),
+    )
+
+
+def test_ga_mp2_matches_reference(mp2_inputs):
+    ovov, eo, ev, ref = mp2_inputs
+    res = ga_mp2(ovov, eo, ev, n_ranks=3)
+    assert res.energy == pytest.approx(ref, abs=1e-12)
+
+
+def test_ga_mp2_rank_count_invariance(mp2_inputs):
+    ovov, eo, ev, ref = mp2_inputs
+    for p in (1, 2, 5):
+        res = ga_mp2(ovov, eo, ev, n_ranks=p)
+        assert res.energy == pytest.approx(ref, abs=1e-12), p
+
+
+def test_nbget_variant_same_energy_less_time(mp2_inputs):
+    ovov, eo, ev, ref = mp2_inputs
+    sync = ga_mp2(ovov, eo, ev, n_ranks=3, use_nbget=False)
+    nb = ga_mp2(ovov, eo, ev, n_ranks=3, use_nbget=True)
+    assert nb.energy == pytest.approx(sync.energy, abs=1e-13)
+    assert nb.elapsed <= sync.elapsed
+
+
+def test_memory_floor_failure(mp2_inputs):
+    ovov, eo, ev, _ = mp2_inputs
+    tiny = Machine(name="tiny", flop_rate=1e9, memory_per_rank=4000.0)
+    with pytest.raises(GAMemoryError):
+        ga_mp2(ovov, eo, ev, n_ranks=2, machine=tiny, memory_floor=16_000.0)
+
+
+def test_nwchem_memory_floor_independent_of_ranks():
+    f = nwchem_memory_floor(156, 34)
+    assert f == 5 * 156**2 * 34**2 * 8
+
+
+def test_nwchem_feasibility_paper_shape():
+    """Fig. 7: fails at 1 GB/core for cytosine+OH, runs at 2 GB/core."""
+    assert not nwchem_feasible(CYTOSINE_OH, n_ranks=64, memory_per_rank=1.0e9)
+    assert nwchem_feasible(CYTOSINE_OH, n_ranks=64, memory_per_rank=2.0e9)
+    # more ranks cannot fix the rigid floor
+    assert not nwchem_feasible(CYTOSINE_OH, n_ranks=4096, memory_per_rank=1.0e9)

@@ -1,0 +1,187 @@
+"""Unit tests for MP2, LCCD, CCSD and (T) references."""
+
+import numpy as np
+import pytest
+
+from repro.chem import (
+    ao_to_mo,
+    ccsd,
+    ccsd_t,
+    lccd,
+    lccd_residual,
+    make_integrals,
+    mo_slices,
+    mp2_density_spin,
+    mp2_energy_rhf,
+    mp2_energy_spin,
+    n_occ_spin,
+    rhf,
+    spin_orbital_eri,
+    spin_orbital_fock,
+)
+
+N_BASIS, N_OCC = 8, 3
+
+
+@pytest.fixture(scope="module")
+def system():
+    ints = make_integrals(N_BASIS, seed=42)
+    scf = rhf(ints.h, ints.eri, n_occ=N_OCC)
+    assert scf.converged
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps_so = np.repeat(scf.mo_energy, 2)
+    return ints, scf, eri_mo, eri_so, eps_so
+
+
+def test_ao_to_mo_preserves_symmetry(system):
+    _, _, eri_mo, _, _ = system
+    assert np.allclose(eri_mo, eri_mo.transpose(1, 0, 2, 3))
+    assert np.allclose(eri_mo, eri_mo.transpose(2, 3, 0, 1))
+
+
+def test_ao_to_mo_identity_coefficients():
+    ints = make_integrals(5, seed=3)
+    assert np.allclose(ao_to_mo(ints.eri, np.eye(5)), ints.eri)
+
+
+def test_spin_orbital_eri_antisymmetry(system):
+    _, _, _, eri_so, _ = system
+    assert np.allclose(eri_so, -eri_so.transpose(0, 1, 3, 2))
+    assert np.allclose(eri_so, -eri_so.transpose(1, 0, 2, 3))
+    assert np.allclose(eri_so, eri_so.transpose(1, 0, 3, 2))
+
+
+def test_spin_orbital_fock_diagonal(system):
+    _, scf, _, _, _ = system
+    f = spin_orbital_fock(scf.mo_energy)
+    assert f.shape == (2 * N_BASIS, 2 * N_BASIS)
+    assert np.allclose(f, np.diag(np.diag(f)))
+
+
+def test_mp2_negative(system):
+    _, scf, eri_mo, _, _ = system
+    e = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+    assert e < 0
+
+
+def test_mp2_spatial_equals_spin_orbital(system):
+    """Strong cross-check of the whole transform chain."""
+    _, scf, eri_mo, eri_so, eps_so = system
+    e_spatial = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+    e_spin = mp2_energy_spin(eri_so, eps_so, n_occ_spin(N_OCC))
+    assert e_spin == pytest.approx(e_spatial, abs=1e-12)
+
+
+def test_mp2_density_traceless_blocks(system):
+    _, _, _, eri_so, eps_so = system
+    dm = mp2_density_spin(eri_so, eps_so, n_occ_spin(N_OCC))
+    no = n_occ_spin(N_OCC)
+    # occupied block depletes, virtual block fills, by the same amount
+    assert np.trace(dm[:no, :no]) < 0
+    assert np.trace(dm[no:, no:]) > 0
+    assert np.trace(dm[:no, :no]) == pytest.approx(-np.trace(dm[no:, no:]))
+    assert np.allclose(dm, dm.T)
+
+
+def test_ccsd_converges(system):
+    _, _, _, eri_so, eps_so = system
+    cc = ccsd(eps_so, eri_so, n_occ_spin(N_OCC), tolerance=1e-11)
+    assert cc.converged
+    assert cc.e_corr < 0
+
+
+def test_ccsd_first_iteration_is_mp2(system):
+    _, scf, eri_mo, eri_so, eps_so = system
+    cc = ccsd(eps_so, eri_so, n_occ_spin(N_OCC), max_iterations=1)
+    e_mp2 = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+    assert cc.history[0] == pytest.approx(e_mp2, abs=1e-12)
+
+
+def test_ccsd_beats_mp2(system):
+    _, scf, eri_mo, eri_so, eps_so = system
+    cc = ccsd(eps_so, eri_so, n_occ_spin(N_OCC), tolerance=1e-11)
+    e_mp2 = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+    assert cc.e_corr < e_mp2  # more correlation captured
+
+
+def test_ccsd_t_small_negative(system):
+    _, _, _, eri_so, eps_so = system
+    cc = ccsd(eps_so, eri_so, n_occ_spin(N_OCC), tolerance=1e-11)
+    et = ccsd_t(eps_so, eri_so, cc.t1, cc.t2, n_occ_spin(N_OCC))
+    assert et < 0
+    assert abs(et) < abs(cc.e_corr)
+
+
+def test_ccsd_amplitude_antisymmetry(system):
+    _, _, _, eri_so, eps_so = system
+    cc = ccsd(eps_so, eri_so, n_occ_spin(N_OCC), tolerance=1e-11)
+    t2 = cc.t2
+    assert np.allclose(t2, -t2.transpose(1, 0, 2, 3), atol=1e-9)
+    assert np.allclose(t2, -t2.transpose(0, 1, 3, 2), atol=1e-9)
+
+
+def test_ccsd_size_consistency():
+    """Two non-interacting copies: E_corr(AB) = 2 E_corr(A)."""
+    n, no = 5, 2
+    ints = make_integrals(n, seed=9)
+    scf1 = rhf(ints.h, ints.eri, no)
+    assert scf1.converged
+    eri_mo1 = ao_to_mo(ints.eri, scf1.mo_coeff)
+
+    # block-diagonal supersystem of two copies with zero coupling
+    n2 = 2 * n
+    h2 = np.zeros((n2, n2))
+    h2[:n, :n] = ints.h
+    h2[n:, n:] = ints.h
+    # separate the two fragments energetically so occupation is 2x
+    h2[n:, n:] -= 0.0
+    eri2 = np.zeros((n2, n2, n2, n2))
+    eri2[:n, :n, :n, :n] = ints.eri
+    eri2[n:, n:, n:, n:] = ints.eri
+    # fragments share no integrals -> non-interacting
+
+    eps1 = np.repeat(scf1.mo_energy, 2)
+    eso1 = spin_orbital_eri(eri_mo1)
+    cc1 = ccsd(eps1, eso1, n_occ_spin(no), tolerance=1e-11)
+
+    scf2 = rhf(h2, eri2, 2 * no)
+    assert scf2.converged
+    assert scf2.energy == pytest.approx(2 * scf1.energy, abs=1e-7)
+    eri_mo2 = ao_to_mo(eri2, scf2.mo_coeff)
+    eso2 = spin_orbital_eri(eri_mo2)
+    eps2 = np.repeat(scf2.mo_energy, 2)
+    cc2 = ccsd(eps2, eso2, n_occ_spin(2 * no), tolerance=1e-11)
+    assert cc2.e_corr == pytest.approx(2 * cc1.e_corr, abs=1e-7)
+
+
+def test_lccd_converges_and_is_negative(system):
+    _, _, _, eri_so, eps_so = system
+    lc = lccd(eps_so, eri_so, n_occ_spin(N_OCC), iterations=40, tolerance=1e-12)
+    assert lc.converged
+    assert lc.e_corr < 0
+
+
+def test_lccd_first_iteration_is_mp2(system):
+    _, scf, eri_mo, eri_so, eps_so = system
+    lc = lccd(eps_so, eri_so, n_occ_spin(N_OCC), iterations=1)
+    e_mp2 = mp2_energy_rhf(eri_mo, scf.mo_energy, N_OCC)
+    assert lc.history[0] == pytest.approx(e_mp2, abs=1e-12)
+
+
+def test_lccd_residual_driver_only_at_t2_zero(system):
+    _, _, _, eri_so, _ = system
+    no = n_occ_spin(N_OCC)
+    nso = eri_so.shape[0]
+    t2 = np.zeros((no, no, nso - no, nso - no))
+    r = lccd_residual(eri_so, t2, no)
+    o, v = slice(0, no), slice(no, nso)
+    assert np.array_equal(r, eri_so[o, o, v, v])
+
+
+def test_lccd_fixed_iterations_deterministic(system):
+    _, _, _, eri_so, eps_so = system
+    a = lccd(eps_so, eri_so, n_occ_spin(N_OCC), iterations=6)
+    b = lccd(eps_so, eri_so, n_occ_spin(N_OCC), iterations=6)
+    assert a.e_corr == b.e_corr
+    assert np.array_equal(a.t2, b.t2)

@@ -1,0 +1,63 @@
+"""Unit tests for the synthetic integral generator."""
+
+import numpy as np
+import pytest
+
+from repro.chem import make_integrals
+
+
+@pytest.fixture(scope="module")
+def ints():
+    return make_integrals(8, seed=42)
+
+
+def test_deterministic_by_seed():
+    a = make_integrals(6, seed=1)
+    b = make_integrals(6, seed=1)
+    c = make_integrals(6, seed=2)
+    assert np.array_equal(a.h, b.h)
+    assert np.array_equal(a.eri, b.eri)
+    assert not np.array_equal(a.eri, c.eri)
+
+
+def test_core_hamiltonian_symmetric(ints):
+    assert np.allclose(ints.h, ints.h.T)
+
+
+def test_core_hamiltonian_diagonally_dominant(ints):
+    diag = np.abs(np.diag(ints.h))
+    off = np.abs(ints.h - np.diag(np.diag(ints.h))).sum(axis=1)
+    assert np.all(diag > off)
+
+
+def test_eri_eightfold_symmetry(ints):
+    e = ints.eri
+    for perm in [
+        (1, 0, 2, 3),
+        (0, 1, 3, 2),
+        (1, 0, 3, 2),
+        (2, 3, 0, 1),
+        (3, 2, 0, 1),
+        (2, 3, 1, 0),
+        (3, 2, 1, 0),
+    ]:
+        assert np.allclose(e, e.transpose(perm)), perm
+
+
+def test_coulomb_diagonal_positive(ints):
+    n = ints.n_basis
+    for p in range(n):
+        for q in range(n):
+            assert ints.eri[p, p, q, q] > 0
+
+
+def test_eri_block_slicing(ints):
+    block = ints.eri_block(((0, 4), (4, 8), (0, 4), (4, 8)))
+    assert block.shape == (4, 4, 4, 4)
+    assert np.array_equal(block, ints.eri[0:4, 4:8, 0:4, 4:8])
+
+
+def test_h_block_slicing(ints):
+    block = ints.h_block(((2, 5), (0, 8)))
+    assert block.shape == (3, 8)
+    assert np.array_equal(block, ints.h[2:5, 0:8])

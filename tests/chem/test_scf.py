@@ -1,0 +1,101 @@
+"""Unit tests for the SCF references."""
+
+import numpy as np
+import pytest
+
+from repro.chem import fock_rhf, make_integrals, rhf, uhf
+
+
+@pytest.fixture(scope="module")
+def system():
+    ints = make_integrals(8, seed=42)
+    return ints, rhf(ints.h, ints.eri, n_occ=3)
+
+
+def test_rhf_converges(system):
+    _, res = system
+    assert res.converged
+    assert res.iterations < 60
+
+
+def test_rhf_energy_below_core_guess(system):
+    ints, res = system
+    eps, c = np.linalg.eigh(ints.h)
+    d0 = 2.0 * c[:, :3] @ c[:, :3].T
+    f0 = fock_rhf(ints.h, ints.eri, d0)
+    e_core_guess = 0.5 * float(np.sum(d0 * (ints.h + f0)))
+    assert res.energy <= e_core_guess + 1e-12
+
+
+def test_rhf_energy_monotone_history_tail(system):
+    # after DIIS settles, energy changes become tiny
+    _, res = system
+    assert abs(res.history[-1] - res.history[-2]) < 1e-8
+
+
+def test_density_trace_equals_electrons(system):
+    _, res = system
+    assert np.trace(res.density) == pytest.approx(6.0)
+
+
+def test_density_idempotent(system):
+    # orthonormal basis: (D/2)^2 = D/2 for RHF
+    _, res = system
+    half = res.density / 2.0
+    assert np.allclose(half @ half, half, atol=1e-8)
+
+
+def test_fock_density_commute_at_convergence(system):
+    _, res = system
+    comm = res.fock @ res.density - res.density @ res.fock
+    assert np.max(np.abs(comm)) < 1e-8
+
+
+def test_mo_coefficients_orthonormal(system):
+    _, res = system
+    c = res.mo_coeff
+    assert np.allclose(c.T @ c, np.eye(c.shape[0]), atol=1e-10)
+
+
+def test_orbital_energies_sorted(system):
+    _, res = system
+    assert np.all(np.diff(res.mo_energy) >= -1e-12)
+
+
+def test_fock_rhf_matches_definition(system):
+    ints, res = system
+    f = fock_rhf(ints.h, ints.eri, res.density)
+    j = np.einsum("mnls,ls->mn", ints.eri, res.density)
+    k = np.einsum("mlns,ls->mn", ints.eri, res.density)
+    assert np.allclose(f, ints.h + j - 0.5 * k)
+
+
+def test_rhf_without_diis_same_answer(system):
+    ints, res = system
+    res2 = rhf(ints.h, ints.eri, 3, diis=False, max_iterations=500)
+    assert res2.converged
+    assert res2.energy == pytest.approx(res.energy, abs=1e-8)
+
+
+def test_rhf_rejects_bad_occupation():
+    ints = make_integrals(4, seed=0)
+    with pytest.raises(ValueError):
+        rhf(ints.h, ints.eri, n_occ=0)
+    with pytest.raises(ValueError):
+        rhf(ints.h, ints.eri, n_occ=5)
+
+
+def test_uhf_converges_open_shell():
+    ints = make_integrals(8, seed=42)
+    res = uhf(ints.h, ints.eri, n_alpha=4, n_beta=3)
+    assert res.converged
+    assert np.trace(res.density) == pytest.approx(4.0)
+    assert np.trace(res.density_b) == pytest.approx(3.0)
+
+
+def test_uhf_closed_shell_matches_rhf():
+    ints = make_integrals(8, seed=42)
+    r = rhf(ints.h, ints.eri, n_occ=3)
+    u = uhf(ints.h, ints.eri, n_alpha=3, n_beta=3)
+    assert u.converged
+    assert u.energy == pytest.approx(r.energy, abs=1e-7)

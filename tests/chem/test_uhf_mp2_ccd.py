@@ -1,0 +1,151 @@
+"""Tests for UHF MP2, the UHF spin-orbital transform, and CCD."""
+
+import numpy as np
+import pytest
+
+from repro.chem import (
+    ao_to_mo,
+    ccd,
+    ccsd,
+    lccd,
+    make_integrals,
+    mp2_energy_rhf,
+    mp2_energy_spin,
+    mp2_energy_uhf,
+    rhf,
+    spin_orbital_eri,
+    spin_orbital_eri_uhf,
+    uhf,
+)
+
+
+@pytest.fixture(scope="module")
+def open_shell():
+    n, na, nb = 7, 3, 2
+    ints = make_integrals(n, seed=5)
+    scf = uhf(ints.h, ints.eri, na, nb)
+    assert scf.converged
+    return n, na, nb, ints, scf
+
+
+def _uhf_channels(n, na, nb, ints, scf):
+    ca, cb = scf.mo_coeff, scf.mo_coeff_b
+    mo_aa = ao_to_mo(ints.eri, ca)
+    mo_bb = ao_to_mo(ints.eri, cb)
+    tmp = np.einsum("mp,mnls->pnls", ca, ints.eri, optimize=True)
+    tmp = np.einsum("nq,pnls->pqls", ca, tmp, optimize=True)
+    tmp = np.einsum("lr,pqls->pqrs", cb, tmp, optimize=True)
+    mo_ab = np.einsum("st,pqrs->pqrt", cb, tmp, optimize=True)
+    oa, va = slice(0, na), slice(na, n)
+    ob, vb = slice(0, nb), slice(nb, n)
+    return mo_aa[oa, va, oa, va], mo_bb[ob, vb, ob, vb], mo_ab[oa, va, ob, vb]
+
+
+def test_uhf_mp2_negative(open_shell):
+    n, na, nb, ints, scf = open_shell
+    aa, bb, ab = _uhf_channels(n, na, nb, ints, scf)
+    e = mp2_energy_uhf(
+        aa, bb, ab,
+        scf.mo_energy[:na], scf.mo_energy[na:],
+        scf.mo_energy_b[:nb], scf.mo_energy_b[nb:],
+    )
+    assert e < 0
+
+
+def test_uhf_mp2_equals_spin_orbital_form(open_shell):
+    """Spatial three-channel UHF MP2 == generic spin-orbital MP2."""
+    n, na, nb, ints, scf = open_shell
+    aa, bb, ab = _uhf_channels(n, na, nb, ints, scf)
+    e_spatial = mp2_energy_uhf(
+        aa, bb, ab,
+        scf.mo_energy[:na], scf.mo_energy[na:],
+        scf.mo_energy_b[:nb], scf.mo_energy_b[nb:],
+    )
+    # spin-orbital route: occupied first, then virtuals by energy
+    energy = {(p, 0): scf.mo_energy[p] for p in range(n)}
+    energy |= {(p, 1): scf.mo_energy_b[p] for p in range(n)}
+    occ = [(p, 0) for p in range(na)] + [(p, 1) for p in range(nb)]
+    virt = sorted(
+        (x for x in energy if x not in occ), key=lambda x: energy[x]
+    )
+    order = np.array(occ + virt)
+    eri_so = spin_orbital_eri_uhf(
+        ints.eri, scf.mo_coeff, scf.mo_coeff_b, order
+    )
+    eps_so = np.array([energy[tuple(x)] for x in order])
+    e_spin = mp2_energy_spin(eri_so, eps_so, na + nb)
+    assert e_spatial == pytest.approx(e_spin, abs=1e-10)
+
+
+def test_uhf_spin_orbital_eri_antisymmetric(open_shell):
+    n, na, nb, ints, scf = open_shell
+    order = np.array(
+        [(p, 0) for p in range(na)]
+        + [(p, 1) for p in range(nb)]
+        + [(p, 0) for p in range(na, n)]
+        + [(p, 1) for p in range(nb, n)]
+    )
+    eri_so = spin_orbital_eri_uhf(ints.eri, scf.mo_coeff, scf.mo_coeff_b, order)
+    assert np.allclose(eri_so, -eri_so.transpose(0, 1, 3, 2), atol=1e-10)
+    assert np.allclose(eri_so, -eri_so.transpose(1, 0, 2, 3), atol=1e-10)
+
+
+def test_uhf_mp2_closed_shell_equals_rhf_mp2():
+    n, no = 8, 3
+    ints = make_integrals(n, seed=42)
+    r = rhf(ints.h, ints.eri, no)
+    u = uhf(ints.h, ints.eri, no, no)
+    assert u.converged
+    aa, bb, ab = _uhf_channels(n, no, no, ints, u)
+    e_uhf = mp2_energy_uhf(
+        aa, bb, ab,
+        u.mo_energy[:no], u.mo_energy[no:],
+        u.mo_energy_b[:no], u.mo_energy_b[no:],
+    )
+    eri_mo = ao_to_mo(ints.eri, r.mo_coeff)
+    e_rhf = mp2_energy_rhf(eri_mo, r.mo_energy, no)
+    assert e_uhf == pytest.approx(e_rhf, abs=1e-8)
+
+
+# -- CCD -----------------------------------------------------------------
+@pytest.fixture(scope="module")
+def closed_shell():
+    ints = make_integrals(8, seed=42)
+    scf = rhf(ints.h, ints.eri, 3)
+    eri_mo = ao_to_mo(ints.eri, scf.mo_coeff)
+    eri_so = spin_orbital_eri(eri_mo)
+    eps = np.repeat(scf.mo_energy, 2)
+    return eri_so, eps
+
+
+def test_ccd_converges(closed_shell):
+    eri_so, eps = closed_shell
+    res = ccd(eps, eri_so, 6, tolerance=1e-11)
+    assert res.converged
+    assert res.e_corr < 0
+    assert res.t1 is None
+
+
+def test_ccd_first_iteration_is_mp2(closed_shell):
+    eri_so, eps = closed_shell
+    res = ccd(eps, eri_so, 6, max_iterations=1)
+    e_mp2 = mp2_energy_spin(eri_so, eps, 6)
+    assert res.history[0] == pytest.approx(e_mp2, abs=1e-12)
+
+
+def test_method_hierarchy_ccd_between_lccd_and_ccsd(closed_shell):
+    """|E_CCD| <= |E_LCCD| and CCD ~ CCSD minus singles effects."""
+    eri_so, eps = closed_shell
+    e_lccd = lccd(eps, eri_so, 6, iterations=60, tolerance=1e-12).e_corr
+    e_ccd = ccd(eps, eri_so, 6, tolerance=1e-11).e_corr
+    e_ccsd = ccsd(eps, eri_so, 6, tolerance=1e-11).e_corr
+    # LCCD overbinds (no quadratic damping); CCD and CCSD are close
+    assert e_lccd < e_ccd
+    assert abs(e_ccd - e_ccsd) < 0.2 * abs(e_ccsd)
+
+
+def test_ccd_t2_antisymmetry(closed_shell):
+    eri_so, eps = closed_shell
+    res = ccd(eps, eri_so, 6, tolerance=1e-11)
+    assert np.allclose(res.t2, -res.t2.transpose(1, 0, 2, 3), atol=1e-9)
+    assert np.allclose(res.t2, -res.t2.transpose(0, 1, 3, 2), atol=1e-9)

@@ -1,0 +1,130 @@
+"""Integration tests: full SIAL applications vs numpy references.
+
+These are the repository's headline correctness results: the paper's
+contraction example, an MP2 energy, an iterative LCCD with disk-backed
+integrals, and a Fock build all execute on the simulated SIP and agree
+with direct numpy evaluation to floating-point accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import BLUEGENE_P, CRAY_XT5
+from repro.programs import (
+    run_checkpoint_demo,
+    run_fock_build,
+    run_lccd,
+    run_mp2,
+    run_paper_contraction,
+)
+from repro.sip import SIPConfig
+
+
+def test_paper_contraction_example():
+    out = run_paper_contraction(n_basis=6, n_occ=4)
+    assert out.error < 1e-12
+
+
+def test_paper_contraction_different_worker_counts_agree():
+    values = []
+    for w in (1, 2, 4):
+        cfg = SIPConfig(workers=w, io_servers=1, segment_size=2)
+        values.append(run_paper_contraction(config=cfg).value)
+    assert np.allclose(values[0], values[1])
+    assert np.allclose(values[0], values[2])
+
+
+def test_mp2_energy_matches_reference():
+    out = run_mp2(n_basis=8, n_occ=3)
+    assert out.reference < 0
+    assert out.error < 1e-12
+
+
+def test_mp2_energy_various_sizes():
+    for n_basis, n_occ, seed in [(6, 2, 1), (7, 3, 2), (9, 4, 3)]:
+        out = run_mp2(n_basis=n_basis, n_occ=n_occ, seed=seed)
+        assert out.error < 1e-11, (n_basis, n_occ)
+
+
+def test_mp2_segment_size_invariance():
+    """The paper's central tuning claim: segment size never changes results."""
+    values = []
+    for seg in (1, 2, 3, 5):
+        cfg = SIPConfig(workers=2, io_servers=1, segment_size=seg)
+        values.append(run_mp2(n_basis=8, n_occ=3, config=cfg).value)
+    assert max(values) - min(values) < 1e-12
+
+
+def test_lccd_energy_matches_reference():
+    out = run_lccd(n_basis=6, n_occ=2, iterations=4)
+    assert out.reference < 0
+    assert out.error < 1e-12
+
+
+def test_lccd_more_iterations_approach_convergence():
+    e4 = run_lccd(iterations=4).value
+    e8 = run_lccd(iterations=8).value
+    e9 = run_lccd(iterations=9).value
+    assert abs(e9 - e8) < abs(e8 - e4)
+
+
+def test_lccd_uses_served_arrays_and_disk():
+    out = run_lccd(iterations=2)
+    assert out.result.stats["disk_writes"] == 0  # VVVV preloaded, never prepared
+    # requests served from the I/O servers (cache or disk)
+    served_traffic = (
+        out.result.stats["server_cache_hits"]
+        + out.result.stats["server_cache_misses"]
+    )
+    assert served_traffic > 0
+
+
+def test_lccd_worker_count_invariance():
+    values = [
+        run_lccd(
+            iterations=3,
+            config=SIPConfig(workers=w, io_servers=2, segment_size=2),
+        ).value
+        for w in (1, 3)
+    ]
+    assert values[0] == pytest.approx(values[1], abs=1e-13)
+
+
+def test_fock_build_matches_reference():
+    out = run_fock_build(n_basis=8, n_occ=3)
+    assert out.error < 1e-12
+
+
+def test_fock_build_on_other_machines_same_answer():
+    ref = run_fock_build().value
+    for machine in (CRAY_XT5, BLUEGENE_P):
+        cfg = SIPConfig(workers=3, io_servers=1, segment_size=2, machine=machine)
+        out = run_fock_build(config=cfg)
+        assert np.allclose(out.value, ref)
+
+
+def test_fock_build_machines_differ_in_time_not_results():
+    cfg_a = SIPConfig(workers=3, io_servers=1, segment_size=2, machine=CRAY_XT5)
+    cfg_b = SIPConfig(workers=3, io_servers=1, segment_size=2, machine=BLUEGENE_P)
+    out_a = run_fock_build(config=cfg_a)
+    out_b = run_fock_build(config=cfg_b)
+    assert out_a.error < 1e-12 and out_b.error < 1e-12
+    # BG/P is slower per core: simulated time must reflect that
+    assert out_b.result.elapsed > out_a.result.elapsed
+
+
+def test_checkpoint_restart_produces_same_output():
+    first, second = run_checkpoint_demo()
+    assert first.error == 0.0
+    assert second.error == 0.0
+    # restart skipped the expensive fill phase
+    assert second.result.elapsed < first.result.elapsed
+
+
+def test_wait_fraction_in_plausible_band():
+    """Fig. 2 reports 8.4-13.4% wait; our runs should be in a sane band."""
+    out = run_paper_contraction(
+        config=SIPConfig(workers=4, io_servers=1, segment_size=2)
+    )
+    frac = out.result.profile.wait_fraction
+    assert 0.0 <= frac < 0.8

@@ -1,0 +1,75 @@
+"""Chaining SIAL programs through the external store.
+
+The paper (Section IV-C): blocks_to_list / list_to_blocks "is used to
+pass data between different SIAL programs".  Here the full ACES-style
+pipeline runs as two separate SIAL programs: the AO->MO transform
+serializes its result, host glue slices the OVOV block out of the
+store, and the MP2 program consumes it -- final energy equal to the
+direct numpy evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import ao_to_mo, make_integrals, mp2_energy_rhf, rhf
+from repro.programs import library, supers
+from repro.sial import compile_source
+from repro.sip import SIPConfig, run_source
+from repro.sip.blocks import ResolvedIndexTable
+from repro.sip.checkpoint import store_to_array
+
+N_BASIS, N_OCC, SEED = 6, 2, 3
+
+TRANSFORM_AND_DUMP = library.AO2MO_TRANSFORM.replace(
+    "endsial ao2mo_transform",
+    "sip_barrier\nblocks_to_list VMO\nendsial ao2mo_transform",
+)
+
+
+def test_transform_then_mp2_through_the_store():
+    ints = make_integrals(N_BASIS, seed=SEED)
+    scf = rhf(ints.h, ints.eri, N_OCC)
+    assert scf.converged
+
+    # program 1: AO->MO transform, result serialized to the store
+    store: dict = {}
+    cfg1 = SIPConfig(
+        workers=3,
+        io_servers=1,
+        segment_size=2,
+        inputs={"C": scf.mo_coeff},
+        integral_source=ints.eri_block,
+        external_store=store,
+    )
+    run_source(TRANSFORM_AND_DUMP, cfg1, symbolics={"nb": N_BASIS})
+    assert "vmo" in store
+
+    # host glue: assemble the MO integrals and slice the OVOV block
+    prog1 = compile_source(TRANSFORM_AND_DUMP)
+    table1 = ResolvedIndexTable(prog1, {"nb": N_BASIS}, segment_size=2)
+    vmo = store_to_array(store, prog1, table1, "VMO")
+    o, v = slice(0, N_OCC), slice(N_OCC, N_BASIS)
+    ovov = np.ascontiguousarray(vmo[o, v, o, v])
+
+    # program 2: MP2 energy on the transformed integrals
+    cfg2 = SIPConfig(
+        workers=2,
+        io_servers=1,
+        segment_size=2,
+        inputs={"V": ovov},
+        superinstructions={
+            "mp2_denominator": supers.mp2_denominator(
+                scf.mo_energy[o], scf.mo_energy[v]
+            )
+        },
+    )
+    result = run_source(
+        library.MP2_ENERGY,
+        cfg2,
+        symbolics={"no": N_OCC, "nv": N_BASIS - N_OCC},
+    )
+
+    reference = mp2_energy_rhf(
+        ao_to_mo(ints.eri, scf.mo_coeff), scf.mo_energy, N_OCC
+    )
+    assert result.scalar("emp2") == pytest.approx(reference, abs=1e-11)

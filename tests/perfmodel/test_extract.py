@@ -1,0 +1,202 @@
+"""Tests for automatic workload extraction from SIAL bytecode."""
+
+import pytest
+
+from repro.machines import LAPTOP
+from repro.perfmodel import extract_workload, matmul_workload, simulate
+from repro.perfmodel.calibrate import _MATMUL_SRC
+from repro.programs import library
+from repro.sial import compile_source
+from repro.sip import SIPConfig, run_source
+
+
+def extract(src, seg=4, symbolics=None, **cfg):
+    prog = compile_source(src)
+    return extract_workload(
+        prog, SIPConfig(segment_size=seg, **cfg), symbolics or {}
+    )
+
+
+def test_matmul_matches_hand_built_spec():
+    w = extract(_MATMUL_SRC, seg=8, symbolics={"nb": 64})
+    hand = matmul_workload(64, 8)
+    assert len(w.phases) == 1
+    p, h = w.phases[0], hand.phases[0]
+    assert p.n_iterations == h.n_iterations
+    # contraction flops identical; extraction adds the fill/accum pass
+    assert p.flops_per_iter == pytest.approx(h.flops_per_iter, rel=0.05)
+    assert p.fetch_bytes_per_iter == h.fetch_bytes_per_iter
+    assert p.put_bytes_per_iter == h.put_bytes_per_iter
+
+
+def test_where_clause_respected_in_iteration_count():
+    src = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+distributed D(M, N)
+temp T(M, N)
+pardo M, N where M < N
+  T(M, N) = 1.0
+  put D(M, N) = T(M, N)
+endpardo M, N
+endsial t
+"""
+    w = extract(src, seg=4, symbolics={"nb": 16})
+    # 4 segments -> 6 strictly-upper-triangular pairs
+    assert w.phases[0].n_iterations == 6
+
+
+def test_sequential_loop_multiplies_body_costs():
+    src = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nb
+distributed A(M, L)
+distributed B(L, N)
+temp T(M, N)
+pardo M, N
+  T(M, N) = 0.0
+  do L
+    get A(M, L)
+    get B(L, N)
+    T(M, N) += A(M, L) * B(L, N)
+  enddo L
+endpardo M, N
+endsial t
+"""
+    w4 = extract(src, seg=4, symbolics={"nb": 16})  # 4 L-blocks
+    w2 = extract(src, seg=8, symbolics={"nb": 16})  # 2 L-blocks
+    assert w4.phases[0].fetch_messages_per_iter == 2 * 4
+    assert w2.phases[0].fetch_messages_per_iter == 2 * 2
+
+
+def test_pardo_inside_do_emits_phase_per_trip():
+    src = """
+sial t
+symbolic nb
+symbolic niter
+aoindex M = 1, nb
+index it = 1, niter
+distributed D(M, M)
+temp T(M, M)
+do it
+  pardo M
+    T(M, M) = 1.0
+    put D(M, M) += T(M, M)
+  endpardo M
+enddo it
+endsial t
+"""
+    w = extract(src, seg=4, symbolics={"nb": 8, "niter": 5})
+    assert len(w.phases) == 5
+    assert all(p.n_iterations == 2 for p in w.phases)
+
+
+def test_lccd_phase_structure():
+    w = extract(
+        library.LCCD_ITERATION,
+        seg=2,
+        symbolics={"no": 4, "nv": 8, "niter": 3},
+    )
+    # init + 3 x (ring + residual + swap) + energy = 11 pardo phases
+    assert len(w.phases) == 11
+    # the residual phases request served VVVV blocks
+    served = [p for p in w.phases if p.served_bytes_per_iter > 0]
+    assert len(served) == 3
+
+
+def test_if_branches_weighted_half():
+    src = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+distributed D(M, M)
+temp T(M, M)
+pardo M
+  T(M, M) = 0.0
+  if M == 1
+    T(M, M) = 1.0
+  endif
+  put D(M, M) = T(M, M)
+endpardo M
+endsial t
+"""
+    w = extract(src, seg=4, symbolics={"nb": 8})
+    # fill(1) + 0.5 * fill(1) + the put -> kernels = 1.5
+    assert w.phases[0].kernels_per_iter == pytest.approx(1.5)
+
+
+def test_procedure_bodies_inlined():
+    src = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+distributed D(M, M)
+temp T(M, M)
+proc work
+  T(M, M) = 1.0
+  put D(M, M) = T(M, M)
+endproc work
+pardo M
+  call work
+endpardo M
+endsial t
+"""
+    w = extract(src, seg=4, symbolics={"nb": 8})
+    assert w.phases[0].put_bytes_per_iter > 0
+
+
+def test_serial_sections_become_single_iteration_phases():
+    src = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+distributed D(M, M)
+static S(M, M)
+temp T(M, M)
+do M
+  S(M, M) = 1.0
+enddo M
+pardo M
+  T(M, M) = S(M, M)
+  put D(M, M) = T(M, M)
+endpardo M
+endsial t
+"""
+    w = extract(src, seg=4, symbolics={"nb": 8})
+    names = [p.name for p in w.phases]
+    assert any(n.startswith("serial") for n in names)
+    serial = [p for p in w.phases if p.name.startswith("serial")][0]
+    assert serial.n_iterations == 1
+
+
+def test_extracted_model_tracks_fine_simulator():
+    """End-to-end: simulate the extracted workload and compare with a
+    fine-grained run of the same program."""
+    symbolics = {"nb": 48}
+    cfg = SIPConfig(
+        workers=4,
+        io_servers=1,
+        segment_size=8,
+        backend="model",
+        machine=LAPTOP,
+        inputs={"A": None, "B": None},
+    )
+    fine = run_source(_MATMUL_SRC, cfg, symbolics)
+    w = extract(_MATMUL_SRC, seg=8, symbolics=symbolics)
+    coarse = simulate(w, LAPTOP, 4, io_servers=1)
+    ratio = coarse.time / fine.elapsed
+    assert 0.3 < ratio < 3.0
+
+
+def test_compute_integrals_charged():
+    w = extract(
+        library.FOCK_BUILD, seg=4, symbolics={"nb": 16}
+    )
+    phase = w.phases[0]
+    # integral evaluation dominates the per-iteration flops
+    assert phase.flops_per_iter > 100 * phase.put_bytes_per_iter

@@ -1,0 +1,149 @@
+"""Unit tests for the coarse performance model."""
+
+import pytest
+
+from repro.machines import JAGUAR_XT5, LAPTOP, SUN_OPTERON_IB
+from repro.perfmodel import PhaseSpec, WorkloadSpec, simulate, sweep
+
+
+def phase(n_iter=1000, flops=1e9, fetch=1e6, msgs=10, served=0.0, unique=0.0):
+    return PhaseSpec(
+        name="p",
+        n_iterations=n_iter,
+        flops_per_iter=flops,
+        fetch_bytes_per_iter=fetch,
+        fetch_messages_per_iter=msgs,
+        served_bytes_per_iter=served,
+        served_unique_bytes=unique,
+    )
+
+
+def workload(*phases):
+    return WorkloadSpec(name="w", phases=tuple(phases))
+
+
+def test_single_proc_time_is_serial_work():
+    w = workload(phase(n_iter=100, flops=1e9, fetch=0, msgs=0))
+    r = simulate(w, LAPTOP, 1)
+    serial = 100 * (1e9 / LAPTOP.flop_rate + LAPTOP.kernel_overhead)
+    assert r.time == pytest.approx(serial, rel=0.05)
+
+
+def test_strong_scaling_near_linear_with_ample_work():
+    w = workload(phase(n_iter=100_000))
+    t1 = simulate(w, LAPTOP, 10).time
+    t2 = simulate(w, LAPTOP, 100).time
+    assert t1 / t2 == pytest.approx(10.0, rel=0.1)
+
+
+def test_scaling_saturates_beyond_parallelism():
+    w = workload(phase(n_iter=128))
+    t_match = simulate(w, LAPTOP, 128).time
+    t_over = simulate(w, LAPTOP, 1024).time
+    # more procs than iterations cannot help (master drain even hurts)
+    assert t_over >= t_match * 0.95
+
+
+def test_master_serialization_limits_scaling():
+    # tiny iterations: chunk service eventually dominates, so adding
+    # workers first helps, then actively hurts (the Fig. 6 mechanism)
+    w = workload(phase(n_iter=200_000, flops=3e6, fetch=0, msgs=0))
+    t100, t1000, t50000 = (
+        simulate(w, JAGUAR_XT5, p).time for p in (100, 1000, 50000)
+    )
+    assert t1000 < t100  # still scaling
+    assert t50000 > t1000  # master-bound: more workers are slower
+    r = simulate(w, JAGUAR_XT5, 50000)
+    assert r.master_busy > 0.5 * r.time  # the master is the bottleneck
+
+
+def test_wait_fraction_grows_with_comm():
+    light = workload(phase(fetch=1e4))
+    heavy = workload(phase(fetch=1e9))
+    r_light = simulate(light, SUN_OPTERON_IB, 32)
+    r_heavy = simulate(heavy, SUN_OPTERON_IB, 32)
+    assert r_heavy.wait_fraction > r_light.wait_fraction
+
+
+def test_no_overlap_is_slower():
+    w = workload(phase(fetch=5e7))
+    with_overlap = simulate(w, SUN_OPTERON_IB, 32, overlap=True)
+    without = simulate(w, SUN_OPTERON_IB, 32, overlap=False)
+    assert without.time > with_overlap.time
+
+
+def test_unhidden_fraction_zero_hides_everything_under_compute():
+    w = workload(phase(flops=1e10, fetch=1e5))
+    r = simulate(w, LAPTOP, 16, unhidden_comm_fraction=0.0)
+    assert r.wait_fraction == pytest.approx(0.0, abs=1e-6)
+
+
+def test_served_unique_bytes_floor_the_phase_time():
+    # a disk-heavy phase cannot beat the disk streaming time
+    w = workload(phase(n_iter=100, flops=1e6, unique=1e12))
+    r = simulate(w, JAGUAR_XT5, 1000, io_servers=4)
+    disk_floor = 1e12 / (4 * JAGUAR_XT5.disk_bandwidth)
+    assert r.time >= disk_floor
+
+
+def test_more_io_servers_relieve_disk_floor():
+    w = workload(phase(n_iter=100, flops=1e6, unique=1e12))
+    few = simulate(w, JAGUAR_XT5, 1000, io_servers=2)
+    many = simulate(w, JAGUAR_XT5, 1000, io_servers=16)
+    assert many.time < few.time
+
+
+def test_static_scheduling_no_dole_out_queueing():
+    w = workload(phase(n_iter=10_000))
+    guided = simulate(w, LAPTOP, 64, scheduling="guided")
+    static = simulate(w, LAPTOP, 64, scheduling="static")
+    assert static.chunks_served <= 64
+    assert guided.chunks_served > 64
+    # with uniform iteration costs the two land close together
+    assert static.time == pytest.approx(guided.time, rel=0.3)
+
+
+def test_phases_accumulate():
+    w2 = workload(phase(n_iter=1000), phase(n_iter=1000))
+    w1 = workload(phase(n_iter=1000))
+    t2 = simulate(w2, LAPTOP, 8).time
+    t1 = simulate(w1, LAPTOP, 8).time
+    assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+
+def test_empty_phase_free():
+    w = workload(phase(n_iter=0))
+    r = simulate(w, LAPTOP, 8)
+    assert r.time < 1e-3
+
+
+def test_sweep_rows_and_efficiency_normalization():
+    w = workload(phase(n_iter=100_000))
+    rows = sweep(w, LAPTOP, [10, 20, 40])
+    assert [r["procs"] for r in rows] == [10, 20, 40]
+    assert rows[0]["efficiency"] == pytest.approx(1.0)
+    assert all(0 < r["efficiency"] <= 1.01 for r in rows)
+
+
+def test_sweep_custom_baseline():
+    w = workload(phase(n_iter=100_000))
+    rows = sweep(w, LAPTOP, [10, 20], baseline_procs=20)
+    assert rows[1]["efficiency"] == pytest.approx(1.0)
+
+
+def test_invalid_procs_rejected():
+    with pytest.raises(ValueError):
+        simulate(workload(phase()), LAPTOP, 0)
+
+
+def test_deterministic():
+    w = workload(phase(n_iter=5000, fetch=1e6))
+    a = simulate(w, JAGUAR_XT5, 777).time
+    b = simulate(w, JAGUAR_XT5, 777).time
+    assert a == b
+
+
+def test_workload_totals():
+    w = workload(phase(n_iter=10, flops=5.0), phase(n_iter=20, flops=2.0))
+    assert w.total_flops == 90.0
+    assert w.max_parallelism == 20

@@ -1,0 +1,395 @@
+"""Unit tests for SIAL semantic analysis."""
+
+import pytest
+
+from repro.sial.analyzer import analyze
+from repro.sial.errors import SemanticError
+from repro.sial.parser import parse
+
+
+DECLS = """
+symbolic norb
+symbolic nocc
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+index iter = 1, 10
+subindex MM of M
+scalar e
+distributed D(M, N)
+served SV(M, N)
+static ST(M, N)
+temp T(M, N)
+local LO(M, N)
+"""
+
+
+def check(body, decls=DECLS):
+    source = f"sial t\n{decls}\n{body}\nendsial t\n"
+    return analyze(parse(source), source)
+
+
+def check_fails(body, match, decls=DECLS):
+    with pytest.raises(SemanticError, match=match):
+        check(body, decls)
+
+
+def test_valid_paper_style_program():
+    check(
+        """
+pardo M, N
+  T(M, N) = 0.0
+  get D(M, N)
+  T(M, N) += D(M, N)
+  put D(M, N) = T(M, N)
+endpardo M, N
+"""
+    )
+
+
+def test_duplicate_declaration_rejected():
+    check_fails("", match="already declared", decls=DECLS + "\nscalar e\n")
+
+
+def test_undeclared_array():
+    check_fails("pardo M, N\nget NOPE(M, N)\nendpardo\n", match="undeclared")
+
+
+def test_index_kind_mismatch():
+    # D is declared D(M, N) with ao indices; I is an mo index
+    check_fails(
+        "pardo M, I\nget D(M, I)\nendpardo\n",
+        match="kind",
+    )
+
+
+def test_rank_mismatch():
+    check_fails("pardo M\nget D(M)\nendpardo\n", match="rank")
+
+
+def test_nested_pardo_rejected():
+    check_fails(
+        "pardo M\npardo N\nendpardo\nendpardo\n",
+        match="not be nested",
+    )
+
+
+def test_pardo_through_proc_rejected():
+    body = """
+proc inner
+  pardo N
+  endpardo
+endproc inner
+pardo M
+  call inner
+endpardo
+"""
+    check_fails(body, match="contains a pardo")
+
+
+def test_unbound_index_rejected():
+    check_fails("T(M, N) = 0.0\n", match="not bound")
+
+
+def test_rebinding_index_rejected():
+    check_fails("pardo M\ndo M\nenddo M\nendpardo\n", match="already bound")
+
+
+def test_do_in_requires_super_bound():
+    check_fails(
+        "do MM in M\nenddo MM\n",
+        match="requires 'M' to be bound",
+    )
+
+
+def test_do_in_wrong_super_rejected():
+    check_fails(
+        "do N\ndo MM in N\nenddo MM\nenddo N\n",
+        match="not of 'N'",
+    )
+
+
+def test_do_over_subindex_needs_in():
+    check_fails("do MM\nenddo MM\n", match="use 'do MM in M'")
+
+
+def test_pardo_over_subindex_rejected():
+    check_fails("pardo MM\nendpardo\n", match="may not iterate a subindex")
+
+
+def test_get_requires_distributed():
+    check_fails("pardo M, N\nget SV(M, N)\nendpardo\n", match="expected one of")
+    check_fails("pardo M, N\nget T(M, N)\nendpardo\n", match="expected one of")
+
+
+def test_request_requires_served():
+    check_fails("pardo M, N\nrequest D(M, N)\nendpardo\n", match="expected one of")
+
+
+def test_put_requires_distributed_dst_and_local_src():
+    check_fails("pardo M, N\nput SV(M, N) = T(M, N)\nendpardo\n", match="expected")
+    # src must be local-ish: distributed src rejected
+    check_fails(
+        "pardo M, N\nget D(M, N)\nput D(M, N) = D(M, N)\nendpardo\n",
+        match="expected",
+    )
+
+
+def test_read_distributed_without_get_rejected():
+    check_fails(
+        "pardo M, N\nT(M, N) = D(M, N)\nendpardo\n",
+        match="without a preceding 'get'",
+    )
+
+
+def test_read_served_without_request_rejected():
+    check_fails(
+        "pardo M, N\nT(M, N) = SV(M, N)\nendpardo\n",
+        match="without a preceding 'request'",
+    )
+
+
+def test_get_in_outer_loop_covers_inner_use():
+    check(
+        """
+pardo M, N
+  get D(M, N)
+  do iter
+    T(M, N) = D(M, N)
+  enddo iter
+endpardo M, N
+"""
+    )
+
+
+def test_get_does_not_leak_out_of_loop():
+    check_fails(
+        """
+pardo M, N
+  do iter
+    get D(M, N)
+  enddo iter
+  T(M, N) = D(M, N)
+endpardo M, N
+""",
+        match="without a preceding 'get'",
+    )
+
+
+def test_direct_assignment_to_distributed_rejected():
+    check_fails(
+        "pardo M, N\nD(M, N) = 0.0\nendpardo\n",
+        match="written with 'put'",
+    )
+
+
+def test_direct_assignment_to_served_rejected():
+    check_fails(
+        "pardo M, N\nSV(M, N) = 0.0\nendpardo\n",
+        match="written with 'prepare'",
+    )
+
+
+def test_static_write_in_pardo_rejected():
+    check_fails(
+        "pardo M, N\nST(M, N) = 0.0\nendpardo\n",
+        match="static array",
+    )
+
+
+def test_static_write_outside_pardo_allowed():
+    check("do M\ndo N\nST(M, N) = 0.0\nenddo N\nenddo M\n")
+
+
+def test_compound_block_expression_rejected():
+    check_fails(
+        """
+pardo M, N
+  do L
+    T(M, N) = LO(M, L) * LO(L, N) + LO(M, N)
+  enddo L
+endpardo
+""",
+        match="single block operation",
+    )
+
+
+def test_contraction_shape_checked():
+    check_fails(
+        """
+pardo M, N
+  do L
+    T(M, N) = LO(M, L) * LO(M, L)
+  enddo L
+endpardo
+""",
+        match="do not match",
+    )
+
+
+def test_valid_contraction():
+    check(
+        """
+pardo M, N
+  do L
+    T(M, N) = LO(M, L) * LO(L, N)
+  enddo L
+endpardo
+"""
+    )
+
+
+def test_scalar_full_contraction():
+    check("pardo M, N\ne = T(M, N) * LO(M, N)\nendpardo\n")
+
+
+def test_scalar_partial_contraction_rejected():
+    check_fails(
+        "pardo M, N\ndo L\ne = T(M, L) * LO(L, N)\nenddo L\nendpardo\n",
+        match="full contraction",
+    )
+
+
+def test_where_clause_restricted_to_pardo_indices():
+    check("pardo M, N where M < N\nendpardo\n")
+    check_fails(
+        "pardo M, N where e < 1\nendpardo\n",
+        match="where clauses may reference only",
+    )
+    check_fails(
+        "pardo M where M < I\nendpardo\n",
+        match="where clauses may reference only",
+    )
+
+
+def test_where_clause_with_symbolic_ok():
+    check("pardo M where M < norb\nendpardo\n")
+
+
+def test_barrier_inside_pardo_rejected():
+    check_fails("pardo M\nsip_barrier\nendpardo\n", match="not allowed inside pardo")
+
+
+def test_collective_inside_pardo_rejected():
+    check_fails("pardo M\ncollective e\nendpardo\n", match="outside pardo")
+
+
+def test_collective_requires_scalar():
+    check_fails("collective D\n", match="not a scalar")
+
+
+def test_index_range_must_be_symbolic_or_number():
+    decls = "scalar s\naoindex M = 1, s\n"
+    check_fails("", match="symbolic", decls=decls)
+
+
+def test_simple_index_not_allowed_in_array_decl():
+    decls = DECLS + "\ntemp BAD(iter, M)\n"
+    check_fails("", match="require segment indices", decls=decls)
+
+
+def test_subindex_slice_assignment():
+    decls = DECLS + "\ntemp TSUB(MM, N)\n"
+    check(
+        """
+pardo N
+do M
+  do MM in M
+    TSUB(MM, N) = T(MM, N)
+    T(MM, N) = TSUB(MM, N)
+  enddo MM
+enddo M
+endpardo N
+""",
+        decls=decls,
+    )
+
+
+def test_permuted_copy_ok():
+    check("pardo M, N\nT(M, N) = LO(N, M)\nendpardo\n")
+
+
+def test_copy_with_disjoint_indices_rejected():
+    check_fails(
+        "pardo M, N, L\nT(M, N) = LO(M, L)\nendpardo\n",
+        match="same index variables",
+    )
+
+
+def test_scale_and_fill_forms():
+    check(
+        """
+pardo M, N
+  T(M, N) = 3.0
+  T(M, N) = e
+  T(M, N) = e * LO(M, N)
+  T(M, N) *= 2.0
+endpardo
+"""
+    )
+
+
+def test_add_form_same_indices():
+    check("pardo M, N\nT(M, N) = LO(M, N) + LO(M, N)\nendpardo\n")
+    check_fails(
+        "pardo M, N, L\nT(M, N) = LO(M, L) + LO(L, N)\nendpardo\n",
+        match="same index variables",
+    )
+
+
+def test_scalar_assign_to_undeclared_rejected():
+    check_fails("nope = 1.0\n", match="not a declared scalar")
+
+
+def test_if_with_scalar_condition():
+    check("if e < 1.0\ne = 1.0\nendif\n")
+
+
+def test_if_with_bound_index_condition():
+    check("pardo M, N\nif M == N\nT(M, N) = 1.0\nendif\nendpardo\n")
+
+
+def test_if_with_unbound_index_rejected():
+    check_fails("if M == 1\ne = 1.0\nendif\n", match="not bound")
+
+
+def test_compute_integrals_into_temp():
+    decls = DECLS + "\ntemp V4(M, N)\n"
+    check("pardo M, N\ncompute_integrals V4(M, N)\nendpardo\n", decls=decls)
+
+
+def test_compute_integrals_into_distributed_rejected():
+    check_fails(
+        "pardo M, N\ncompute_integrals D(M, N)\nendpardo\n",
+        match="expected one of",
+    )
+
+
+def test_allocate_requires_local():
+    check("pardo M, N\nallocate LO(M, N)\nendpardo\n")
+    check_fails("pardo M, N\nallocate T(M, N)\nendpardo\n", match="expected one of")
+
+
+def test_blocks_to_list_requires_distributed():
+    check("blocks_to_list D\n")
+    check_fails("blocks_to_list SV\n", match="expected one of")
+
+
+def test_recursive_proc_rejected():
+    body = """
+proc a
+  call b
+endproc a
+proc b
+  call a
+endproc b
+call a
+"""
+    check_fails(body, match="recursive")
+
+
+def test_two_sequential_pardos_allowed():
+    check("pardo M\nendpardo\npardo N\nendpardo\n")

@@ -1,0 +1,57 @@
+"""Tests for diagnostic rendering."""
+
+import pytest
+
+from repro.sial import LexError, ParseError, SemanticError, compile_source, parse
+from repro.sial.errors import SialError, SourceLocation
+
+
+def test_location_str():
+    loc = SourceLocation(3, 7, "prog.sial")
+    assert str(loc) == "prog.sial:3:7"
+
+
+def test_error_renders_line_and_caret():
+    source = "sial t\nscalar x\nx = $\nendsial t\n"
+    with pytest.raises(LexError) as excinfo:
+        parse(source)
+    text = str(excinfo.value)
+    assert "3:5" in text
+    assert "x = $" in text
+    assert "^" in text
+    caret_line = text.splitlines()[-1]
+    assert caret_line.index("^") == 4 + len("x = ")  # 4-space indent
+
+
+def test_error_without_location_is_plain():
+    err = SialError("plain message")
+    assert str(err) == "plain message"
+
+
+def test_parse_error_points_at_offending_token():
+    source = "sial t\nscalar x\nx = = 1\nendsial t\n"
+    with pytest.raises(ParseError) as excinfo:
+        parse(source)
+    assert "3:" in str(excinfo.value)
+
+
+def test_semantic_error_names_the_symbol():
+    source = "sial t\nscalar x\nx = nope\nendsial t\n"
+    with pytest.raises(SemanticError) as excinfo:
+        compile_source(source)
+    assert "nope" in str(excinfo.value)
+    assert "3:" in str(excinfo.value)
+
+
+def test_error_on_out_of_range_line_skips_snippet():
+    err = SialError("msg", SourceLocation(99, 1), "one line only")
+    assert "msg" in str(err)
+    assert "^" not in str(err)
+
+
+def test_duplicate_declaration_points_at_second_site():
+    source = "sial t\nscalar x\nscalar x\nendsial t\n"
+    with pytest.raises(SemanticError) as excinfo:
+        compile_source(source)
+    assert "3:" in str(excinfo.value)
+    assert "already declared" in str(excinfo.value)

@@ -1,0 +1,84 @@
+"""Fuzz-style robustness tests: the front end must reject, never crash.
+
+Any input -- random text, randomly mutated valid programs, randomly
+assembled statement soups -- must either compile or raise a SialError
+diagnostic.  Python-level exceptions (AttributeError, IndexError, ...)
+escaping the compiler are bugs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sial import SialError, compile_source
+from repro.programs import library
+
+
+def try_compile(source: str):
+    try:
+        compile_source(source)
+    except SialError:
+        pass  # a diagnostic is the correct outcome for bad input
+    except RecursionError:
+        pass  # pathological nesting depth; acceptable rejection
+    # anything else propagates and fails the test
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_text_never_crashes_compiler(text):
+    try_compile(text)
+
+
+@given(
+    st.sampled_from(sorted(library.ALL_PROGRAMS)),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["", "x", "(", ")", "\n", "pardo", "endsial", "=", "123"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_mutated_valid_programs_never_crash(name, position, injection):
+    source = library.ALL_PROGRAMS[name]
+    position = min(position, len(source))
+    mutated = source[:position] + injection + source[position:]
+    try_compile(mutated)
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                "pardo M",
+                "endpardo",
+                "do M",
+                "enddo",
+                "if x < 1.0",
+                "else",
+                "endif",
+                "get D(M, M)",
+                "put D(M, M) = T(M, M)",
+                "T(M, M) = 1.0",
+                "x = x + 1.0",
+                "sip_barrier",
+                "call p",
+                "proc p",
+                "endproc",
+                "collective x",
+            ]
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_statement_soup_never_crashes(statements):
+    decls = (
+        "symbolic nb\naoindex M = 1, nb\ndistributed D(M, M)\n"
+        "temp T(M, M)\nscalar x\n"
+    )
+    body = "\n".join(statements)
+    try_compile(f"sial t\n{decls}\n{body}\nendsial t\n")
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=80, deadline=None)
+def test_binary_garbage_never_crashes(data):
+    try_compile(data.decode("latin-1"))

@@ -1,0 +1,105 @@
+"""Unit tests for the SIAL tokenizer."""
+
+import pytest
+
+from repro.sial.errors import LexError
+from repro.sial.lexer import Token, TokenKind, tokenize
+
+
+def kinds_and_texts(source):
+    return [(t.kind, t.text) for t in tokenize(source)]
+
+
+def test_keywords_case_insensitive():
+    toks = kinds_and_texts("PARDO M, N\nendpardo")
+    assert toks[0] == (TokenKind.KEYWORD, "pardo")
+    assert (TokenKind.KEYWORD, "endpardo") in toks
+
+
+def test_identifiers_keep_spelling():
+    toks = tokenize("Tmp = 1.0")
+    assert toks[0].kind == TokenKind.IDENT
+    assert toks[0].text == "Tmp"
+
+
+def test_numbers_int_float_exponent():
+    toks = kinds_and_texts("x = 42 + 3.14 + 1.0e-3 + 2e5")
+    numbers = [t for k, t in toks if k == TokenKind.NUMBER]
+    assert numbers == ["42", "3.14", "1.0e-3", "2e5"]
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(LexError):
+        tokenize("x = 1.2.3")
+
+
+def test_two_char_operators():
+    toks = kinds_and_texts("a += b\nc <= d\ne != f\ng == h")
+    ops = [t for k, t in toks if k == TokenKind.OP]
+    assert ops == ["+=", "<=", "!=", "=="]
+
+
+def test_comments_stripped():
+    toks = kinds_and_texts("x = 1 # a comment with pardo keywords\ny = 2")
+    texts = [t for _, t in toks]
+    assert "pardo" not in texts
+    assert "y" in texts
+
+
+def test_newlines_separate_statements():
+    toks = tokenize("a = 1\nb = 2")
+    kinds = [t.kind for t in toks]
+    assert kinds.count(TokenKind.NEWLINE) == 2  # between stmts and trailing
+    assert kinds[-1] == TokenKind.EOF
+
+
+def test_blank_lines_collapsed():
+    toks = tokenize("a = 1\n\n\n\nb = 2")
+    kinds = [t.kind for t in toks]
+    # exactly one NEWLINE between the two statements
+    newline_positions = [i for i, k in enumerate(kinds) if k == TokenKind.NEWLINE]
+    assert len(newline_positions) == 2
+
+
+def test_locations_are_accurate():
+    toks = tokenize("a = 1\n  b = 2")
+    b_tok = [t for t in toks if t.text == "b"][0]
+    assert b_tok.location.line == 2
+    assert b_tok.location.column == 3
+
+
+def test_unexpected_character_raises_with_location():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("a = 1\nb = $")
+    assert "2:5" in str(excinfo.value)
+
+
+def test_empty_source_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == TokenKind.EOF
+
+
+def test_paper_example_tokenizes():
+    source = """
+sial example
+pardo M, N, I, J
+  tmpsum(M, N, I, J) = 0.0
+  do L
+    do S
+      get T(L, S, I, J)
+      compute_integrals V(M, N, L, S)
+      tmp(M, N, I, J) = V(M, N, L, S) * T(L, S, I, J)
+      tmpsum(M, N, I, J) += tmp(M, N, I, J)
+    enddo S
+  enddo L
+  put R(M, N, I, J) = tmpsum(M, N, I, J)
+endpardo M, N, I, J
+endsial example
+"""
+    toks = tokenize(source)
+    keywords = [t.text for t in toks if t.kind == TokenKind.KEYWORD]
+    assert keywords[0] == "sial"
+    assert "pardo" in keywords
+    assert "compute_integrals" in keywords
+    assert keywords[-1] == "endsial"

@@ -1,0 +1,304 @@
+"""Unit tests for the SIAL parser."""
+
+import pytest
+
+from repro.sial import ast_nodes as ast
+from repro.sial.errors import ParseError
+from repro.sial.parser import parse
+
+
+def wrap(body, decls=""):
+    return f"sial test\n{decls}\n{body}\nendsial test\n"
+
+
+def test_program_name_roundtrip():
+    prog = parse("sial my_prog\nendsial my_prog\n")
+    assert prog.name == "my_prog"
+    assert prog.body == []
+
+
+def test_mismatched_endsial_name_rejected():
+    with pytest.raises(ParseError, match="does not match"):
+        parse("sial a\nendsial b\n")
+
+
+def test_index_decl_with_symbolic_range():
+    prog = parse(wrap("", decls="symbolic norb\naoindex M = 1, norb"))
+    decl = [d for d in prog.decls if isinstance(d, ast.IndexDecl)][0]
+    assert decl.name == "M"
+    assert decl.kind == "ao"
+    assert isinstance(decl.lo, ast.NumberLit)
+    assert isinstance(decl.hi, ast.ScalarRef)
+
+
+def test_array_decl_kinds():
+    decls = """
+symbolic n
+aoindex i = 1, n
+aoindex j = 1, n
+static S(i, j)
+temp T(i, j)
+local L(i, j)
+distributed D(i, j)
+served V(i, j)
+"""
+    prog = parse(wrap("", decls=decls))
+    kinds = {d.name: d.kind for d in prog.decls if isinstance(d, ast.ArrayDecl)}
+    assert kinds == {
+        "S": "static",
+        "T": "temp",
+        "L": "local",
+        "D": "distributed",
+        "V": "served",
+    }
+
+
+def test_subindex_decl():
+    prog = parse(wrap("", decls="symbolic n\naoindex i = 1, n\nsubindex ii of i"))
+    sub = [d for d in prog.decls if isinstance(d, ast.SubindexDecl)][0]
+    assert sub.name == "ii"
+    assert sub.super_name == "i"
+
+
+def test_pardo_with_where_clauses():
+    body = """
+pardo M, N where M < N, N != 3
+endpardo M, N
+"""
+    prog = parse(wrap(body, decls="symbolic n\naoindex M = 1, n\naoindex N = 1, n"))
+    pardo = prog.body[0]
+    assert isinstance(pardo, ast.Pardo)
+    assert pardo.indices == ("M", "N")
+    assert [c.op for c in pardo.where] == ["<", "!="]
+
+
+def test_pardo_multiple_where_keywords():
+    body = "pardo M, N where M < N where N < 5\nendpardo\n"
+    prog = parse(wrap(body, decls="symbolic n\naoindex M = 1, n\naoindex N = 1, n"))
+    assert len(prog.body[0].where) == 2
+
+
+def test_endpardo_index_mismatch_rejected():
+    body = "pardo M, N\nendpardo N, M\n"
+    with pytest.raises(ParseError, match="do not match"):
+        parse(wrap(body, decls="symbolic n\naoindex M = 1, n\naoindex N = 1, n"))
+
+
+def test_do_and_do_in():
+    body = """
+do i
+  do ii in i
+  enddo ii
+enddo i
+"""
+    prog = parse(wrap(body, decls="symbolic n\naoindex i = 1, n\nsubindex ii of i"))
+    do = prog.body[0]
+    assert isinstance(do, ast.Do)
+    doin = do.body[0]
+    assert isinstance(doin, ast.DoIn)
+    assert doin.subindex == "ii"
+    assert doin.super_index == "i"
+
+
+def test_if_else():
+    body = """
+if x > 1.0
+  y = 1.0
+else
+  y = 2.0
+endif
+"""
+    prog = parse(wrap(body, decls="scalar x\nscalar y"))
+    node = prog.body[0]
+    assert isinstance(node, ast.If)
+    assert len(node.then_body) == 1
+    assert len(node.else_body) == 1
+
+
+def test_get_put_prepare_request():
+    decls = """
+symbolic n
+aoindex i = 1, n
+aoindex j = 1, n
+distributed D(i, j)
+served V(i, j)
+temp T(i, j)
+"""
+    body = """
+pardo i, j
+get D(i, j)
+request V(i, j)
+T(i, j) = D(i, j)
+put D(i, j) += T(i, j)
+prepare V(i, j) = T(i, j)
+endpardo i, j
+"""
+    prog = parse(wrap(body, decls=decls))
+    pardo = prog.body[0]
+    types = [type(s).__name__ for s in pardo.body]
+    assert types == ["Get", "Request", "BlockAssign", "Put", "Prepare"]
+    put = pardo.body[3]
+    assert put.op == "+="
+
+
+def test_put_requires_assignment():
+    decls = "symbolic n\naoindex i = 1, n\ndistributed D(i)\n"
+    with pytest.raises(ParseError, match="requires"):
+        parse(wrap("pardo i\nput D(i)\nendpardo\n", decls=decls))
+
+
+def test_contraction_expression():
+    decls = """
+symbolic n
+aoindex a = 1, n
+aoindex b = 1, n
+aoindex c = 1, n
+temp X(a, b)
+temp Y(b, c)
+temp Z(a, c)
+"""
+    body = "pardo a, c\ndo b\nZ(a, c) = X(a, b) * Y(b, c)\nenddo b\nendpardo\n"
+    prog = parse(wrap(body, decls=decls))
+    assign = prog.body[0].body[0].body[0]
+    assert isinstance(assign, ast.BlockAssign)
+    assert isinstance(assign.rhs, ast.BinaryOp)
+    assert assign.rhs.op == "*"
+
+
+def test_scalar_expression_precedence():
+    prog = parse(wrap("x = 1 + 2 * 3\n", decls="scalar x"))
+    assign = prog.body[0]
+    assert isinstance(assign, ast.ScalarAssign)
+    rhs = assign.rhs
+    assert rhs.op == "+"
+    assert isinstance(rhs.right, ast.BinaryOp)
+    assert rhs.right.op == "*"
+
+
+def test_parenthesized_expression():
+    prog = parse(wrap("x = (1 + 2) * 3\n", decls="scalar x"))
+    rhs = prog.body[0].rhs
+    assert rhs.op == "*"
+    assert rhs.left.op == "+"
+
+
+def test_unary_minus():
+    prog = parse(wrap("x = -y\n", decls="scalar x\nscalar y"))
+    rhs = prog.body[0].rhs
+    assert isinstance(rhs, ast.UnaryOp)
+
+
+def test_proc_decl_and_call():
+    src = """
+sial p
+scalar x
+proc setx
+  x = 1.0
+endproc setx
+call setx
+endsial p
+"""
+    prog = parse(src)
+    assert "setx" in prog.procs
+    assert isinstance(prog.body[0], ast.Call)
+
+
+def test_barriers_and_collective():
+    decls = "scalar e"
+    body = "sip_barrier\nserver_barrier\ncollective e\n"
+    prog = parse(wrap(body, decls=decls))
+    kinds = [getattr(s, "kind", None) for s in prog.body[:2]]
+    assert kinds == ["sip", "server"]
+    assert isinstance(prog.body[2], ast.Collective)
+
+
+def test_execute_with_args():
+    decls = "symbolic n\naoindex i = 1, n\ntemp T(i)\nscalar s"
+    body = "pardo i\nexecute my_super T(i), s, 3.0\nendpardo\n"
+    prog = parse(wrap(body, decls=decls))
+    ex = prog.body[0].body[0]
+    assert isinstance(ex, ast.Execute)
+    assert ex.name == "my_super"
+    assert len(ex.args) == 3
+
+
+def test_blocks_to_list_and_checkpoint():
+    decls = "symbolic n\naoindex i = 1, n\ndistributed D(i)"
+    body = "blocks_to_list D\nlist_to_blocks D\ncheckpoint\n"
+    prog = parse(wrap(body, decls=decls))
+    types = [type(s).__name__ for s in prog.body]
+    assert types == ["BlocksToList", "ListToBlocks", "Checkpoint"]
+
+
+def test_create_delete_allocate_deallocate():
+    decls = """
+symbolic n
+aoindex i = 1, n
+aoindex j = 1, n
+distributed D(i, j)
+local L(i, j)
+"""
+    body = """
+create D
+pardo i, j
+allocate L(i, j)
+deallocate L(i, j)
+endpardo
+delete D
+"""
+    prog = parse(wrap(body, decls=decls))
+    types = [type(s).__name__ for s in prog.body]
+    assert types == ["Create", "Pardo", "Delete"]
+
+
+def test_missing_endsial_reported():
+    with pytest.raises(ParseError, match="endsial"):
+        parse("sial oops\nx = 1\n")
+
+
+def test_unexpected_keyword_as_statement():
+    with pytest.raises(ParseError):
+        parse(wrap("of x\n"))
+
+
+def test_missing_newline_between_statements():
+    with pytest.raises(ParseError):
+        parse("sial t\nscalar x scalar y\nendsial t\n")
+
+
+def test_paper_example_parses():
+    src = """
+sial contraction_example
+symbolic norb
+symbolic nocc
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L, S, I, J)
+distributed R(M, N, I, J)
+temp V(M, N, L, S)
+temp tmp(M, N, I, J)
+temp tmpsum(M, N, I, J)
+
+pardo M, N, I, J
+  tmpsum(M, N, I, J) = 0.0
+  do L
+    do S
+      get T(L, S, I, J)
+      compute_integrals V(M, N, L, S)
+      tmp(M, N, I, J) = V(M, N, L, S) * T(L, S, I, J)
+      tmpsum(M, N, I, J) += tmp(M, N, I, J)
+    enddo S
+  enddo L
+  put R(M, N, I, J) = tmpsum(M, N, I, J)
+endpardo M, N, I, J
+endsial contraction_example
+"""
+    prog = parse(src)
+    assert prog.name == "contraction_example"
+    pardo = prog.body[0]
+    assert isinstance(pardo, ast.Pardo)
+    assert pardo.indices == ("M", "N", "I", "J")

@@ -1,0 +1,96 @@
+"""Tests for the SIAL pretty-printer, including parse/print round trips."""
+
+import pytest
+
+from repro.programs import library
+from repro.sial import ast_nodes as ast
+from repro.sial.parser import parse
+from repro.sial.printer import format_source, pretty
+
+
+def strip_locations(node):
+    """Structural fingerprint of an AST node, ignoring source locations."""
+    if isinstance(node, list):
+        return [strip_locations(n) for n in node]
+    if isinstance(node, tuple):
+        return tuple(strip_locations(n) for n in node)
+    if hasattr(node, "__dataclass_fields__"):
+        fields = {}
+        for name in node.__dataclass_fields__:
+            if name == "location":
+                continue
+            fields[name] = strip_locations(getattr(node, name))
+        return (type(node).__name__, tuple(sorted(fields.items(), key=str)))
+    return node
+
+
+@pytest.mark.parametrize("name", sorted(library.ALL_PROGRAMS))
+def test_roundtrip_all_library_programs(name):
+    source = library.ALL_PROGRAMS[name]
+    original = parse(source)
+    printed = pretty(original)
+    reparsed = parse(printed)
+    assert strip_locations(original) == strip_locations(reparsed)
+
+
+def test_idempotent_formatting():
+    source = library.LCCD_ITERATION
+    once = format_source(source)
+    twice = format_source(once)
+    assert once == twice
+
+
+def test_expression_precedence_preserved():
+    src = "sial t\nscalar x\nscalar y\nx = (1.0 + y) * 2.0 - y / 3.0\nendsial t\n"
+    printed = format_source(src)
+    assert "(1.0 + y) * 2.0" in printed
+    a = parse(src)
+    b = parse(printed)
+    assert strip_locations(a) == strip_locations(b)
+
+
+def test_left_associativity_preserved():
+    src = "sial t\nscalar x\nx = 1.0 - 2.0 - 3.0\nendsial t\n"
+    a = parse(src)
+    b = parse(format_source(src))
+    assert strip_locations(a) == strip_locations(b)
+
+
+def test_where_clauses_printed():
+    src = (
+        "sial t\nsymbolic nb\naoindex M = 1, nb\naoindex N = 1, nb\n"
+        "pardo M, N where M < N, N < nb\nendpardo M, N\nendsial t\n"
+    )
+    printed = format_source(src)
+    assert "where M < N, N < nb" in printed
+    assert strip_locations(parse(src)) == strip_locations(parse(printed))
+
+
+def test_proc_and_control_printed():
+    src = """
+sial t
+scalar x
+index k = 1, 5
+proc inc
+  x += 1.0
+endproc inc
+do k
+  if x < 3.0
+    call inc
+  else
+    x *= 2.0
+  endif
+enddo k
+endsial t
+"""
+    printed = format_source(src)
+    assert "proc inc" in printed
+    assert "else" in printed
+    assert strip_locations(parse(src)) == strip_locations(parse(printed))
+
+
+def test_unary_minus_printed():
+    src = "sial t\nscalar x\nx = -(1.0 + 2.0)\nendsial t\n"
+    assert strip_locations(parse(src)) == strip_locations(
+        parse(format_source(src))
+    )

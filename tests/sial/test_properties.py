@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the SIAL front end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sial.bytecode import evaluate_rpn
+from repro.sial.compiler import compile_source
+from repro.sial.lexer import KEYWORDS, TokenKind, tokenize
+from repro.sial.parser import parse
+
+# identifiers that do not collide with keywords
+ident = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in KEYWORDS
+)
+
+
+@given(st.lists(ident, min_size=1, max_size=6, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_lexer_preserves_identifier_order(names):
+    source = " ".join(names)
+    toks = [t for t in tokenize(source) if t.kind == TokenKind.IDENT]
+    assert [t.text for t in toks] == names
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_lexer_number_roundtrip(value):
+    text = repr(value)
+    toks = tokenize(f"x = {text}")
+    numbers = [t for t in toks if t.kind == TokenKind.NUMBER]
+    assert len(numbers) == 1
+    assert float(numbers[0].text) == value
+
+
+@given(st.text(alphabet=" \t\n#abcdefghij0123456789+-*/(),=<>", max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_lexer_never_crashes_unexpectedly(text):
+    """The lexer either tokenizes or raises its own diagnostic."""
+    from repro.sial.errors import LexError
+
+    try:
+        toks = tokenize(text)
+    except LexError:
+        return
+    assert toks[-1].kind == TokenKind.EOF
+
+
+# -- scalar expression compilation --------------------------------------------
+scalar_expr = st.recursive(
+    st.one_of(
+        st.integers(min_value=0, max_value=99).map(str),
+        st.just("s1"),
+        st.just("s2"),
+    ),
+    lambda inner: st.builds(
+        lambda a, op, b: f"({a} {op} {b})",
+        inner,
+        st.sampled_from(["+", "-", "*"]),
+        inner,
+    ),
+    max_leaves=8,
+)
+
+
+@given(scalar_expr)
+@settings(max_examples=80, deadline=None)
+def test_rpn_matches_python_eval(expr):
+    source = f"sial t\nscalar s1\nscalar s2\nscalar out\nout = {expr}\nendsial t\n"
+    prog = compile_source(source)
+    assign = [i for i in prog.instructions if i.op == "SCALAR_ASSIGN"][0]
+    _sid, _op, rpn = assign.args
+    s1, s2 = 3.5, -1.25
+    ours = evaluate_rpn(rpn, scalars=[s1, s2, 0.0])
+    theirs = eval(expr, {"s1": s1, "s2": s2})  # noqa: S307 - test-local eval
+    assert ours == theirs
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_nested_do_loops_compile_consistently(depth, hi):
+    """Arbitrary nesting depth: jump targets always form matched pairs."""
+    names = [f"i{k}" for k in range(depth)]
+    decls = "\n".join(f"index {n} = 1, {hi}" for n in names)
+    opens = "\n".join(f"do {n}" for n in names)
+    closes = "\n".join(f"enddo {n}" for n in reversed(names))
+    source = f"sial t\n{decls}\nscalar x\n{opens}\nx += 1.0\n{closes}\nendsial t\n"
+    prog = compile_source(source)
+    starts = [i for i in prog.instructions if i.op == "DO_START"]
+    ends = [i for i in prog.instructions if i.op == "DO_END"]
+    assert len(starts) == len(ends) == depth
+    for s in starts:
+        exit_pc = s.args[1]
+        assert prog.instructions[exit_pc - 1].op == "DO_END"
+
+
+@given(st.lists(ident, min_size=1, max_size=4, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_pardo_index_lists_roundtrip(names):
+    decls = "\n".join(f"aoindex {n} = 1, 8" for n in names)
+    source = (
+        f"sial t\n{decls}\npardo {', '.join(names)}\n"
+        f"endpardo {', '.join(names)}\nendsial t\n"
+    )
+    prog = parse(source)
+    assert prog.body[0].indices == tuple(names)
+
+
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_index_bounds_evaluate_exactly(lo, extra):
+    hi = lo + extra
+    source = f"sial t\nindex k = {lo}, {hi}\nendsial t\n"
+    prog = compile_source(source)
+    desc = prog.index_table[prog.index_id("k")]
+    assert evaluate_rpn(desc.lo_rpn) == lo
+    assert evaluate_rpn(desc.hi_rpn) == hi

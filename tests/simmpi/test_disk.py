@@ -1,0 +1,95 @@
+"""Unit tests for the simulated asynchronous disk."""
+
+import pytest
+
+from repro.simmpi import Disk, Simulator, Timeout
+
+
+def test_single_read_cost():
+    sim = Simulator()
+    disk = Disk(sim, seek_latency=0.01, bandwidth=100.0)
+    times = []
+
+    def proc():
+        yield disk.read(50)  # 0.01 + 0.5
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [pytest.approx(0.51)]
+
+
+def test_operations_serialize_on_device():
+    sim = Simulator()
+    disk = Disk(sim, seek_latency=1.0, bandwidth=1.0)
+    times = []
+
+    def proc():
+        e1 = disk.write(1)  # busy [0, 2]
+        e2 = disk.read(1)  # busy [2, 4]
+        yield e1
+        times.append(("w", sim.now))
+        yield e2
+        times.append(("r", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [("w", 2.0), ("r", 4.0)]
+
+
+def test_issuer_not_blocked_while_disk_busy():
+    sim = Simulator()
+    disk = Disk(sim, seek_latency=10.0, bandwidth=1e9)
+    trace = []
+
+    def proc():
+        ev = disk.write(100)
+        # can keep computing while the write is in flight
+        yield Timeout(1.0)
+        trace.append(("computed", sim.now))
+        yield ev
+        trace.append(("written", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace[0] == ("computed", 1.0)
+    assert trace[1][1] == pytest.approx(10.0, rel=1e-6)
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    disk = Disk(sim, seek_latency=0.0, bandwidth=10.0)
+
+    def proc():
+        yield disk.read(10)
+        yield disk.write(30)
+
+    sim.spawn(proc())
+    sim.run()
+    assert disk.stats.reads == 1
+    assert disk.stats.writes == 1
+    assert disk.stats.bytes_read == 10
+    assert disk.stats.bytes_written == 30
+    assert disk.stats.busy_time == pytest.approx(4.0)
+
+
+def test_idle_gap_not_charged():
+    sim = Simulator()
+    disk = Disk(sim, seek_latency=0.0, bandwidth=1.0)
+    times = []
+
+    def proc():
+        yield disk.read(1)  # done at t=1
+        yield Timeout(5.0)  # idle gap
+        yield disk.read(1)  # starts at t=6, done t=7
+        times.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert times == [7.0]
+
+
+def test_zero_bandwidth_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Disk(sim, bandwidth=0.0)

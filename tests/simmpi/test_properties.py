@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the simulated MPI substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import Network, Simulator, Timeout, World
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30)
+)
+@settings(max_examples=50, deadline=None)
+def test_fifo_per_source_tag(payloads):
+    """Messages on one (src, dst, tag) arrive in send order."""
+    sim = Simulator()
+    world = World(sim, 2, Network())
+    got = []
+
+    def sender():
+        comm = world.comm(0)
+        for p in payloads:
+            comm.isend(p, dest=1, tag=0)
+        yield Timeout(0)
+
+    def receiver():
+        comm = world.comm(1)
+        for _ in payloads:
+            msg = yield from comm.recv(source=0, tag=0)
+            got.append(msg.payload)
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == payloads
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # sender
+            st.integers(min_value=0, max_value=3),  # receiver
+            st.integers(min_value=0, max_value=2),  # tag
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_simulation_is_deterministic(sends):
+    """Identical programs produce identical event traces."""
+
+    def run_once():
+        sim = Simulator()
+        world = World(sim, 4, Network())
+        log = []
+        counts = [0, 0, 0, 0]
+        for _s, d, _t in sends:
+            counts[d] += 1
+
+        def sender(rank):
+            comm = world.comm(rank)
+            for s, d, t in sends:
+                if s == rank:
+                    comm.isend((s, d, t), dest=d, tag=t)
+            yield Timeout(0)
+
+        def receiver(rank):
+            comm = world.comm(rank)
+            for _ in range(counts[rank]):
+                msg = yield from comm.recv()
+                log.append((sim.now, rank, msg.source, msg.tag))
+
+        for r in range(4):
+            sim.spawn(sender(r))
+            sim.spawn(receiver(r))
+        sim.run()
+        return log, sim.now
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20)
+)
+@settings(max_examples=50, deadline=None)
+def test_simulated_time_monotone(delays):
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for d in delays:
+            yield Timeout(d)
+            seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == sorted(seen)
+    assert seen[-1] == sum(delays) or abs(seen[-1] - sum(delays)) < 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=2, max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_barrier_releases_everyone_simultaneously(size, arrivals):
+    from repro.simmpi import Barrier
+
+    size = min(size, len(arrivals))
+    sim = Simulator()
+    world = World(sim, size, Network(latency=0.5))
+    barrier = Barrier(world, range(size))
+    release = []
+
+    def proc(rank):
+        yield Timeout(arrivals[rank])
+        yield from barrier.wait(world.comm(rank))
+        release.append(sim.now)
+
+    for r in range(size):
+        sim.spawn(proc(r))
+    sim.run()
+    assert len(set(release)) == 1
+    assert release[0] >= max(arrivals[:size])
+
+
+@given(st.integers(min_value=1, max_value=1000), st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_transfer_time_monotone_in_size(nbytes, dst):
+    net = Network(latency=1e-6, bandwidth=1e9)
+    small = net.transfer_time(nbytes, 0, dst)
+    big = net.transfer_time(nbytes * 2 + 1, 0, dst)
+    assert big >= small

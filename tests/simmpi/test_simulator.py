@@ -1,0 +1,259 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simmpi import (
+    AllOf,
+    AnyOf,
+    DeadlockError,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(1.5)
+        seen.append(sim.now)
+        yield Timeout(2.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    end = sim.run()
+    assert seen == [1.5, 4.0]
+    assert end == 4.0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(name, delay):
+        yield Timeout(delay)
+        order.append(name)
+        yield Timeout(delay)
+        order.append(name)
+
+    sim.spawn(proc("a", 1.0))
+    sim.spawn(proc("b", 1.0))
+    sim.run()
+    # ties broken by spawn/schedule order
+    assert order == ["a", "b", "a", "b"]
+
+
+def test_event_value_passed_to_waiter():
+    sim = Simulator()
+    ev = sim.event("payload")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    def trigger():
+        yield Timeout(3.0)
+        ev.succeed("hello")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_event_already_triggered_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(42)
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [42]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_failure_propagates_into_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as err:
+            caught.append(str(err))
+
+    sim.spawn(waiter())
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_process_exception_aborts_run():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("crash")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="crash"):
+        sim.run()
+
+
+def test_anyof_resumes_on_first():
+    sim = Simulator()
+    e1, e2 = sim.event("e1"), sim.event("e2")
+    got = []
+
+    def waiter():
+        ready = yield AnyOf([e1, e2])
+        got.append([e.name for e in ready])
+
+    def trigger():
+        yield Timeout(2.0)
+        e2.succeed()
+        yield Timeout(2.0)
+        e1.succeed()
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert got == [["e2"]]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    e1, e2 = sim.event(), sim.event()
+    times = []
+
+    def waiter():
+        values = yield AllOf([e1, e2])
+        times.append((sim.now, values))
+
+    def trigger():
+        yield Timeout(1.0)
+        e1.succeed("x")
+        yield Timeout(1.0)
+        e2.succeed("y")
+
+    sim.spawn(waiter())
+    sim.spawn(trigger())
+    sim.run()
+    assert times == [(2.0, ["x", "y"])]
+
+
+def test_allof_with_empty_list_resumes_immediately():
+    sim = Simulator()
+    done = []
+
+    def waiter():
+        yield AllOf([])
+        done.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_deadlock_detected():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def waiter():
+        yield ev
+
+    sim.spawn(waiter())
+    with pytest.raises(DeadlockError):
+        sim.run()
+
+
+def test_run_until_time_limit():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield Timeout(1.0)
+
+    sim.spawn(ticker())
+    end = sim.run(until=10.5)
+    assert end == 10.5
+
+
+def test_done_event_carries_return_value():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timeout(1.0)
+        return "child-result"
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        value = yield proc.done_event
+        results.append(value)
+
+    sim.spawn(parent(), name="parent")
+    sim.run()
+    assert results == ["child-result"]
+
+
+def test_yield_from_subgenerator():
+    sim = Simulator()
+    trace = []
+
+    def inner():
+        yield Timeout(1.0)
+        trace.append(("inner", sim.now))
+        return 7
+
+    def outer():
+        v = yield from inner()
+        trace.append(("outer", sim.now, v))
+
+    sim.spawn(outer())
+    sim.run()
+    assert trace == [("inner", 1.0), ("outer", 1.0, 7)]
+
+
+def test_unsupported_effect_is_error():
+    sim = Simulator()
+
+    def bad():
+        yield "not an effect"
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_timeout_event_fires_with_value():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        got.append((yield sim.timeout_event(5.0, "v")))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == ["v"]
+    assert sim.now == 5.0

@@ -1,0 +1,205 @@
+"""Unit tests for the super-instruction kernels (real and model)."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostModel
+from repro.machines import LAPTOP
+from repro.sip.backend import KernelOperand, ModelBackend, RealBackend, make_backend
+
+
+@pytest.fixture
+def real():
+    return RealBackend(CostModel(LAPTOP))
+
+
+@pytest.fixture
+def model():
+    return ModelBackend(CostModel(LAPTOP))
+
+
+def op(data, ids):
+    data = np.ascontiguousarray(data, dtype=np.float64)
+    return KernelOperand(shape=data.shape, index_ids=tuple(ids), data=data)
+
+
+def out(shape, ids):
+    return KernelOperand(
+        shape=shape, index_ids=tuple(ids), data=np.zeros(shape, dtype=np.float64)
+    )
+
+
+def test_fill_assign_and_accumulate(real):
+    dst = out((3, 3), (0, 1))
+    real.fill(dst, 2.5, "=")
+    assert np.all(dst.data == 2.5)
+    real.fill(dst, 1.0, "+=")
+    assert np.all(dst.data == 3.5)
+    real.fill(dst, 0.5, "-=")
+    assert np.all(dst.data == 3.0)
+
+
+def test_copy_identity_and_permute(real):
+    rng = np.random.default_rng(1)
+    src = rng.standard_normal((3, 4))
+    dst = out((3, 4), (0, 1))
+    real.copy(dst, op(src, (0, 1)))
+    assert np.array_equal(dst.data, src)
+    dst_t = out((4, 3), (1, 0))
+    real.copy(dst_t, op(src, (0, 1)))
+    assert np.array_equal(dst_t.data, src.T)
+
+
+def test_copy_4d_permutation(real):
+    rng = np.random.default_rng(2)
+    src = rng.standard_normal((2, 3, 4, 5))
+    # V1(K,J,I,L) = V2(I,J,K,L) style permutation
+    dst = out((4, 3, 2, 5), (2, 1, 0, 3))
+    real.copy(dst, op(src, (0, 1, 2, 3)))
+    assert np.array_equal(dst.data, src.transpose(2, 1, 0, 3))
+
+
+def test_accumulate_with_permutation(real):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((3, 4))
+    dst_data = rng.standard_normal((4, 3))
+    dst = op(dst_data.copy(), (1, 0))
+    real.accumulate(dst, "+=", op(a, (0, 1)))
+    assert np.allclose(dst.data, dst_data + a.T)
+    real.accumulate(dst, "-=", op(a, (0, 1)))
+    assert np.allclose(dst.data, dst_data)
+
+
+def test_scale_ops(real):
+    a = np.ones((2, 2))
+    dst = out((2, 2), (0, 1))
+    real.scale(dst, "=", op(a, (0, 1)), 3.0)
+    assert np.all(dst.data == 3.0)
+    real.scale(dst, "+=", op(a, (0, 1)), 2.0)
+    assert np.all(dst.data == 5.0)
+    real.scale_inplace(dst, 0.5)
+    assert np.all(dst.data == 2.5)
+
+
+def test_negate(real):
+    a = np.arange(6.0).reshape(2, 3)
+    dst = out((3, 2), (1, 0))
+    real.negate(dst, op(a, (0, 1)))
+    assert np.array_equal(dst.data, -a.T)
+
+
+def test_addsub(real):
+    a = np.full((2, 2), 3.0)
+    b = np.full((2, 2), 1.0)
+    dst = out((2, 2), (0, 1))
+    real.addsub(dst, "+", op(a, (0, 1)), op(b, (0, 1)))
+    assert np.all(dst.data == 4.0)
+    real.addsub(dst, "-", op(a, (0, 1)), op(b, (0, 1)))
+    assert np.all(dst.data == 2.0)
+
+
+def test_contract_matrix_multiply(real):
+    rng = np.random.default_rng(4)
+    a = rng.standard_normal((3, 5))
+    b = rng.standard_normal((5, 4))
+    dst = out((3, 4), (0, 2))
+    real.contract(dst, "=", op(a, (0, 1)), op(b, (1, 2)))
+    assert np.allclose(dst.data, a @ b)
+
+
+def test_contract_4d_paper_term(real):
+    rng = np.random.default_rng(5)
+    v = rng.standard_normal((2, 3, 4, 5))  # V(M,N,L,S)
+    t = rng.standard_normal((4, 5, 2, 3))  # T(L,S,I,J)
+    dst = out((2, 3, 2, 3), (0, 1, 4, 5))
+    real.contract(dst, "=", op(v, (0, 1, 2, 3)), op(t, (2, 3, 4, 5)))
+    ref = np.einsum("mnls,lsij->mnij", v, t)
+    assert np.allclose(dst.data, ref)
+
+
+def test_contract_accumulate(real):
+    a = np.eye(3)
+    b = np.eye(3)
+    dst_data = np.ones((3, 3))
+    dst = op(dst_data, (0, 2))
+    real.contract(dst, "+=", op(a, (0, 1)), op(b, (1, 2)))
+    assert np.allclose(dst.data, np.ones((3, 3)) + np.eye(3))
+    real.contract(dst, "-=", op(a, (0, 1)), op(b, (1, 2)))
+    assert np.allclose(dst.data, np.ones((3, 3)))
+
+
+def test_contract_outer_product(real):
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 4.0, 5.0])
+    dst = out((2, 3), (0, 1))
+    real.contract(dst, "=", op(a, (0,)), op(b, (1,)))
+    assert np.allclose(dst.data, np.outer(a, b))
+
+
+def test_scalar_contract_full(real):
+    rng = np.random.default_rng(6)
+    a = rng.standard_normal((3, 4))
+    b = rng.standard_normal((4, 3))
+    value, cost = real.scalar_contract(op(a, (0, 1)), op(b, (1, 0)))
+    assert value == pytest.approx(float(np.sum(a * b.T)))
+    assert cost > 0
+
+
+def test_compute_integrals_uses_source(real):
+    full = np.arange(64.0).reshape(8, 8)
+
+    def source(eranges):
+        slices = tuple(slice(lo, hi) for lo, hi in eranges)
+        return full[slices]
+
+    dst = out((4, 4), (0, 1))
+    real.compute_integrals(dst, ((4, 8), (0, 4)), source)
+    assert np.array_equal(dst.data, full[4:8, 0:4])
+
+
+def test_compute_integrals_shape_mismatch_rejected(real):
+    dst = out((4, 4), (0, 1))
+    with pytest.raises(Exception, match="shape"):
+        real.compute_integrals(dst, ((0, 4), (0, 4)), lambda r: np.zeros((2, 2)))
+
+
+def test_compute_integrals_requires_source_in_real_mode(real):
+    dst = out((2, 2), (0, 1))
+    with pytest.raises(Exception, match="integral_source"):
+        real.compute_integrals(dst, ((0, 2), (0, 2)), None)
+
+
+def test_model_backend_touches_no_data(model):
+    dst = KernelOperand(shape=(4, 4), index_ids=(0, 1), data=None)
+    src = KernelOperand(shape=(4, 4), index_ids=(0, 1), data=None)
+    assert model.fill(dst, 1.0, "=") > 0
+    assert model.copy(dst, src) > 0
+    assert model.contract(dst, "=", src, src) > 0
+    value, cost = model.scalar_contract(src, src)
+    assert value == 0.0
+    assert model.compute_integrals(dst, ((0, 4), (0, 4)), None) > 0
+
+
+def test_costs_scale_with_work(model):
+    small = KernelOperand(shape=(2, 2), index_ids=(0, 1))
+    big = KernelOperand(shape=(64, 64), index_ids=(0, 1))
+    k = KernelOperand(shape=(64, 64), index_ids=(1, 2))
+    big_out = KernelOperand(shape=(64, 64), index_ids=(0, 2))
+    assert model.fill(big, 0.0, "=") > model.fill(small, 0.0, "=")
+    contract_cost = model.contract(big_out, "=", big, k)
+    copy_cost = model.copy(big_out, big_out)
+    assert contract_cost > copy_cost  # n^3 vs n^2
+
+
+def test_make_backend():
+    cm = CostModel(LAPTOP)
+    assert make_backend("real", cm).real
+    assert not make_backend("model", cm).real
+    with pytest.raises(ValueError):
+        make_backend("quantum", cm)
+
+
+def test_mismatched_ids_rejected(real):
+    dst = out((2, 2), (0, 1))
+    with pytest.raises(Exception, match="mismatch"):
+        real.copy(dst, op(np.ones((2, 2)), (5, 6)))

@@ -1,0 +1,146 @@
+"""Unit tests for the LRU block cache."""
+
+import pytest
+
+from repro.simmpi import Simulator
+from repro.sip.blocks import Block, BlockId
+from repro.sip.cache import BlockCache
+from repro.sip.config import SIPError
+
+
+def bid(i):
+    return BlockId(0, (i,))
+
+
+def ready(cache, i, dirty=False):
+    return cache.insert_ready(bid(i), Block((2,), None), dirty=dirty)
+
+
+def test_insert_and_lookup():
+    cache = BlockCache(4)
+    ready(cache, 1)
+    assert cache.lookup(bid(1)) is not None
+    assert cache.lookup(bid(2)) is None
+
+
+def test_lru_eviction_order():
+    cache = BlockCache(3)
+    for i in (1, 2, 3):
+        ready(cache, i)
+    cache.lookup(bid(1))  # touch 1 -> 2 is now LRU
+    ready(cache, 4)
+    assert bid(2) not in cache
+    assert bid(1) in cache
+    assert cache.stats.evictions == 1
+
+
+def test_capacity_never_exceeded():
+    cache = BlockCache(3)
+    for i in range(10):
+        ready(cache, i)
+    assert len(cache) <= 3
+
+
+def test_pending_entries_not_evicted():
+    sim = Simulator()
+    cache = BlockCache(2)
+    cache.insert_pending(bid(1), sim.event())
+    cache.insert_pending(bid(2), sim.event())
+    with pytest.raises(SIPError, match="cache full"):
+        cache.insert_pending(bid(3), sim.event())
+
+
+def test_dirty_entries_not_evicted():
+    cache = BlockCache(2)
+    ready(cache, 1, dirty=True)
+    ready(cache, 2, dirty=True)
+    with pytest.raises(SIPError, match="cache full"):
+        ready(cache, 3)
+
+
+def test_pinned_entries_not_evicted():
+    cache = BlockCache(2)
+    ready(cache, 1)
+    cache.pin(bid(1))
+    ready(cache, 2)
+    ready(cache, 3)  # must evict 2, not pinned 1
+    assert bid(1) in cache
+    assert bid(2) not in cache
+    cache.unpin(bid(1))
+
+
+def test_fulfil_completes_pending():
+    sim = Simulator()
+    cache = BlockCache(4)
+    ev = sim.event()
+    entry = cache.insert_pending(bid(1), ev)
+    assert entry.pending
+    block = Block((2,), None)
+    cache.fulfil(bid(1), block)
+    assert not entry.pending
+    assert entry.block is block
+
+
+def test_fulfil_after_eviction_is_noop():
+    sim = Simulator()
+    cache = BlockCache(4)
+    cache.insert_pending(bid(1), sim.event())
+    cache.remove(bid(1))
+    cache.fulfil(bid(1), Block((2,), None))  # must not raise
+    assert bid(1) not in cache
+
+
+def test_evicted_before_use_counted():
+    cache = BlockCache(2)
+    ready(cache, 1)
+    cache.record_use(bid(1), hit=True)  # used
+    ready(cache, 2)  # never used
+    ready(cache, 3)  # evicts 1 (LRU)... 1 was used
+    ready(cache, 4)  # evicts 2, unused
+    assert cache.stats.evictions == 2
+    assert cache.stats.evicted_before_use == 1
+
+
+def test_clear_clean_spares_dirty_and_pending():
+    sim = Simulator()
+    cache = BlockCache(5)
+    ready(cache, 1)
+    ready(cache, 2, dirty=True)
+    cache.insert_pending(bid(3), sim.event())
+    cache.clear_clean()
+    assert bid(1) not in cache
+    assert bid(2) in cache
+    assert bid(3) in cache
+
+
+def test_duplicate_pending_insert_rejected():
+    sim = Simulator()
+    cache = BlockCache(4)
+    cache.insert_pending(bid(1), sim.event())
+    with pytest.raises(SIPError, match="duplicate"):
+        cache.insert_pending(bid(1), sim.event())
+
+
+def test_hit_miss_stats():
+    cache = BlockCache(4)
+    ready(cache, 1)
+    cache.record_use(bid(1), hit=True)
+    cache.record_use(bid(2), hit=False)
+    cache.mark_refetch(bid(2))
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.refetches == 1
+
+
+def test_insert_ready_updates_existing():
+    cache = BlockCache(4)
+    ready(cache, 1)
+    b2 = Block((3,), None)
+    cache.insert_ready(bid(1), b2)
+    assert cache.lookup(bid(1)).block is b2
+    assert len(cache) == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BlockCache(0)

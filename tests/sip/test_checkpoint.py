@@ -1,0 +1,101 @@
+"""Tests for the checkpoint store helpers and on-disk persistence."""
+
+import numpy as np
+import pytest
+
+from repro.sial.compiler import compile_source
+from repro.sip import SIPConfig, SIPError, run_source
+from repro.sip.blocks import ResolvedIndexTable
+from repro.sip.checkpoint import (
+    array_to_store,
+    checkpoint_scalars,
+    load_store,
+    save_store,
+    store_to_array,
+)
+
+DECLS = """
+sial t
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+distributed D(M, N)
+endsial t
+"""
+
+
+@pytest.fixture
+def prog_and_table():
+    prog = compile_source(DECLS)
+    table = ResolvedIndexTable(prog, {"nb": 10}, segment_size=4)
+    return prog, table
+
+
+def test_array_store_roundtrip(prog_and_table):
+    prog, table = prog_and_table
+    value = np.arange(100.0).reshape(10, 10)
+    store = {}
+    array_to_store(store, prog, table, "D", value)
+    assert set(store["d"]) == {(i, j) for i in (1, 2, 3) for j in (1, 2, 3)}
+    back = store_to_array(store, prog, table, "D")
+    assert np.array_equal(back, value)
+
+
+def test_array_to_store_shape_checked(prog_and_table):
+    prog, table = prog_and_table
+    with pytest.raises(SIPError, match="shape"):
+        array_to_store({}, prog, table, "D", np.zeros((4, 4)))
+
+
+def test_store_to_array_missing(prog_and_table):
+    prog, table = prog_and_table
+    with pytest.raises(SIPError, match="not in the external store"):
+        store_to_array({}, prog, table, "D")
+
+
+def test_checkpoint_scalars_helpers():
+    assert checkpoint_scalars({"__scalars__": [1.0, 2.0]}) == [1.0, 2.0]
+    with pytest.raises(SIPError):
+        checkpoint_scalars({})
+
+
+def test_save_load_store_roundtrip(tmp_path, prog_and_table):
+    prog, table = prog_and_table
+    value = np.arange(100.0).reshape(10, 10)
+    store = {"__scalars__": [3.5, -1.0], "__checkpoint_seq__": 2}
+    array_to_store(store, prog, table, "D", value)
+    path = str(tmp_path / "ckpt.npz")
+    save_store(store, path)
+    loaded = load_store(path)
+    assert loaded["__scalars__"] == [3.5, -1.0]
+    assert loaded["__checkpoint_seq__"] == 2
+    assert np.array_equal(store_to_array(loaded, prog, table, "D"), value)
+
+
+def test_checkpoint_survives_process_restart(tmp_path):
+    """Full flow: run + checkpoint -> persist -> load -> restart run."""
+    from repro.programs import library
+
+    store = {}
+    cfg = SIPConfig(workers=2, io_servers=1, segment_size=2, external_store=store)
+    run_source(
+        library.CHECKPOINT_DEMO, cfg, symbolics={"nb": 6, "restart": 0}
+    )
+    path = str(tmp_path / "demo.npz")
+    save_store(store, path)
+
+    # "new process": fresh store from disk
+    reloaded = load_store(path)
+    cfg2 = SIPConfig(
+        workers=3, io_servers=1, segment_size=2, external_store=reloaded
+    )
+    res = run_source(
+        library.CHECKPOINT_DEMO, cfg2, symbolics={"nb": 6, "restart": 1}
+    )
+    assert np.all(res.array("OUT") == 2.0)
+
+
+def test_save_store_rejects_model_mode_shapes(tmp_path):
+    store = {"d": {(1, 1): (4, 4)}}  # shapes, not data
+    with pytest.raises(SIPError, match="model-mode"):
+        save_store(store, str(tmp_path / "x.npz"))

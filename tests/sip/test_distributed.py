@@ -1,0 +1,125 @@
+"""Unit tests for block placement and barrier-misuse detection."""
+
+import pytest
+
+from repro.sial.compiler import compile_source
+from repro.sip.blocks import BlockId, ResolvedIndexTable
+from repro.sip.distributed import BarrierViolation, ConflictTracker, Placement
+
+
+def make_placement(n=12, seg=4, workers=3):
+    prog = compile_source(
+        "sial t\nsymbolic nb\naoindex M = 1, nb\naoindex N = 1, nb\n"
+        "distributed D(M, N)\nendsial t\n"
+    )
+    table = ResolvedIndexTable(prog, {"nb": n}, segment_size=seg)
+    return Placement(table, prog.array_id("D"), workers)
+
+
+def test_every_block_has_exactly_one_owner():
+    p = make_placement()
+    seen = {}
+    for w in range(3):
+        for coords in p.owned_by(w):
+            assert coords not in seen
+            seen[coords] = w
+    assert len(seen) == p.n_blocks == 9
+    for coords, w in seen.items():
+        assert p.owner_index(coords) == w
+
+
+def test_linearize_delinearize_roundtrip():
+    p = make_placement()
+    for lin in range(p.n_blocks):
+        assert p.linearize(p.delinearize(lin)) == lin
+
+
+def test_placement_balanced():
+    p = make_placement(n=16, seg=4, workers=4)  # 16 blocks over 4 workers
+    counts = [len(p.owned_by(w)) for w in range(4)]
+    assert counts == [4, 4, 4, 4]
+
+
+def test_owner_index_in_range():
+    p = make_placement(n=20, seg=3, workers=5)
+    for coords in p.owned_by(2):
+        assert 0 <= p.owner_index(coords) < 5
+
+
+# -- conflict tracker ---------------------------------------------------------
+B = BlockId(0, (1, 1))
+B2 = BlockId(0, (1, 2))
+
+
+def test_read_read_no_conflict():
+    t = ConflictTracker("d")
+    t.record_read(0, B)
+    t.record_read(1, B)
+
+
+def test_write_then_read_other_worker_conflicts():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    with pytest.raises(BarrierViolation, match="reads block"):
+        t.record_read(1, B)
+
+
+def test_same_worker_write_then_read_ok():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    t.record_read(0, B)
+
+
+def test_read_then_write_other_worker_conflicts():
+    t = ConflictTracker("d")
+    t.record_read(0, B)
+    with pytest.raises(BarrierViolation, match="writes block"):
+        t.record_write(1, B, "=")
+
+
+def test_write_write_other_worker_conflicts():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    with pytest.raises(BarrierViolation, match="overwrites"):
+        t.record_write(1, B, "=")
+
+
+def test_accumulates_commute():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "+=")
+    t.record_write(1, B, "+=")
+    t.record_write(2, B, "+=")
+
+
+def test_accumulate_conflicts_with_plain_write():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    with pytest.raises(BarrierViolation, match="conflicts with plain put"):
+        t.record_write(1, B, "+=")
+
+
+def test_accumulate_then_read_conflicts():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "+=")
+    with pytest.raises(BarrierViolation):
+        t.record_read(1, B)
+
+
+def test_distinct_blocks_independent():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    t.record_read(1, B2)  # different block: fine
+
+
+def test_new_epoch_clears_history():
+    t = ConflictTracker("d")
+    t.record_write(0, B, "=")
+    t.new_epoch()
+    t.record_read(1, B)  # previous epoch's write forgotten
+
+
+def test_disabled_tracker_never_raises():
+    t = ConflictTracker("d", enabled=False)
+    t.record_write(0, B, "=")
+    t.record_read(1, B)
+    t.record_write(1, B, "=")

@@ -1,0 +1,69 @@
+"""Unit tests for the block memory pool."""
+
+import pytest
+
+from repro.sip.memory import BlockPool, OutOfBlockMemory
+
+
+def test_allocate_and_free_accounting():
+    pool = BlockPool(budget_bytes=10_000, real=True)
+    b = pool.allocate((10, 10))  # 800 bytes
+    assert pool.stats.bytes_in_use == 800
+    assert pool.stats.blocks_in_use == 1
+    pool.free(b)
+    assert pool.stats.bytes_in_use == 0
+    assert pool.stats.peak_bytes == 800
+
+
+def test_buffer_reuse_in_real_mode():
+    pool = BlockPool(budget_bytes=10_000, real=True)
+    b1 = pool.allocate((5, 5))
+    data1 = b1.data
+    pool.free(b1)
+    b2 = pool.allocate((5, 5))
+    assert b2.data is data1  # stack reuse
+    assert pool.stats.reuses == 1
+    assert pool.stats.allocations == 1
+
+
+def test_different_shapes_do_not_share_buffers():
+    pool = BlockPool(budget_bytes=10_000, real=True)
+    b1 = pool.allocate((5, 5))
+    pool.free(b1)
+    b2 = pool.allocate((25,))
+    assert pool.stats.reuses == 0
+
+
+def test_budget_enforced():
+    pool = BlockPool(budget_bytes=1000, real=True)
+    pool.allocate((10, 10))  # 800
+    with pytest.raises(OutOfBlockMemory, match="budget"):
+        pool.allocate((10, 10))
+
+
+def test_model_mode_accounts_without_data():
+    pool = BlockPool(budget_bytes=1000, real=False)
+    b = pool.allocate((10, 10))
+    assert b.data is None
+    assert pool.stats.bytes_in_use == 800
+    with pytest.raises(OutOfBlockMemory):
+        pool.allocate((10, 10))
+    pool.free(b)
+    assert pool.stats.bytes_in_use == 0
+
+
+def test_peak_tracks_high_water_mark():
+    pool = BlockPool(budget_bytes=100_000, real=False)
+    blocks = [pool.allocate((10,)) for _ in range(5)]  # 5 * 80
+    for b in blocks[:3]:
+        pool.free(b)
+    pool.allocate((10,))
+    assert pool.stats.peak_bytes == 400
+    assert pool.stats.peak_blocks == 5
+
+
+def test_freed_block_loses_data_reference():
+    pool = BlockPool(budget_bytes=10_000, real=True)
+    b = pool.allocate((4,))
+    pool.free(b)
+    assert b.data is None

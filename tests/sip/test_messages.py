@@ -1,0 +1,42 @@
+"""Unit tests for message wire-size accounting."""
+
+import numpy as np
+
+from repro.sip.blocks import Block, BlockId
+from repro.sip.messages import (
+    HEADER_BYTES,
+    Ack,
+    BlockReply,
+    ChunkRequest,
+    GetBlock,
+    PutBlock,
+    message_nbytes,
+)
+
+
+def test_block_messages_charged_block_size_plus_header():
+    block = Block((4, 4), np.zeros((4, 4)))
+    reply = BlockReply(BlockId(0, (1, 1)), block)
+    assert message_nbytes(reply) == HEADER_BYTES + 128
+    put = PutBlock(BlockId(0, (1, 1)), "=", block, 0, 0, 7)
+    assert message_nbytes(put) == HEADER_BYTES + 128
+
+
+def test_model_mode_blocks_still_sized_by_shape():
+    block = Block((10, 10), None)  # no data, shape-only
+    reply = BlockReply(BlockId(0, (1, 1)), block)
+    assert message_nbytes(reply) == HEADER_BYTES + 800
+
+
+def test_control_messages_default_size():
+    assert message_nbytes(GetBlock(BlockId(0, (1,)), 5, 0, 0)) is None
+    assert message_nbytes(Ack(3)) is None
+    assert message_nbytes(ChunkRequest(0, 0, 0, 5)) is None
+
+
+def test_messages_are_immutable():
+    import pytest
+
+    msg = Ack(3)
+    with pytest.raises(Exception):
+        msg.tag = 4  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Unit tests for pardo iteration enumeration and chunk scheduling."""
+
+import pytest
+
+from repro.sial.compiler import compile_source
+from repro.sip.blocks import ResolvedIndexTable
+from repro.sip.scheduler import (
+    GuidedScheduler,
+    StaticScheduler,
+    enumerate_pardo,
+    make_scheduler,
+)
+
+
+def pardo_args(body, n=8, seg=4):
+    prog = compile_source(
+        f"sial t\nsymbolic nb\naoindex M = 1, nb\naoindex N = 1, nb\n{body}\nendsial t\n"
+    )
+    table = ResolvedIndexTable(prog, {"nb": n}, segment_size=seg)
+    start = [i for i in prog.instructions if i.op == "PARDO_START"][0]
+    _pid, index_ids, conds, _exit, _gets = start.args
+    return table, index_ids, conds
+
+
+def test_enumerate_full_product():
+    table, ids, conds = pardo_args("pardo M, N\nendpardo\n")
+    iters = enumerate_pardo(table, ids, conds)
+    assert iters == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+
+def test_enumerate_with_where_clause():
+    table, ids, conds = pardo_args("pardo M, N where M < N\nendpardo\n")
+    iters = enumerate_pardo(table, ids, conds)
+    assert iters == [(1, 2)]
+
+
+def test_enumerate_with_symbolic_in_where():
+    table, ids, conds = pardo_args(
+        "pardo M, N where M < nb\nendpardo\n", n=8, seg=4
+    )
+    # n = 8, segments = 2, M < 8 always true
+    assert len(enumerate_pardo(table, ids, conds)) == 4
+
+
+def test_enumerate_multiple_conditions_conjunction():
+    table, ids, conds = pardo_args(
+        "pardo M, N where M < N, N < 2\nendpardo\n"
+    )
+    assert enumerate_pardo(table, ids, conds) == []
+
+
+def test_guided_chunks_cover_everything_once():
+    iters = [(i,) for i in range(100)]
+    sched = GuidedScheduler(iters, workers=4, chunk_factor=2)
+    seen = []
+    while not sched.done:
+        chunk = sched.next_chunk()
+        assert chunk
+        seen.extend(chunk)
+    assert seen == iters
+    assert sched.next_chunk() == []
+
+
+def test_guided_chunk_sizes_non_increasing():
+    sched = GuidedScheduler([(i,) for i in range(1000)], workers=8, chunk_factor=2)
+    sizes = []
+    while not sched.done:
+        sizes.append(len(sched.next_chunk()))
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] > sizes[-1]
+    assert sizes[-1] == 1
+
+
+def test_guided_first_chunk_fraction():
+    sched = GuidedScheduler([(i,) for i in range(160)], workers=4, chunk_factor=2)
+    assert len(sched.next_chunk()) == 20  # 160 / (2*4)
+
+
+def test_guided_empty_iteration_space():
+    sched = GuidedScheduler([], workers=4)
+    assert sched.done
+    assert sched.next_chunk() == []
+
+
+def test_static_scheduler_partitions_equally():
+    iters = [(i,) for i in range(12)]
+    sched = StaticScheduler(iters, workers=3)
+    chunks = [sched.next_chunk_for(w) for w in range(3)]
+    assert [len(c) for c in chunks] == [4, 4, 4]
+    assert sum(chunks, []) == iters
+    # second request yields nothing
+    assert sched.next_chunk_for(0) == []
+
+
+def test_static_scheduler_uneven():
+    sched = StaticScheduler([(i,) for i in range(10)], workers=4)
+    sizes = [len(sched.next_chunk_for(w)) for w in range(4)]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 3
+
+
+def test_make_scheduler_dispatch():
+    assert isinstance(make_scheduler("guided", [], 2, 2), GuidedScheduler)
+    assert isinstance(make_scheduler("static", [], 2, 2), StaticScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("magic", [], 2, 2)

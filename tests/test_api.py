@@ -1,0 +1,80 @@
+"""Tests for the high-level public API (repro.api)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import SIPConfig, compile_sial, dry_run, run
+from repro.sial import CompiledProgram, SemanticError
+
+SRC = """
+sial api_demo
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+distributed D(M, N)
+temp T(M, N)
+scalar total
+
+pardo M, N
+  T(M, N) = 2.0
+  put D(M, N) = T(M, N)
+  total += T(M, N) * T(M, N)
+endpardo M, N
+collective total
+endsial api_demo
+"""
+
+
+def test_compile_returns_program():
+    prog = compile_sial(SRC)
+    assert isinstance(prog, CompiledProgram)
+    assert prog.name == "api_demo"
+
+
+def test_run_accepts_source_or_compiled():
+    cfg = SIPConfig(workers=2, io_servers=1, segment_size=4)
+    r1 = run(SRC, cfg, symbolics={"nb": 8})
+    r2 = run(compile_sial(SRC), SIPConfig(workers=2, io_servers=1, segment_size=4), symbolics={"nb": 8})
+    assert r1.scalar("total") == r2.scalar("total")
+    assert np.array_equal(r1.array("D"), r2.array("D"))
+
+
+def test_run_default_config():
+    result = run(SRC, symbolics={"nb": 8})
+    assert np.all(result.array("D") == 2.0)
+    # total = 4.0 per element over 8x8
+    assert result.scalar("total") == pytest.approx(4.0 * 64)
+
+
+def test_dry_run_without_executing():
+    report = dry_run(SRC, SIPConfig(workers=2, segment_size=4), {"nb": 8})
+    assert report.feasible
+    assert report.array_bytes["D"] == 64 * 8
+
+
+def test_dry_run_accepts_compiled():
+    prog = compile_sial(SRC)
+    report = dry_run(prog, symbolics={"nb": 8})
+    assert report.feasible
+
+
+def test_compile_errors_carry_location():
+    with pytest.raises(SemanticError, match="undeclared"):
+        compile_sial("sial t\npardo Q\nendpardo\nendsial t\n")
+
+
+def test_package_exports():
+    assert hasattr(repro, "run")
+    assert hasattr(repro, "SIPConfig")
+    assert hasattr(repro, "MACHINES")
+    assert repro.__version__
+
+
+def test_result_surfaces_profile_and_stats():
+    result = run(SRC, SIPConfig(workers=3, segment_size=4), symbolics={"nb": 8})
+    assert result.elapsed > 0
+    assert result.profile.total_busy > 0
+    assert "messages_sent" in result.stats
+    text = result.profile.report()
+    assert "wait fraction" in text

@@ -1,0 +1,112 @@
+"""Unit tests for machine models and the cost model."""
+
+import pytest
+
+from repro.costmodel import INTEGRAL_FLOPS_PER_ELEMENT, CostModel, contraction_flops
+from repro.machines import (
+    BLUEGENE_P,
+    CRAY_XT5,
+    LAPTOP,
+    MACHINES,
+    SUN_OPTERON_IB,
+    Machine,
+    get_machine,
+)
+
+
+def test_all_paper_platforms_present():
+    for name in (
+        "sun-opteron-ib",
+        "cray-xt4",
+        "cray-xt5",
+        "jaguar-xt5",
+        "sgi-altix",
+        "bluegene-p",
+        "laptop",
+    ):
+        assert name in MACHINES
+
+
+def test_get_machine_roundtrip_and_error():
+    assert get_machine("cray-xt5") is CRAY_XT5
+    with pytest.raises(KeyError, match="known machines"):
+        get_machine("cray-xt9")
+
+
+def test_network_built_from_machine_parameters():
+    net = SUN_OPTERON_IB.network()
+    assert net.latency == SUN_OPTERON_IB.latency
+    assert net.bandwidth == SUN_OPTERON_IB.bandwidth
+
+
+def test_with_memory_copy():
+    m = CRAY_XT5.with_memory(4.0e9)
+    assert m.memory_per_rank == 4.0e9
+    assert m.flop_rate == CRAY_XT5.flop_rate
+    assert CRAY_XT5.memory_per_rank != 4.0e9  # original untouched
+
+
+def test_bgp_slower_and_smaller_than_xt5():
+    """The Section VI-A premise: different processor/network ratios."""
+    assert BLUEGENE_P.flop_rate < CRAY_XT5.flop_rate
+    assert BLUEGENE_P.bandwidth < CRAY_XT5.bandwidth
+    assert BLUEGENE_P.memory_per_rank < CRAY_XT5.memory_per_rank
+    ratio_xt5 = CRAY_XT5.flop_rate / CRAY_XT5.bandwidth
+    ratio_bgp = BLUEGENE_P.flop_rate / BLUEGENE_P.bandwidth
+    assert ratio_bgp != pytest.approx(ratio_xt5, rel=0.2)
+
+
+def test_contraction_flops_formula():
+    # matrix multiply (m x k) @ (k x n): 2 m n k
+    assert contraction_flops((10, 20), (30,)) == 2 * 10 * 20 * 30
+    assert contraction_flops((), (5, 5)) == 50  # full contraction
+    assert contraction_flops((4,), ()) == 8  # outer/scale-like
+
+
+def test_cost_model_contraction_time():
+    cm = CostModel(LAPTOP)
+    t = cm.contraction_time((10, 10), (10,))
+    expected = LAPTOP.kernel_overhead + 2000 / LAPTOP.flop_rate
+    assert t == pytest.approx(expected)
+
+
+def test_cost_model_elementwise_and_integrals():
+    cm = CostModel(LAPTOP)
+    assert cm.elementwise_time(8_000_000) > cm.elementwise_time(8_000)
+    t_int = cm.integral_time(1000)
+    expected = LAPTOP.kernel_overhead + 1000 * INTEGRAL_FLOPS_PER_ELEMENT / LAPTOP.flop_rate
+    assert t_int == pytest.approx(expected)
+
+
+def test_integrals_cost_more_than_contraction_per_element():
+    cm = CostModel(LAPTOP)
+    # a seg^4 integral block vs a similarly sized contraction flop count
+    assert cm.integral_time(10_000) > cm.flops_time(2 * 10_000)
+
+
+def test_flops_time_monotone():
+    cm = CostModel(BLUEGENE_P)
+    assert cm.flops_time(1e9) > cm.flops_time(1e6) > cm.flops_time(0)
+
+
+def test_machine_is_frozen():
+    with pytest.raises(Exception):
+        LAPTOP.flop_rate = 1.0  # type: ignore[misc]
+
+
+def test_custom_machine_usable_end_to_end():
+    from repro.sip import SIPConfig, run_source
+
+    weird = Machine(name="weird", flop_rate=1e6, latency=1e-3, bandwidth=1e6)
+    src = (
+        "sial t\nsymbolic nb\naoindex M = 1, nb\ndistributed D(M, M)\n"
+        "temp T(M, M)\npardo M\nT(M, M) = 1.0\nput D(M, M) = T(M, M)\n"
+        "endpardo\nendsial t\n"
+    )
+    slow = run_source(
+        src, SIPConfig(workers=2, segment_size=4, machine=weird), {"nb": 8}
+    )
+    fast = run_source(
+        src, SIPConfig(workers=2, segment_size=4, machine=LAPTOP), {"nb": 8}
+    )
+    assert slow.elapsed > fast.elapsed
