@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Fault injection -- running a SIAL program on an adversarial substrate.
+
+A :class:`FaultPlan` makes the simulated machine misbehave
+deterministically: remote messages are dropped or delayed, disk
+operations fail, ranks crash at scheduled times.  With a plan attached,
+the SIP switches to its resilient protocol (per-message retry with
+exponential backoff, sequence-number dedup, write-back retry, restart
+from checkpoint) and the run must produce the same numerics as on a
+perfect machine -- faults cost simulated time, never correctness.
+"""
+
+import numpy as np
+
+from repro.sip import FaultPlan, SIPConfig, run_source
+
+SRC = """
+sial fault_demo
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nb
+distributed A(M, L)
+distributed B(L, N)
+distributed C(M, N)
+served SV(M, N)
+temp TC(M, N)
+scalar e
+
+pardo M, N
+  TC(M, N) = 0.0
+  do L
+    get A(M, L)
+    get B(L, N)
+    TC(M, N) += A(M, L) * B(L, N)
+  enddo L
+  put C(M, N) = TC(M, N)
+  prepare SV(M, N) = TC(M, N)
+endpardo M, N
+sip_barrier
+server_barrier
+e = 0.0
+pardo M, N
+  request SV(M, N)
+  e += SV(M, N) * SV(M, N)
+endpardo M, N
+collective e
+endsial fault_demo
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    nb = 9
+    inputs = {
+        "A": rng.standard_normal((nb, nb)),
+        "B": rng.standard_normal((nb, nb)),
+    }
+
+    def run(faults=None):
+        cfg = SIPConfig(
+            workers=3,
+            io_servers=2,
+            segment_size=3,
+            inputs={k: v.copy() for k, v in inputs.items()},
+            faults=faults,
+        )
+        return run_source(SRC, cfg, symbolics={"nb": nb})
+
+    base = run()
+    print("perfect machine:")
+    print(f"  simulated time: {base.elapsed*1e3:.3f} ms")
+    print(f"  e = {base.scalar('e'):.12f}")
+
+    plan = FaultPlan(
+        seed=42,
+        message_drop_rate=0.05,  # 5% of remote messages vanish
+        message_delay_rate=0.05,  # 5% take a latency spike
+        disk_write_error_rate=1.0,  # and exactly one disk write fails
+        max_disk_errors=1,
+    )
+    res = run(plan)
+    print("\nfaulty machine (seed 42):")
+    print(f"  simulated time: {res.elapsed*1e3:.3f} ms "
+          f"({res.elapsed/base.elapsed:.1f}x the fault-free run)")
+    print(f"  e = {res.scalar('e'):.12f}")
+    print()
+    print(res.fault_report.summary())
+
+    assert abs(res.scalar("e") - base.scalar("e")) < 1e-9
+    assert np.array_equal(res.array("C"), base.array("C"))
+    assert res.fault_report.all_recovered
+    print("\nOK: same numerics, every injected fault retried or recovered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,15 @@ overlap, prefetching and scheduling behaviour can be both *executed*
 
 from .comm import ANY_SOURCE, ANY_TAG, Barrier, Message, Request, SimComm, World
 from .disk import Disk, DiskStats
+from .faults import (
+    DiskFault,
+    FaultEvent,
+    FaultPlan,
+    FaultReport,
+    FaultStats,
+    ResilienceStats,
+    WorkerCrashed,
+)
 from .network import Network, payload_nbytes
 from .simulator import (
     AllOf,
@@ -30,8 +39,15 @@ __all__ = [
     "Barrier",
     "DeadlockError",
     "Disk",
+    "DiskFault",
     "DiskStats",
     "Event",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultReport",
+    "FaultStats",
+    "ResilienceStats",
+    "WorkerCrashed",
     "Message",
     "Network",
     "Process",

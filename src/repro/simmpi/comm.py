@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, Optional
 
+from .faults import FaultPlan
 from .network import Network, payload_nbytes
 from .simulator import Event, Simulator, Timeout
 
@@ -106,12 +107,19 @@ def _matches(want_source: int, want_tag: int, msg: Message) -> bool:
 class World:
     """The set of simulated ranks sharing one network."""
 
-    def __init__(self, sim: Simulator, size: int, network: Optional[Network] = None) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        network: Optional[Network] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.sim = sim
         self.size = size
         self.network = network if network is not None else Network()
+        self.faults = faults
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self.stats = WorldStats()
 
@@ -168,8 +176,16 @@ class SimComm:
         size = payload_nbytes(payload, nbytes)
         msg = Message(payload=payload, source=self.rank, tag=tag, nbytes=size)
         net = world.network
-        transfer = net.transfer_time(size, self.rank, dest)
-        world.sim._schedule_call(transfer, world._mailboxes[dest].deliver, msg)
+        dropped = False
+        extra_delay = 0.0
+        if world.faults is not None:
+            verdict, extra_delay = world.faults.message_verdict(
+                self.rank, dest, tag, size, world.sim.now
+            )
+            dropped = verdict == "drop"
+        if not dropped:
+            transfer = net.transfer_time(size, self.rank, dest, extra_delay)
+            world.sim._schedule_call(transfer, world._mailboxes[dest].deliver, msg)
         world.stats.messages_sent += 1
         world.stats.bytes_sent += size
         if dest != self.rank:

@@ -13,7 +13,9 @@ it only delays the completion event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from .faults import DiskFault, FaultPlan
 from .simulator import Event, Simulator
 
 __all__ = ["Disk", "DiskStats"]
@@ -26,6 +28,7 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_time: float = 0.0
+    errors: int = 0
 
 
 class Disk:
@@ -37,6 +40,7 @@ class Disk:
         seek_latency: float = 5.0e-3,
         bandwidth: float = 200.0e6,
         name: str = "disk",
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError("disk bandwidth must be positive")
@@ -44,28 +48,46 @@ class Disk:
         self.seek_latency = seek_latency
         self.bandwidth = bandwidth
         self.name = name
+        self.faults = faults
         self.stats = DiskStats()
         # simulated time at which the device becomes free
         self._free_at = 0.0
 
-    def _enqueue(self, nbytes: int) -> Event:
+    def _enqueue(self, nbytes: int, kind: str) -> Event:
         duration = self.seek_latency + nbytes / self.bandwidth
         start = max(self.sim.now, self._free_at)
         finish = start + duration
         self._free_at = finish
         self.stats.busy_time += duration
+        # A faulted operation still occupies the device for its full
+        # duration; its completion event carries a DiskFault instead of
+        # None so resilient callers can distinguish and retry.
+        value = None
+        if self.faults is not None and self.faults.disk_verdict(
+            kind, self.name, self.sim.now
+        ):
+            self.stats.errors += 1
+            value = DiskFault(kind, self.name, self.sim.now)
         ev = self.sim.event(name=f"{self.name} io")
-        self.sim._schedule_call(finish - self.sim.now, ev.succeed, None)
+        self.sim._schedule_call(finish - self.sim.now, ev.succeed, value)
         return ev
 
     def read(self, nbytes: int) -> Event:
-        """Asynchronously read ``nbytes``; event fires on completion."""
+        """Asynchronously read ``nbytes``; event fires on completion.
+
+        The event value is ``None`` on success or a
+        :class:`~repro.simmpi.faults.DiskFault` on an injected error.
+        """
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
-        return self._enqueue(nbytes)
+        return self._enqueue(nbytes, "read")
 
     def write(self, nbytes: int) -> Event:
-        """Asynchronously write ``nbytes``; event fires on completion."""
+        """Asynchronously write ``nbytes``; event fires on completion.
+
+        The event value is ``None`` on success or a
+        :class:`~repro.simmpi.faults.DiskFault` on an injected error.
+        """
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
-        return self._enqueue(nbytes)
+        return self._enqueue(nbytes, "write")

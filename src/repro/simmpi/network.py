@@ -57,11 +57,17 @@ class Network:
     send_overhead: float = 0.5e-6
     memcpy_bandwidth: float = 8.0e9
 
-    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
-        """One-way delivery time for ``nbytes`` from ``src`` to ``dst``."""
+    def transfer_time(
+        self, nbytes: int, src: int, dst: int, extra_delay: float = 0.0
+    ) -> float:
+        """One-way delivery time for ``nbytes`` from ``src`` to ``dst``.
+
+        ``extra_delay`` models a transient congestion/fault spike added
+        on top of the alpha-beta cost (see :mod:`repro.simmpi.faults`).
+        """
         if src == dst:
             return nbytes / self.memcpy_bandwidth
-        return self.latency + nbytes / self.bandwidth
+        return self.latency + nbytes / self.bandwidth + extra_delay
 
     def injection_time(self, nbytes: int) -> float:
         """Sender CPU time consumed by initiating a transfer."""

@@ -89,6 +89,18 @@ class Event:
         self._flush()
         return self
 
+    def succeed_if_pending(self, value: Any = None) -> bool:
+        """Trigger the event if still pending; returns whether it fired.
+
+        Useful where two legitimate completion paths can race (e.g. a
+        block arriving over the network vs. being installed directly
+        into the cache) and "already done" is not a protocol bug.
+        """
+        if self._triggered:
+            return False
+        self.succeed(value)
+        return True
+
     def fail(self, exc: BaseException) -> "Event":
         if self._triggered:
             raise SimulationError(f"event {self.name!r} triggered twice")
@@ -156,9 +168,20 @@ ProcessGen = Generator[Any, Any, Any]
 class Process:
     """A running simulated process wrapping a generator."""
 
-    __slots__ = ("sim", "gen", "name", "finished", "result", "error", "done_event")
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "finished",
+        "result",
+        "error",
+        "done_event",
+        "daemon",
+    )
 
-    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str) -> None:
+    def __init__(
+        self, sim: "Simulator", gen: ProcessGen, name: str, daemon: bool = False
+    ) -> None:
         self.sim = sim
         self.gen = gen
         self.name = name
@@ -166,6 +189,7 @@ class Process:
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self.done_event = Event(sim, name=f"done:{name}")
+        self.daemon = daemon
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -216,11 +240,17 @@ class Simulator:
         return ev
 
     # -- processes ---------------------------------------------------------
-    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
-        """Start a new process from generator *gen*; returns its handle."""
-        proc = Process(self, gen, name)
+    def spawn(self, gen: ProcessGen, name: str = "proc", daemon: bool = False) -> Process:
+        """Start a new process from generator *gen*; returns its handle.
+
+        A *daemon* process serves others but never ends on its own (e.g.
+        a message pump kept alive for late retries); it is exempt from
+        end-of-run deadlock detection.
+        """
+        proc = Process(self, gen, name, daemon=daemon)
         self._processes.append(proc)
-        self._active += 1
+        if not daemon:
+            self._active += 1
         self._schedule_call(0.0, self._step, proc, None, None)
         return proc
 
@@ -303,7 +333,8 @@ class Simulator:
         proc.finished = True
         proc.result = result
         proc.error = error
-        self._active -= 1
+        if not proc.daemon:
+            self._active -= 1
         if error is not None:
             self._errors.append(error)
             proc.done_event.fail(error)
@@ -332,7 +363,9 @@ class Simulator:
             if self._errors:
                 raise self._errors[0]
         if self._active > 0:
-            waiting = [p.name for p in self._processes if not p.finished]
+            waiting = [
+                p.name for p in self._processes if not p.finished and not p.daemon
+            ]
             raise DeadlockError(
                 f"deadlock at t={self.now:g}: processes still waiting: {waiting[:10]}"
                 + ("..." if len(waiting) > 10 else "")

@@ -9,6 +9,14 @@ and asynchronous disk I/O -- all on the deterministic simulated MPI of
 :mod:`repro.simmpi`.
 """
 
+from ..simmpi.faults import (
+    DiskFault,
+    FaultPlan,
+    FaultReport,
+    FaultStats,
+    ResilienceStats,
+    WorkerCrashed,
+)
 from .backend import KernelOperand, ModelBackend, RealBackend
 from .blocks import Block, BlockId, ResolvedIndexTable
 from .cache import BlockCache
@@ -28,7 +36,11 @@ __all__ = [
     "BlockId",
     "BlockPool",
     "ConflictTracker",
+    "DiskFault",
     "DryRunReport",
+    "FaultPlan",
+    "FaultReport",
+    "FaultStats",
     "GLOBAL_REGISTRY",
     "GuidedScheduler",
     "InfeasibleComputation",
@@ -37,6 +49,7 @@ __all__ = [
     "OutOfBlockMemory",
     "Placement",
     "RealBackend",
+    "ResilienceStats",
     "ResolvedIndexTable",
     "RunProfile",
     "RunResult",
@@ -45,6 +58,7 @@ __all__ = [
     "StaticScheduler",
     "SuperCall",
     "SuperInstructionRegistry",
+    "WorkerCrashed",
     "WorkerProfile",
     "dry_run",
     "enumerate_pardo",

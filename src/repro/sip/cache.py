@@ -118,7 +118,11 @@ class BlockCache:
         if entry is not None:
             entry.block = block
             entry.dirty = dirty or entry.dirty
-            entry.arrival = None
+            # A pending entry may have waiters parked on its arrival
+            # event; wake them with the block, don't just drop the event.
+            arrival, entry.arrival = entry.arrival, None
+            if arrival is not None:
+                arrival.succeed_if_pending(block)
             self._entries.move_to_end(block_id)
             return entry
         self._make_room()
@@ -137,8 +141,8 @@ class BlockCache:
         """Drop every clean, unpinned, non-pending entry (sip_barrier)."""
         for key in list(self._entries):
             entry = self._entries[key]
-            if not entry.dirty and entry.pinned == 0 and not entry.pending:
-                del self._entries[key]
+            if self.evictable(entry):
+                self._evict(key, entry)
 
     def pin(self, block_id: BlockId) -> None:
         self._entries[block_id].pinned += 1
@@ -152,18 +156,22 @@ class BlockCache:
     def evictable(self, entry: CacheEntry) -> bool:
         return entry.pinned == 0 and not entry.pending and not entry.dirty
 
+    def _evict(self, key: BlockId, entry: CacheEntry) -> None:
+        """Drop one entry with full accounting (evictions, on_evict)."""
+        del self._entries[key]
+        self.stats.evictions += 1
+        if not entry.used:
+            self.stats.evicted_before_use += 1
+        if self.on_evict is not None:
+            self.on_evict(key, entry)
+
     def _make_room(self) -> None:
         if len(self._entries) < self.capacity:
             return
         for key in list(self._entries):  # LRU order
             entry = self._entries[key]
             if self.evictable(entry):
-                del self._entries[key]
-                self.stats.evictions += 1
-                if not entry.used:
-                    self.stats.evicted_before_use += 1
-                if self.on_evict is not None:
-                    self.on_evict(key, entry)
+                self._evict(key, entry)
                 if len(self._entries) < self.capacity:
                     return
         if len(self._entries) >= self.capacity:

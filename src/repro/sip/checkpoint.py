@@ -25,9 +25,21 @@ __all__ = [
     "store_to_array",
     "array_to_store",
     "checkpoint_scalars",
+    "has_checkpoint",
+    "checkpoint_seq",
     "save_store",
     "load_store",
 ]
+
+
+def has_checkpoint(store: dict[str, Any]) -> bool:
+    """Whether a ``checkpoint`` statement ever completed into this store."""
+    return "__checkpoint_seq__" in store
+
+
+def checkpoint_seq(store: dict[str, Any]) -> int:
+    """Sequence number of the last completed checkpoint (0 = none)."""
+    return int(store.get("__checkpoint_seq__", 0))
 
 
 def store_to_array(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..machines import LAPTOP, Machine
+from ..simmpi.faults import FaultPlan
 
 __all__ = ["SIPConfig", "SIPError"]
 
@@ -73,6 +74,23 @@ class SIPConfig:
         :mod:`repro.sip.registry`).
     trace:
         Optional callable ``(time, rank, text)`` for debugging.
+    faults:
+        Optional :class:`~repro.simmpi.faults.FaultPlan` injecting
+        message drops/delays, disk errors and rank crashes.  Attaching
+        one also enables the resilient messaging protocol (timeouts,
+        retries with exponential backoff, sequence-number dedup).
+    resilient:
+        Force the resilient protocol on (True) or off (False)
+        regardless of ``faults``; None (default) follows ``faults``.
+    retry_timeout:
+        Seconds a resilient requester waits for a reply/ack before
+        re-sending.  Must comfortably exceed the slowest normal
+        round-trip (disk reads, back-pressured prepares) or spurious
+        retries inflate traffic -- they stay harmless for correctness.
+    retry_limit:
+        Re-sends attempted before the requester declares the peer dead.
+    retry_backoff:
+        Multiplier applied to the timeout after each retry.
     """
 
     workers: int = 4
@@ -95,6 +113,11 @@ class SIPConfig:
     superinstructions: dict[str, Callable[..., Any]] = field(default_factory=dict)
     trace: Optional[Callable[[float, int, str], None]] = None
     tracer: Optional[Any] = None  # a repro.sip.tracing.TraceRecorder
+    faults: Optional[FaultPlan] = None
+    resilient: Optional[bool] = None
+    retry_timeout: float = 0.05
+    retry_limit: int = 10
+    retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -109,6 +132,19 @@ class SIPConfig:
             raise ValueError("prefetch_depth must be >= 0")
         if self.scheduling not in ("guided", "static"):
             raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
+        if self.retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if self.retry_limit < 1:
+            raise ValueError("retry_limit must be >= 1")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+
+    @property
+    def resilience_enabled(self) -> bool:
+        """Whether the resilient messaging protocol is active."""
+        if self.resilient is not None:
+            return self.resilient
+        return self.faults is not None
 
     @property
     def memory_budget(self) -> float:

@@ -17,8 +17,9 @@ from typing import Generator
 
 import numpy as np
 
-from ..simmpi import Disk
+from ..simmpi import Disk, Timeout
 from ..simmpi.comm import SimComm
+from ..simmpi.faults import ResilienceStats
 from .blocks import Block, BlockId
 from .cache import BlockCache, CacheEntry
 from .config import SIPError
@@ -54,6 +55,7 @@ class IOServerProcess:
             seek_latency=rt.config.machine.disk_seek,
             bandwidth=rt.config.machine.disk_bandwidth,
             name=f"disk{server_index}",
+            faults=rt.config.faults,
         )
         # "on-disk" contents: ndarray in real mode, block shape in model mode
         self.disk_data: dict[BlockId, object] = {}
@@ -62,6 +64,10 @@ class IOServerProcess:
         # broadcast event: "an entry just became evictable" -- used as
         # back-pressure when the cache is full of dirty/pending blocks
         self._clean_signal = None
+        # resilient protocol: (source rank, seq) -> "pending" | "done",
+        # so a retried prepare is applied exactly once but still acked
+        self._prepare_state: dict[tuple[int, int], str] = {}
+        self.resilience = ResilienceStats()
 
     def tracker(self, epoch: int) -> ConflictTracker:
         t = self.trackers.get(epoch)
@@ -77,6 +83,10 @@ class IOServerProcess:
             msg = yield from self.comm.recv(tag=SERVER_TAG)
             payload = msg.payload
             if isinstance(payload, Shutdown):
+                if payload.ack_tag >= 0:
+                    self.comm.isend(
+                        Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag
+                    )
                 return
             if isinstance(payload, PrepareBlock):
                 self._handle_prepare(payload, msg.source)
@@ -87,6 +97,19 @@ class IOServerProcess:
 
     # -- prepare -----------------------------------------------------------------
     def _handle_prepare(self, p: PrepareBlock, source: int) -> None:
+        if p.seq >= 0:
+            # resilient protocol: exactly-once apply of retried prepares.
+            # While the original is still being applied we stay silent
+            # (its own ack will come); once done, re-ack duplicates.
+            state = self._prepare_state.get((source, p.seq))
+            if state == "done":
+                self.resilience.duplicates_ignored += 1
+                self._ack(p, source)
+                return
+            if state == "pending":
+                self.resilience.duplicates_ignored += 1
+                return
+            self._prepare_state[(source, p.seq)] = "pending"
         self.tracker(p.epoch).record_write(p.worker_index, p.block_id, p.op)
         bid = p.block_id
         entry = self.cache.lookup(bid)
@@ -94,7 +117,7 @@ class IOServerProcess:
             self._apply(entry.block, p)
             entry.dirty = True
             self._start_writeback(bid)
-            self._ack(p, source)
+            self._finish_prepare(p, source)
         else:
             # contents must be pulled (pending fetch / disk) or cache
             # space must free up first; do it off the message pump
@@ -108,6 +131,11 @@ class IOServerProcess:
         self._apply(entry.block, p)
         entry.dirty = True
         self._start_writeback(p.block_id)
+        self._finish_prepare(p, source)
+
+    def _finish_prepare(self, p: PrepareBlock, source: int) -> None:
+        if p.seq >= 0:
+            self._prepare_state[(source, p.seq)] = "done"
         self._ack(p, source)
 
     def _ack(self, p: PrepareBlock, source: int) -> None:
@@ -138,10 +166,30 @@ class IOServerProcess:
         nbytes = entry.block.nbytes
 
         def writer() -> Generator:
-            yield self.disk.write(nbytes)
+            attempts = 0
+            while True:
+                fault = yield self.disk.write(nbytes)
+                if fault is None:
+                    break
+                attempts += 1
+                self.resilience.writeback_retries += 1
+                self._trace_fault("disk-write-retry", bid)
+                if attempts > self.rt.config.retry_limit:
+                    raise SIPError(
+                        f"ioserver{self.server_index}: write-back of {bid} "
+                        f"still failing after {attempts} attempts"
+                    )
+                yield Timeout(
+                    self.rt.config.retry_timeout
+                    * self.rt.config.retry_backoff ** (attempts - 1)
+                )
+            if self._writeback_version.get(bid) != version:
+                # a newer write-back owns the disk image; storing this
+                # snapshot would clobber fresher data
+                return
             self.disk_data[bid] = snapshot
             current = self.cache.lookup(bid, touch=False)
-            if current is not None and self._writeback_version.get(bid) == version:
+            if current is not None:
                 current.dirty = False
                 self._signal_clean()
 
@@ -215,10 +263,31 @@ class IOServerProcess:
                 )
             return self._fresh_block(bid)
         shape = self.rt.block_shape(bid)
-        yield self.disk.read(int(np.prod(shape)) * 8)
+        attempts = 0
+        while True:
+            fault = yield self.disk.read(int(np.prod(shape)) * 8)
+            if fault is None:
+                break
+            attempts += 1
+            self.resilience.disk_read_retries += 1
+            self._trace_fault("disk-read-retry", bid)
+            if attempts > self.rt.config.retry_limit:
+                raise SIPError(
+                    f"ioserver{self.server_index}: read of {bid} still "
+                    f"failing after {attempts} attempts"
+                )
+            yield Timeout(
+                self.rt.config.retry_timeout
+                * self.rt.config.retry_backoff ** (attempts - 1)
+            )
         if isinstance(stored, np.ndarray):
             return Block(shape, stored.copy())
         return Block(shape, None)
+
+    def _trace_fault(self, kind: str, detail: object) -> None:
+        tracer = self.rt.config.tracer
+        if tracer is not None and hasattr(tracer, "record_fault"):
+            tracer.record_fault(self.sim.now, self.rank, kind, str(detail))
 
     def _reply(self, p: RequestBlock, source: int, block: Block) -> None:
         reply = BlockReply(p.block_id, block.copy())

@@ -18,13 +18,16 @@ from __future__ import annotations
 
 from typing import Generator
 
-from ..simmpi import Timeout
+from ..simmpi import AnyOf, Timeout
 from ..simmpi.comm import SimComm
+from ..simmpi.faults import ResilienceStats
 from .config import SIPError
 from .messages import (
     MASTER_TAG,
+    REPLY_TAG_BASE,
     SERVER_TAG,
     SERVICE_TAG,
+    Ack,
     ChunkReply,
     ChunkRequest,
     CollectiveContribution,
@@ -50,33 +53,117 @@ class MasterProcess:
         self.collectives: dict[int, list[CollectiveContribution]] = {}
         self.collective_sources: dict[int, dict[int, int]] = {}
         self.chunks_served = 0
+        self.resilience = ResilienceStats()
+        # resilient protocol state: replayed replies for retried requests
+        self._chunk_replay: dict[int, tuple[int, ChunkReply, int]] = {}
+        self._collective_results: dict[int, float] = {}
+        self._done_workers: set[int] = set()
+        self._next_reply_tag = REPLY_TAG_BASE
 
     def run(self) -> Generator:
+        resilient = self.rt.resilient
         done = 0
         while done < self.config.workers:
             msg = yield from self.comm.recv(tag=MASTER_TAG)
             payload = msg.payload
             if isinstance(payload, ChunkRequest):
                 yield Timeout(self.config.machine.master_chunk_overhead)
-                chunk = self._next_chunk(payload)
-                reply = ChunkReply(tuple(chunk))
-                self.comm.isend(
-                    reply,
-                    dest=msg.source,
-                    tag=payload.reply_tag,
-                    nbytes=64 + _BYTES_PER_ITERATION * len(chunk),
-                )
-                self.chunks_served += 1
+                self._serve_chunk(payload, msg.source)
             elif isinstance(payload, CollectiveContribution):
                 self._collect(payload, msg.source)
             elif isinstance(payload, WorkerDone):
-                done += 1
+                if resilient:
+                    if payload.worker_index not in self._done_workers:
+                        self._done_workers.add(payload.worker_index)
+                        done += 1
+                    else:
+                        self.resilience.duplicates_ignored += 1
+                    if payload.ack_tag >= 0:
+                        self.comm.isend(
+                            Ack(payload.ack_tag),
+                            dest=msg.source,
+                            tag=payload.ack_tag,
+                        )
+                else:
+                    done += 1
             else:
                 raise SIPError(f"master got unexpected message {payload!r}")
-        for rank in self.config.worker_ranks:
-            self.comm.isend(Shutdown(), dest=rank, tag=SERVICE_TAG)
-        for rank in self.config.server_ranks:
-            self.comm.isend(Shutdown(), dest=rank, tag=SERVER_TAG)
+        targets = [(rank, SERVICE_TAG) for rank in self.config.worker_ranks]
+        targets += [(rank, SERVER_TAG) for rank in self.config.server_ranks]
+        if not resilient:
+            for rank, tag in targets:
+                self.comm.isend(Shutdown(), dest=rank, tag=tag)
+            return
+        # resilient shutdown: retry until acked, but give up quietly
+        # after the retry budget -- the peer may have received an
+        # earlier copy and exited with its ack dropped in transit
+        for rank, tag in targets:
+            self.rt.sim.spawn(
+                self._reliable_shutdown(rank, tag), name=f"master.shutdown->{rank}"
+            )
+        # keep serving stragglers: a worker whose WorkerDone ack (or
+        # last chunk/collective reply) was dropped is still retrying
+        # into this mailbox and needs a re-ack to finish
+        self.rt.sim.spawn(
+            self._straggler_pump(), name="master.stragglers", daemon=True
+        )
+
+    def _straggler_pump(self) -> Generator:
+        while True:
+            msg = yield from self.comm.recv(tag=MASTER_TAG)
+            payload = msg.payload
+            if isinstance(payload, WorkerDone):
+                self.resilience.duplicates_ignored += 1
+                if payload.ack_tag >= 0:
+                    self.comm.isend(
+                        Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag
+                    )
+            elif isinstance(payload, ChunkRequest):
+                self._serve_chunk(payload, msg.source)
+            elif isinstance(payload, CollectiveContribution):
+                self._collect(payload, msg.source)
+
+    def _reliable_shutdown(self, dest: int, tag: int) -> Generator:
+        ack_tag = self._next_reply_tag
+        self._next_reply_tag += 1
+        req = self.comm.irecv(source=dest, tag=ack_tag)
+        self.comm.isend(Shutdown(ack_tag), dest=dest, tag=tag)
+        timeout = self.config.retry_timeout
+        attempts = 0
+        while not req.event.triggered:
+            yield AnyOf([req.event, self.rt.sim.timeout_event(timeout)])
+            if req.event.triggered:
+                return
+            attempts += 1
+            if attempts > self.config.retry_limit:
+                return
+            self.resilience.control_retries += 1
+            self.comm.isend(Shutdown(ack_tag), dest=dest, tag=tag)
+            timeout *= self.config.retry_backoff
+
+    def _serve_chunk(self, payload: ChunkRequest, source: int) -> None:
+        if payload.seq >= 0:
+            cached = self._chunk_replay.get(payload.worker_index)
+            if cached is not None:
+                seq, reply, nbytes = cached
+                if payload.seq == seq:
+                    # retried request whose reply (or request) was lost:
+                    # replay the exact same chunk, never a fresh one
+                    self.resilience.duplicates_ignored += 1
+                    self.comm.isend(
+                        reply, dest=source, tag=payload.reply_tag, nbytes=nbytes
+                    )
+                    return
+                if payload.seq < seq:
+                    self.resilience.duplicates_ignored += 1
+                    return  # stale duplicate; its reply already went out
+        chunk = self._next_chunk(payload)
+        reply = ChunkReply(tuple(chunk))
+        nbytes = 64 + _BYTES_PER_ITERATION * len(chunk)
+        if payload.seq >= 0:
+            self._chunk_replay[payload.worker_index] = (payload.seq, reply, nbytes)
+        self.comm.isend(reply, dest=source, tag=payload.reply_tag, nbytes=nbytes)
+        self.chunks_served += 1
 
     def _next_chunk(self, req: ChunkRequest) -> list[tuple[int, ...]]:
         key = (req.pardo_pc, req.activation)
@@ -97,6 +184,23 @@ class MasterProcess:
         return sched.next_chunk()
 
     def _collect(self, payload: CollectiveContribution, source: int) -> None:
+        if self.rt.resilient:
+            if payload.seq in self._collective_results:
+                # collective already completed; the worker's result was
+                # lost in transit -- replay it
+                self.resilience.duplicates_ignored += 1
+                self.comm.isend(
+                    CollectiveResult(self._collective_results[payload.seq]),
+                    dest=source,
+                    tag=payload.reply_tag,
+                )
+                return
+            sources = self.collective_sources.get(payload.seq)
+            if sources is not None and payload.worker_index in sources:
+                # duplicate contribution while the collective is still
+                # gathering; the original is already counted
+                self.resilience.duplicates_ignored += 1
+                return
         pending = self.collectives.setdefault(payload.seq, [])
         self.collective_sources.setdefault(payload.seq, {})[
             payload.worker_index
@@ -115,3 +219,5 @@ class MasterProcess:
                     tag=p.reply_tag,
                 )
             del self.collectives[payload.seq]
+            if self.rt.resilient:
+                self._collective_results[payload.seq] = total

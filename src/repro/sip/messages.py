@@ -57,7 +57,12 @@ class GetBlock:
 
 @dataclass(frozen=True)
 class PutBlock:
-    """Worker -> owner worker: store ('=') or accumulate ('+=')."""
+    """Worker -> owner worker: store ('=') or accumulate ('+=').
+
+    ``seq`` is a sender-unique sequence number used by the resilient
+    protocol to apply a retried put exactly once; -1 when resilience is
+    off.
+    """
 
     block_id: BlockId
     op: str
@@ -65,6 +70,7 @@ class PutBlock:
     worker_index: int
     epoch: int
     ack_tag: int
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,7 @@ class ChunkRequest:
     activation: int
     worker_index: int
     reply_tag: int
+    seq: int = -1  # resilient protocol: replay key for the master's reply cache
 
 
 @dataclass(frozen=True)
@@ -120,7 +127,12 @@ class RequestBlock:
 
 @dataclass(frozen=True)
 class PrepareBlock:
-    """Worker -> I/O server: store ('=') or accumulate ('+=')."""
+    """Worker -> I/O server: store ('=') or accumulate ('+=').
+
+    ``seq`` is a sender-unique sequence number used by the resilient
+    protocol to apply a retried prepare exactly once; -1 when
+    resilience is off.
+    """
 
     block_id: BlockId
     op: str
@@ -128,16 +140,18 @@ class PrepareBlock:
     worker_index: int
     epoch: int
     ack_tag: int
+    seq: int = -1
 
 
 @dataclass(frozen=True)
 class WorkerDone:
     worker_index: int
+    ack_tag: int = -1  # resilient protocol: master acks on this tag
 
 
 @dataclass(frozen=True)
 class Shutdown:
-    pass
+    ack_tag: int = -1  # resilient protocol: receiver acks on this tag
 
 
 def message_nbytes(msg: Any) -> Optional[int]:

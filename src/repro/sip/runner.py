@@ -17,7 +17,9 @@ import numpy as np
 from ..sial.bytecode import CompiledProgram
 from ..sial.compiler import compile_source
 from ..simmpi import Simulator, World
+from ..simmpi.faults import FaultReport, ResilienceStats, WorkerCrashed
 from .blocks import Block, BlockId
+from .checkpoint import has_checkpoint
 from .config import SIPConfig, SIPError
 from .dryrun import DryRunReport, InfeasibleComputation, dry_run
 from .ioserver import IOServerProcess
@@ -39,6 +41,7 @@ class RunResult:
     dry_run: DryRunReport
     stats: dict[str, Any]
     external_store: dict[str, Any]
+    fault_report: Optional[FaultReport] = None
     _rt: SharedRuntime = field(repr=False, default=None)
     _workers: list = field(repr=False, default_factory=list)
     _servers: list = field(repr=False, default_factory=list)
@@ -87,10 +90,43 @@ def run_program(
     symbolics: Optional[dict[str, float]] = None,
 ) -> RunResult:
     config = config if config is not None else SIPConfig()
-    symbolics = symbolics or {}
+    symbolics = dict(symbolics or {})
 
+    # Retry counters accumulate across crash-triggered restarts (the
+    # FaultPlan's own injection counters already persist on the plan).
+    retries = ResilienceStats()
+    restarts = 0
+    while True:
+        try:
+            return _execute(program, config, symbolics, retries, restarts)
+        except WorkerCrashed as crash:
+            plan = config.faults
+            if plan is None:
+                raise
+            if not has_checkpoint(config.external_store):
+                raise SIPError(
+                    f"{crash} and no checkpoint exists to restart from"
+                ) from crash
+            if restarts >= plan.max_restarts:
+                raise SIPError(
+                    f"{crash}; giving up after {restarts} restarts"
+                ) from crash
+            restarts += 1
+            # the program-level restart idiom: SIAL programs branch on
+            # the `restart` symbolic to reload checkpointed state
+            if any(n.lower() == "restart" for n in program.symbolic_table):
+                symbolics["restart"] = 1.0
+
+
+def _execute(
+    program: CompiledProgram,
+    config: SIPConfig,
+    symbolics: dict[str, float],
+    retries: ResilienceStats,
+    restarts: int,
+) -> RunResult:
     sim = Simulator()
-    world = World(sim, config.world_size, config.machine.network())
+    world = World(sim, config.world_size, config.machine.network(), config.faults)
     rt = SharedRuntime(program, config, symbolics, sim, world)
 
     report = dry_run(program, config, rt.table)
@@ -116,7 +152,16 @@ def run_program(
     for i, s in enumerate(servers):
         sim.spawn(s.run(), name=f"ioserver{i}")
 
-    sim.run()
+    try:
+        sim.run()
+    finally:
+        # harvest retry counters even from a crashed attempt, so the
+        # post-restart FaultReport covers the whole recovery story
+        for w in workers:
+            retries.add(w.resilience)
+        for s in servers:
+            retries.add(s.resilience)
+        retries.add(master.resilience)
 
     elapsed = max((w.profile.elapsed for w in workers), default=0.0)
     profile = RunProfile(
@@ -127,6 +172,15 @@ def run_program(
         for i, name in enumerate(program.scalar_table)
     }
     stats = _collect_stats(rt, workers, servers, master)
+    fault_report = None
+    if config.faults is not None:
+        fault_report = FaultReport(
+            injected=config.faults.stats,
+            retries=retries,
+            restarts=restarts,
+            completed=True,
+            log=list(config.faults.log),
+        )
     return RunResult(
         elapsed=elapsed,
         profile=profile,
@@ -134,6 +188,7 @@ def run_program(
         dry_run=report,
         stats=stats,
         external_store=rt.external_store,
+        fault_report=fault_report,
         _rt=rt,
         _workers=workers,
         _servers=servers,

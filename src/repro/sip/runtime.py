@@ -111,6 +111,11 @@ class SharedRuntime:
     def real(self) -> bool:
         return self.config.backend == "real"
 
+    @property
+    def resilient(self) -> bool:
+        """Whether the resilient messaging protocol is active."""
+        return self.config.resilience_enabled
+
     # -- block space enumeration ------------------------------------------------
     def all_blocks(self, array_id: int):
         """Iterate all block coordinates of an array."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from ..sial.bytecode import Op
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = ["TraceEvent", "FaultTraceEvent", "TraceRecorder"]
 
 # timeline glyphs by opcode family
 _GLYPHS = {
@@ -64,16 +64,30 @@ class TraceEvent:
         return (self.end - self.start) - self.wait
 
 
+@dataclass(frozen=True)
+class FaultTraceEvent:
+    """One recovery action taken by the resilient protocol."""
+
+    time: float
+    rank: int
+    kind: str  # e.g. "retry-get", "disk-write-retry"
+    detail: str
+
+
 @dataclass
 class TraceRecorder:
     """Collects instruction events; query or render after the run."""
 
     events: list[TraceEvent] = field(default_factory=list)
+    fault_events: list[FaultTraceEvent] = field(default_factory=list)
 
     def record(
         self, worker: int, pc: int, op: str, start: float, end: float, wait: float
     ) -> None:
         self.events.append(TraceEvent(worker, pc, op, start, end, wait))
+
+    def record_fault(self, time: float, rank: int, kind: str, detail: str = "") -> None:
+        self.fault_events.append(FaultTraceEvent(time, rank, kind, detail))
 
     # -- queries -----------------------------------------------------------
     def for_worker(self, worker: int) -> list[TraceEvent]:
@@ -131,4 +145,8 @@ class TraceRecorder:
             lines.append(f"  {op:<18s} {n}")
         lines.append(f"total busy: {self.total_busy():.6f} s")
         lines.append(f"total wait: {self.total_wait():.6f} s")
+        if self.fault_events:
+            lines.append("recovery actions:")
+            for kind, n in Counter(e.kind for e in self.fault_events).most_common():
+                lines.append(f"  {kind:<18s} {n}")
         return "\n".join(lines)

@@ -29,8 +29,9 @@ from ..sial.bytecode import (
     evaluate_condition,
     evaluate_rpn,
 )
-from ..simmpi import Timeout
+from ..simmpi import AnyOf, Timeout
 from ..simmpi.comm import SimComm
+from ..simmpi.faults import ResilienceStats, WorkerCrashed
 from .backend import KernelOperand
 from .blocks import Block, BlockId
 from .cache import BlockCache
@@ -137,6 +138,17 @@ class WorkerProcess:
         self._wait_acc = 0.0
         self._shutdown = False
 
+        # resilience bookkeeping (all inert unless a FaultPlan /
+        # config.resilient is set) -------------------------------------
+        self.resilience = ResilienceStats()
+        self._msg_seq = 0  # sender-unique seq for puts/prepares
+        self._chunk_seq = 0  # monotone seq for chunk requests
+        self._applied_puts: set[tuple[int, int]] = set()  # (source, seq)
+        plan = rt.config.faults
+        self._crash_at = (
+            plan.pending_crash_time(self.rank) if plan is not None else None
+        )
+
         self._fast = {
             Op.JUMP: self.op_jump,
             Op.BRANCH_FALSE: self.op_branch_false,
@@ -187,6 +199,9 @@ class WorkerProcess:
         start_time = self.sim.now
         pc = 0
         while True:
+            if self._crash_at is not None and self.sim.now >= self._crash_at:
+                self.rt.config.faults.record_crash(self.rank, self.sim.now)
+                raise WorkerCrashed(self.rank, self.sim.now)
             instr = instrs[pc]
             if instr.op == Op.STOP:
                 break
@@ -214,11 +229,24 @@ class WorkerProcess:
         yield from self._wait_events(self.outstanding_put_acks)
         yield from self._wait_events(self.outstanding_prepare_acks)
         self.profile.elapsed = self.sim.now - start_time
-        self.comm.isend(
-            WorkerDone(self.worker_index),
-            dest=self.config.master_rank,
-            tag=MASTER_TAG,
-        )
+        if not self.rt.resilient:
+            self.comm.isend(
+                WorkerDone(self.worker_index),
+                dest=self.config.master_rank,
+                tag=MASTER_TAG,
+            )
+            return
+        # resilient: the master acks completion so a dropped WorkerDone
+        # cannot wedge termination
+        ack_tag = self.next_tag()
+        req = self.comm.irecv(source=self.config.master_rank, tag=ack_tag)
+        payload = WorkerDone(self.worker_index, ack_tag)
+
+        def resend() -> None:
+            self.comm.isend(payload, dest=self.config.master_rank, tag=MASTER_TAG)
+
+        resend()
+        yield from self._reliable_wait(req.event, resend, "control_retries", "done")
 
     def service(self) -> Generator:
         """Answer block requests / apply puts for blocks this rank owns.
@@ -231,6 +259,10 @@ class WorkerProcess:
             msg = yield from self.comm.recv(tag=SERVICE_TAG)
             payload = msg.payload
             if isinstance(payload, Shutdown):
+                if payload.ack_tag >= 0:
+                    self.comm.isend(
+                        Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag
+                    )
                 return
             if isinstance(payload, GetBlock):
                 block = self.owned.get(payload.block_id)
@@ -251,13 +283,24 @@ class WorkerProcess:
                     nbytes=message_nbytes(reply),
                 )
             elif isinstance(payload, PutBlock):
-                self.apply_put(
-                    payload.block_id,
-                    payload.op,
-                    payload.block,
-                    payload.worker_index,
-                    payload.epoch,
+                # resilient protocol: a retried put is applied exactly
+                # once (dedup by sender seq) but always re-acked
+                duplicate = (
+                    payload.seq >= 0
+                    and (msg.source, payload.seq) in self._applied_puts
                 )
+                if duplicate:
+                    self.resilience.duplicates_ignored += 1
+                else:
+                    if payload.seq >= 0:
+                        self._applied_puts.add((msg.source, payload.seq))
+                    self.apply_put(
+                        payload.block_id,
+                        payload.op,
+                        payload.block,
+                        payload.worker_index,
+                        payload.epoch,
+                    )
                 self.comm.isend(Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag)
             else:
                 raise SIPError(f"unexpected service message {payload!r}")
@@ -289,6 +332,73 @@ class WorkerProcess:
             ev = events.pop()
             if not ev.triggered:
                 yield from self._wait(ev)
+
+    # -- resilient messaging (timeouts, retries, backoff) -----------------
+    def _trace_fault(self, kind: str, detail: object) -> None:
+        tracer = self.config.tracer
+        if tracer is not None and hasattr(tracer, "record_fault"):
+            tracer.record_fault(self.sim.now, self.rank, kind, str(detail))
+
+    def _bump_retry(self, counter: str, what: str, attempt: int) -> None:
+        setattr(self.resilience, counter, getattr(self.resilience, counter) + 1)
+        self._trace_fault(f"retry-{what}", f"attempt {attempt}")
+
+    def _reliable_wait(self, event, resend, counter: str, what: str) -> Generator:
+        """Like :meth:`_wait`, but re-send the request whenever the reply
+        has not arrived within the (exponentially growing) timeout."""
+        if not self.rt.resilient:
+            return (yield from self._wait(event))
+        t0 = self.sim.now
+        timeout = self.config.retry_timeout
+        attempts = 0
+        while not event.triggered:
+            yield AnyOf([event, self.sim.timeout_event(timeout)])
+            if event.triggered:
+                break
+            attempts += 1
+            if attempts > self.config.retry_limit:
+                raise SIPError(
+                    f"worker{self.worker_index}: no {what} reply after "
+                    f"{attempts} attempts; presuming the peer is dead"
+                )
+            self._bump_retry(counter, what, attempts)
+            resend()
+            timeout *= self.config.retry_backoff
+        self._wait_acc += self.sim.now - t0
+        return event.value
+
+    def _spawn_retry_monitor(self, event, resend, counter: str, what: str) -> None:
+        """Watch a fire-and-forget request in the background and re-send
+        it until its completion event fires (resilient mode only)."""
+        if not self.rt.resilient:
+            return
+        self.sim.spawn(
+            self._retry_monitor(event, resend, counter, what),
+            name=f"worker{self.worker_index}.retry-{what}",
+        )
+
+    def _retry_monitor(self, event, resend, counter: str, what: str) -> Generator:
+        timeout = self.config.retry_timeout
+        attempts = 0
+        while not event.triggered:
+            yield AnyOf([event, self.sim.timeout_event(timeout)])
+            if event.triggered:
+                return
+            attempts += 1
+            if attempts > self.config.retry_limit:
+                raise SIPError(
+                    f"worker{self.worker_index}: no {what} reply after "
+                    f"{attempts} attempts; presuming the peer is dead"
+                )
+            self._bump_retry(counter, what, attempts)
+            resend()
+            timeout *= self.config.retry_backoff
+
+    def _next_msg_seq(self) -> int:
+        if not self.rt.resilient:
+            return -1
+        self._msg_seq += 1
+        return self._msg_seq
 
     def eval_rpn(self, rpn: tuple) -> float:
         return evaluate_rpn(
@@ -447,11 +557,13 @@ class WorkerProcess:
             arrival.succeed(None)
 
         req.event.add_callback(on_reply)
-        self.comm.isend(
-            GetBlock(bid, reply_tag, self.worker_index, self.epoch),
-            dest=owner,
-            tag=SERVICE_TAG,
-        )
+        payload = GetBlock(bid, reply_tag, self.worker_index, self.epoch)
+
+        def send() -> None:
+            self.comm.isend(payload, dest=owner, tag=SERVICE_TAG)
+
+        send()
+        self._spawn_retry_monitor(arrival, send, "fetch_retries", "get")
         self.ever_fetched.add(bid)
         return entry
 
@@ -468,11 +580,13 @@ class WorkerProcess:
             arrival.succeed(None)
 
         req.event.add_callback(on_reply)
-        self.comm.isend(
-            RequestBlock(bid, reply_tag, self.worker_index, self.served_epoch),
-            dest=server,
-            tag=SERVER_TAG,
-        )
+        payload = RequestBlock(bid, reply_tag, self.worker_index, self.served_epoch)
+
+        def send() -> None:
+            self.comm.isend(payload, dest=server, tag=SERVER_TAG)
+
+        send()
+        self._spawn_retry_monitor(arrival, send, "fetch_retries", "request")
         self.ever_fetched.add(bid)
         return entry
 
@@ -802,13 +916,22 @@ class WorkerProcess:
             # chunk exhausted: ask the master for more
             reply_tag = self.next_tag()
             req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
-            self.comm.isend(
-                ChunkRequest(pc, state.activation, self.worker_index, reply_tag),
-                dest=self.config.master_rank,
-                tag=MASTER_TAG,
+            seq = -1
+            if self.rt.resilient:
+                seq = self._chunk_seq
+                self._chunk_seq += 1
+            payload = ChunkRequest(
+                pc, state.activation, self.worker_index, reply_tag, seq
             )
+
+            def send() -> None:
+                self.comm.isend(payload, dest=self.config.master_rank, tag=MASTER_TAG)
+
+            send()
             t0 = self.sim.now
-            msg = yield from self._wait(req.event)
+            msg = yield from self._reliable_wait(
+                req.event, send, "chunk_retries", "chunk"
+            )
             stats.chunk_wait += self.sim.now - t0
             iterations = msg.payload.iterations
             if not iterations:
@@ -1028,10 +1151,23 @@ class WorkerProcess:
         ack_tag = self.next_tag()
         req = self.comm.irecv(source=owner, tag=ack_tag)
         self.outstanding_put_acks.append(req.event)
-        payload = PutBlock(bid, op, src_block.copy(), self.worker_index, self.epoch, ack_tag)
-        self.comm.isend(
-            payload, dest=owner, tag=SERVICE_TAG, nbytes=message_nbytes(payload)
+        payload = PutBlock(
+            bid,
+            op,
+            src_block.copy(),
+            self.worker_index,
+            self.epoch,
+            ack_tag,
+            self._next_msg_seq(),
         )
+
+        def send() -> None:
+            self.comm.isend(
+                payload, dest=owner, tag=SERVICE_TAG, nbytes=message_nbytes(payload)
+            )
+
+        send()
+        self._spawn_retry_monitor(req.event, send, "put_retries", "put-ack")
         yield Timeout(self.rt.config.machine.send_overhead)
         return pc + 1
 
@@ -1050,11 +1186,22 @@ class WorkerProcess:
         req = self.comm.irecv(source=server, tag=ack_tag)
         self.outstanding_prepare_acks.append(req.event)
         payload = PrepareBlock(
-            bid, op, src_block.copy(), self.worker_index, self.served_epoch, ack_tag
+            bid,
+            op,
+            src_block.copy(),
+            self.worker_index,
+            self.served_epoch,
+            ack_tag,
+            self._next_msg_seq(),
         )
-        self.comm.isend(
-            payload, dest=server, tag=SERVER_TAG, nbytes=message_nbytes(payload)
-        )
+
+        def send() -> None:
+            self.comm.isend(
+                payload, dest=server, tag=SERVER_TAG, nbytes=message_nbytes(payload)
+            )
+
+        send()
+        self._spawn_retry_monitor(req.event, send, "prepare_retries", "prepare-ack")
         yield Timeout(self.rt.config.machine.send_overhead)
         return pc + 1
 
@@ -1098,14 +1245,17 @@ class WorkerProcess:
         self.collective_seq += 1
         reply_tag = self.next_tag()
         req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
-        self.comm.isend(
-            CollectiveContribution(
-                seq, self.worker_index, self.scalars[scalar_id], reply_tag
-            ),
-            dest=self.config.master_rank,
-            tag=MASTER_TAG,
+        payload = CollectiveContribution(
+            seq, self.worker_index, self.scalars[scalar_id], reply_tag
         )
-        msg = yield from self._wait(req.event)
+
+        def send() -> None:
+            self.comm.isend(payload, dest=self.config.master_rank, tag=MASTER_TAG)
+
+        send()
+        msg = yield from self._reliable_wait(
+            req.event, send, "collective_retries", "collective"
+        )
         self.scalars[scalar_id] = msg.payload.value
         return pc + 1
 

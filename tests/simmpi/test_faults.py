@@ -1,0 +1,122 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro.simmpi import Disk, FaultPlan, Simulator
+
+
+def drain_verdicts(plan, n=50):
+    return [plan.message_verdict(0, 1, 7, 1024, 0.0) for _ in range(n)]
+
+
+def test_fixed_seed_is_deterministic():
+    a = FaultPlan(seed=11, message_drop_rate=0.2, message_delay_rate=0.3)
+    b = FaultPlan(seed=11, message_drop_rate=0.2, message_delay_rate=0.3)
+    assert drain_verdicts(a) == drain_verdicts(b)
+    assert a.stats == b.stats
+    # disk stream is independent of the message stream
+    assert [a.disk_verdict("write", "d0", 0.0) for _ in range(20)] == [
+        b.disk_verdict("write", "d0", 0.0) for _ in range(20)
+    ]
+
+
+def test_different_seeds_differ():
+    a = FaultPlan(seed=1, message_drop_rate=0.5)
+    b = FaultPlan(seed=2, message_drop_rate=0.5)
+    assert drain_verdicts(a) != drain_verdicts(b)
+
+
+def test_self_sends_never_faulted():
+    plan = FaultPlan(seed=0, message_drop_rate=1.0)
+    for _ in range(10):
+        assert plan.message_verdict(3, 3, 1, 100, 0.0) == ("ok", 0.0)
+    assert plan.stats.messages_dropped == 0
+
+
+def test_drop_rate_one_drops_remote_messages():
+    plan = FaultPlan(seed=0, message_drop_rate=1.0)
+    for _ in range(5):
+        verdict, extra = plan.message_verdict(0, 1, 1, 100, 0.0)
+        assert verdict == "drop" and extra == 0.0
+    assert plan.stats.messages_dropped == 5
+    assert len(plan.log) == 5
+    assert all(ev.kind == "drop" for ev in plan.log)
+
+
+def test_max_message_drops_cap():
+    plan = FaultPlan(seed=0, message_drop_rate=1.0, max_message_drops=2)
+    verdicts = [plan.message_verdict(0, 1, 1, 8, 0.0)[0] for _ in range(6)]
+    assert verdicts == ["drop", "drop", "ok", "ok", "ok", "ok"]
+    assert plan.stats.messages_dropped == 2
+
+
+def test_delay_spike_bounds_and_accounting():
+    plan = FaultPlan(seed=0, message_delay_rate=1.0, message_delay=1e-3)
+    total = 0.0
+    for _ in range(20):
+        verdict, extra = plan.message_verdict(0, 1, 1, 8, 0.0)
+        assert verdict == "delay"
+        assert 0.5e-3 <= extra <= 1.5e-3
+        total += extra
+    assert plan.stats.messages_delayed == 20
+    assert plan.stats.added_latency == pytest.approx(total)
+
+
+def test_disk_verdict_cap():
+    plan = FaultPlan(seed=0, disk_write_error_rate=1.0, max_disk_errors=1)
+    assert plan.disk_verdict("write", "d0", 0.0) is True
+    assert plan.disk_verdict("write", "d0", 0.0) is False
+    assert plan.stats.disk_write_errors == 1
+    # reads draw from the same cap
+    plan2 = FaultPlan(
+        seed=0, disk_read_error_rate=1.0, disk_write_error_rate=1.0, max_disk_errors=2
+    )
+    results = [plan2.disk_verdict(k, "d0", 0.0) for k in ("read", "write", "read")]
+    assert results == [True, True, False]
+
+
+def test_crash_fires_once():
+    plan = FaultPlan(seed=0, crash_times={2: 1.5})
+    assert plan.pending_crash_time(2) == 1.5
+    assert plan.pending_crash_time(3) is None
+    plan.record_crash(2, 1.6)
+    assert plan.pending_crash_time(2) is None  # consumed; restart is safe
+    assert plan.stats.crashes == 1
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(message_drop_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(message_drop_rate=0.6, message_delay_rate=0.6)
+    with pytest.raises(ValueError):
+        FaultPlan(message_delay=-1.0)
+
+
+def test_any_faults_configured():
+    assert not FaultPlan().any_faults_configured
+    assert FaultPlan(message_drop_rate=0.1).any_faults_configured
+    assert FaultPlan(crash_times={1: 0.5}).any_faults_configured
+
+
+def test_faulted_disk_op_still_occupies_device():
+    """A failed write costs full device time and carries a DiskFault."""
+    sim = Simulator()
+    plan = FaultPlan(seed=0, disk_write_error_rate=1.0, max_disk_errors=1)
+    disk = Disk(sim, seek_latency=1.0, bandwidth=1.0, faults=plan)
+    results = []
+
+    def proc():
+        fault = yield disk.write(1)  # busy [0, 2] -- fails
+        results.append((fault, sim.now))
+        fault = yield disk.write(1)  # busy [2, 4] -- cap reached, succeeds
+        results.append((fault, sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    (f1, t1), (f2, t2) = results
+    assert f1 is not None and f1.kind == "write"
+    assert t1 == pytest.approx(2.0)
+    assert f2 is None
+    assert t2 == pytest.approx(4.0)
+    assert disk.stats.errors == 1

@@ -144,3 +144,59 @@ def test_insert_ready_updates_existing():
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         BlockCache(0)
+
+
+def test_insert_ready_fires_pending_arrival():
+    """A ready insert over a pending entry must wake fetch waiters.
+
+    Regression test: insert_ready used to null out the pending entry's
+    arrival event without triggering it, so a coroutine parked on the
+    fetch slept forever.
+    """
+    sim = Simulator()
+    cache = BlockCache(4)
+    arrival = sim.event()
+    cache.insert_pending(bid(1), arrival)
+    woke = []
+
+    def waiter():
+        value = yield arrival
+        woke.append(value)
+
+    sim.spawn(waiter())
+    block = Block((2,), None)
+    entry = cache.insert_ready(bid(1), block)
+    assert not entry.pending
+    assert entry.arrival is None
+    sim.run()
+    assert woke == [block]
+
+
+def test_insert_ready_over_fulfilled_entry_does_not_retrigger():
+    """fulfil() fires the arrival elsewhere; a later insert_ready on the
+    same entry must not try to trigger the already-fired event."""
+    sim = Simulator()
+    cache = BlockCache(4)
+    arrival = sim.event()
+    cache.insert_pending(bid(1), arrival)
+    arrival.succeed(Block((2,), None))
+    cache.fulfil(bid(1), Block((2,), None))
+    cache.insert_ready(bid(1), Block((3,), None))  # must not raise
+    sim.run()
+
+
+def test_clear_clean_accounts_evictions():
+    """Regression test: clear_clean used to delete entries directly,
+    bypassing the eviction stats and the on_evict callback that
+    _make_room evictions go through."""
+    evicted = []
+    cache = BlockCache(5, on_evict=lambda key, entry: evicted.append(key))
+    ready(cache, 1)
+    cache.record_use(bid(1), hit=True)
+    ready(cache, 2)  # never used
+    ready(cache, 3, dirty=True)  # spared
+    cache.clear_clean()
+    assert evicted == [bid(1), bid(2)]
+    assert cache.stats.evictions == 2
+    assert cache.stats.evicted_before_use == 1
+    assert bid(3) in cache

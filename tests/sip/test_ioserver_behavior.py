@@ -4,7 +4,12 @@ back-pressure) through small SIAL programs with tight server caches."""
 import numpy as np
 import pytest
 
+from repro.sial.compiler import compile_source
+from repro.simmpi import Simulator, World
 from repro.sip import SIPConfig, run_source
+from repro.sip.blocks import Block, BlockId
+from repro.sip.ioserver import IOServerProcess
+from repro.sip.runtime import SharedRuntime
 
 
 def wrap(decls, body):
@@ -156,3 +161,48 @@ endpardo M, N
     assert res.stats["disk_reads"] == 0
     assert res.stats["server_cache_hits"] > 0
     assert np.all(res.array("OUT") == 4.0)
+
+
+class _PresetDelayDisk:
+    """Stub disk whose writes complete after preset delays.
+
+    Unlike the real (serial) Disk, completions can come out of issue
+    order -- exactly the hazard the write-back version check guards.
+    """
+
+    def __init__(self, sim, delays):
+        self.sim = sim
+        self._delays = iter(delays)
+
+    def write(self, nbytes):
+        ev = self.sim.event(name="stub disk write")
+        self.sim._schedule_call(next(self._delays), ev.succeed, None)
+        return ev
+
+
+def test_out_of_order_writeback_keeps_latest_snapshot():
+    """Regression test: a write-back completing after a newer one used
+    to store its stale snapshot into disk_data unconditionally, leaving
+    the disk image older than the acknowledged state."""
+    prog = compile_source(
+        "sial t\naoindex M = 1, 4\nserved SV(M)\nscalar e\ne = 0.0\nendsial t\n"
+    )
+    cfg = SIPConfig(workers=1, io_servers=1, segment_size=2)
+    sim = Simulator()
+    world = World(sim, cfg.world_size, cfg.machine.network())
+    rt = SharedRuntime(prog, cfg, {}, sim, world)
+    server = IOServerProcess(rt, 0, world.comm(cfg.server_rank(0)))
+    # first write-back lands at t=10, the second (newer) at t=1
+    server.disk = _PresetDelayDisk(sim, [10.0, 1.0])
+
+    bid = BlockId(prog.array_id("SV"), (1,))
+    entry = server.cache.insert_ready(
+        bid, Block((2,), np.array([1.0, 1.0])), dirty=True
+    )
+    server._start_writeback(bid)  # snapshots 1.0, completes last
+    entry.block.data[...] = 2.0
+    entry.dirty = True
+    server._start_writeback(bid)  # snapshots 2.0, completes first
+    sim.run()
+    assert np.all(server.disk_data[bid] == 2.0)
+    assert not entry.dirty
