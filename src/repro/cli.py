@@ -2,7 +2,10 @@
 
 Subcommands mirror the SIA toolchain a SIAL developer uses:
 
-* ``check``   -- parse + semantic-check a SIAL source file;
+* ``check``   -- parse + semantic-check a SIAL source file
+  (``--strict`` also fails on race-detector diagnostics);
+* ``lint``    -- run the static race detector and print every
+  diagnostic with its source location;
 * ``compile`` -- compile and print the SIA bytecode listing;
 * ``format``  -- pretty-print the program in canonical form;
 * ``dryrun``  -- the master's memory-feasibility report;
@@ -86,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("check", help="parse and semantic-check")
     p.add_argument("file")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on static race-detector diagnostics",
+    )
+
+    p = sub.add_parser("lint", help="static race detection")
+    p.add_argument("files", nargs="*", metavar="FILE")
+    p.add_argument(
+        "--library",
+        action="store_true",
+        help="also lint every bundled SIAL program",
+    )
 
     p = sub.add_parser("compile", help="compile and show SIA bytecode")
     p.add_argument("file")
@@ -102,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("-D", dest="defines", action="append", metavar="NAME=VALUE")
     p.add_argument("--profile", action="store_true", help="print the profile")
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="record block accesses and report runtime conflicts",
+    )
     _add_runtime_options(p)
 
     p = sub.add_parser("trace", help="run and print per-worker timelines")
@@ -136,13 +157,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
 
 
+def _lint_targets(args: argparse.Namespace) -> list[tuple[str, str, str]]:
+    """(label, source, filename) triples for the lint subcommand."""
+    targets = [(path, _read(path), path) for path in args.files]
+    if args.library:
+        from .programs.library import ALL_PROGRAMS
+
+        for name, src in ALL_PROGRAMS.items():
+            targets.append((f"library:{name}", src, f"<{name}>"))
+    if not targets:
+        raise SystemExit(
+            "lint: no files given (use --library for the bundled programs)"
+        )
+    return targets
+
+
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        from .sial.racecheck import check_races
+
+        failures = 0
+        for label, src, filename in _lint_targets(args):
+            program = parse(src, filename)
+            report = check_races(analyze(program, src))
+            if report.ok:
+                print(f"{label}: no races detected")
+            else:
+                failures += 1
+                print(f"{label}: {len(report.diagnostics)} diagnostic(s)")
+                for diag in report.diagnostics:
+                    print(f"  {diag.render()}")
+        return 1 if failures else 0
+
     source = _read(args.file)
 
     if args.command == "check":
         program = parse(source, args.file)
-        analyze(program, source)
-        print(f"{args.file}: OK ({program.name})")
+        analyze(program, source, strict=args.strict)
+        suffix = ", no races detected" if args.strict else ""
+        print(f"{args.file}: OK ({program.name}{suffix})")
         return 0
 
     if args.command == "compile":
@@ -171,6 +224,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.feasible else 2
 
     if args.command == "run":
+        if args.sanitize:
+            config.sanitize = True
         result = run_program(compiled, config, symbolics)
         print(f"simulated time: {result.elapsed:.6f} s on {config.workers} workers")
         print(f"wait fraction : {100 * result.profile.wait_fraction:.2f} %")
@@ -178,6 +233,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"scalar {name} = {value!r}")
         if args.profile:
             print(result.profile.report())
+        if result.sanitizer_report is not None:
+            print(result.sanitizer_report.render())
+            if not result.sanitizer_report.ok:
+                return 1
         return 0
 
     if args.command == "trace":

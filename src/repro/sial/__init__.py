@@ -7,6 +7,8 @@ The domain-specific language of the Super Instruction Architecture
 * :mod:`~repro.sial.parser`    -- recursive-descent parser,
 * :mod:`~repro.sial.analyzer`  -- semantic checks (index typing, pardo
   rules, array-kind access rules, single-operation statements),
+* :mod:`~repro.sial.racecheck` -- static race detection on
+  distributed/served array accesses between barriers,
 * :mod:`~repro.sial.compiler`  -- AST to SIA bytecode,
 * :mod:`~repro.sial.bytecode`  -- the bytecode and descriptor tables
   interpreted by the SIP.
@@ -19,6 +21,7 @@ from .compiler import compile_program, compile_source
 from .errors import LexError, ParseError, SemanticError, SialError
 from .lexer import tokenize
 from .parser import parse
+from .racecheck import RaceDiagnostic, RaceReport, check_races
 
 __all__ = [
     "AnalyzedProgram",
@@ -26,9 +29,12 @@ __all__ = [
     "LexError",
     "ParseError",
     "Program",
+    "RaceDiagnostic",
+    "RaceReport",
     "SemanticError",
     "SialError",
     "analyze",
+    "check_races",
     "compile_program",
     "compile_source",
     "disassemble",

@@ -59,13 +59,31 @@ class AnalyzedProgram:
     assign_forms: dict[int, str] = field(default_factory=dict)
 
 
-def analyze(program: ast.Program, source: str = "") -> AnalyzedProgram:
-    """Run all semantic checks; returns the annotated program."""
+def analyze(
+    program: ast.Program, source: str = "", strict: bool = False
+) -> AnalyzedProgram:
+    """Run all semantic checks; returns the annotated program.
+
+    With ``strict=True`` the static race detector
+    (:mod:`~repro.sial.racecheck`) also runs, and any potential race
+    on a distributed/served array is raised as a :class:`SemanticError`
+    carrying the source location of the offending access.
+    """
     checker = _Checker(program, source)
     checker.run()
-    return AnalyzedProgram(
+    analyzed = AnalyzedProgram(
         program=program, symbols=checker.symbols, assign_forms=checker.assign_forms
     )
+    if strict:
+        from .racecheck import check_races  # local import: avoids a cycle
+
+        report = check_races(analyzed)
+        if not report.ok:
+            diag = report.diagnostics[0]
+            raise SemanticError(
+                f"{diag.kind}: {diag.message}", diag.location, source
+            )
+    return analyzed
 
 
 # The single-operation forms a BlockAssign may take.

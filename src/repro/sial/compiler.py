@@ -158,7 +158,11 @@ class _Compiler:
         for pc, name in self.call_sites:
             entry = proc_entries.get(name.lower())
             if entry is None:  # pragma: no cover - analyzer catches this
-                raise SemanticError(f"undefined procedure {name!r}")
+                raise SemanticError(
+                    f"undefined procedure {name!r}",
+                    self.code[pc].location,
+                    self.source,
+                )
             self.code[pc].args = [entry, name]
         return CompiledProgram(
             name=self.program.name,
@@ -304,7 +308,9 @@ class _Compiler:
             elif isinstance(arg, ast.ScalarRef):
                 args.append(self.resolve_name_item(arg))
             else:  # pragma: no cover - analyzer rejects
-                raise SemanticError("bad execute argument")
+                raise SemanticError(
+                    "bad execute argument", stmt.location, self.source
+                )
         self.emit(Op.EXECUTE, [stmt.name, tuple(args)], stmt.location)
 
     def emit_collective(self, stmt: ast.Collective) -> None:
@@ -389,7 +395,9 @@ class _Compiler:
             self.require_op(stmt, ("*=",))
             self.emit(Op.SCALE_INPLACE, [dst, self.compile_rpn(rhs)], loc)
         else:  # pragma: no cover - analyzer covers all forms
-            raise SemanticError(f"unknown assignment form {form!r}")
+            raise SemanticError(
+                f"unknown assignment form {form!r}", stmt.location, self.source
+            )
 
     def require_op(self, stmt: ast.BlockAssign, allowed: tuple[str, ...]) -> None:
         if stmt.op not in allowed:
@@ -472,7 +480,11 @@ class _Compiler:
             self._rpn(expr.operand, out)
             out.append(("neg",))
         else:  # pragma: no cover - analyzer rejects blocks in scalar exprs
-            raise SemanticError("invalid scalar expression")
+            raise SemanticError(
+                "invalid scalar expression",
+                getattr(expr, "location", None),
+                self.source,
+            )
 
     def compile_condition(self, cond: ast.Condition) -> CompiledCondition:
         return CompiledCondition(

@@ -1,0 +1,453 @@
+"""Static race detection for SIAL programs.
+
+The SIA programming model (paper, Section IV-C) is only deterministic
+when the accesses to ``distributed`` and ``served`` arrays issued
+between two barriers commute: pardo iterations may run in any order on
+any worker, so within one barrier *phase*
+
+* a plain (overwriting) ``put``/``prepare`` must write each block from
+  at most one iteration,
+* a ``get``/``request`` must not read a block that another iteration
+  writes in the same phase, and
+* only ``+=`` accumulates may target the same block from different
+  iterations.
+
+This pass checks those rules symbolically, before the program ever
+runs.  It walks the whole program -- inlining procedure calls, walking
+``do``/``do..in`` bodies twice so hazards across the loop's back edge
+are seen, and splitting the instruction stream into barrier phases
+(``sip_barrier`` delimits distributed-array phases, ``server_barrier``
+served-array phases).  Every ``get``/``request``/``put``/``prepare``
+becomes an access record carrying its canonical index tuple (subindices
+resolved to their super index, as in the analyzer), the enclosing pardo,
+the phases it may execute in, and its source location.
+
+Two accesses to the same array conflict when their phase sets
+intersect, they can occur on the same block from different pardo
+iterations (or from different SPMD workers outside pardo), and they are
+not both reads or both accumulates.  Iterations of one pardo are known
+to touch distinct blocks only when the access tuples are identical and
+contain every pardo index; anything else is conservatively reported.
+
+``if`` branches outside pardo are treated as mutually exclusive (every
+worker evaluates the same replicated scalar condition), so accesses in
+opposite branches never conflict; inside pardo different iterations may
+take different branches, so branches are unioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import SourceLocation
+from .symbols import ArraySymbol, SubindexSymbol, SymbolTable
+
+__all__ = ["RaceDiagnostic", "RaceReport", "check_races"]
+
+DISTRIBUTED = "distributed"
+SERVED = "served"
+
+# conflict kinds
+WRITE_WRITE = "write-write"
+READ_WRITE = "read-write"
+NON_INJECTIVE = "non-injective-overwrite"
+SPMD_OVERWRITE = "spmd-overwrite"
+
+
+@dataclass(frozen=True)
+class RaceDiagnostic:
+    """One potential race, with the source locations of both endpoints."""
+
+    kind: str  # WRITE_WRITE | READ_WRITE | NON_INJECTIVE | SPMD_OVERWRITE
+    array: str
+    message: str
+    location: Optional[SourceLocation] = None
+    related: Optional[SourceLocation] = None
+
+    def render(self) -> str:
+        loc = f"{self.location}: " if self.location is not None else ""
+        return f"{loc}{self.kind}: {self.message}"
+
+
+@dataclass
+class RaceReport:
+    """All potential races found in one program."""
+
+    program_name: str
+    diagnostics: list[RaceDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.program_name}: no races detected"
+        lines = [
+            f"{self.program_name}: {len(self.diagnostics)} potential race(s)"
+        ]
+        for diag in self.diagnostics:
+            lines.append("  " + diag.render())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One get/request/put/prepare occurrence along the symbolic walk."""
+
+    array: str  # lowercased array name
+    display: str  # declared spelling, for messages
+    cls: str  # DISTRIBUTED or SERVED
+    mode: str  # "read" | "=" | "+="
+    tuple: Optional[tuple[str, ...]]  # canonical indices; None = whole array
+    pardo: Optional[int]  # pardo instance id, None outside pardo
+    covers: bool  # tuple contains every enclosing-pardo index
+    phases: frozenset[int]
+    branch: tuple[tuple[int, int], ...]  # (if instance, arm) path outside pardo
+    location: Optional[SourceLocation]
+    verb: str  # source spelling: get/request/put/prepare/...
+    owned_only: bool = False  # list_to_blocks: each worker writes its own blocks
+
+
+@dataclass
+class _WalkState:
+    """Mutable state threaded through the program walk."""
+
+    phases: dict[str, frozenset[int]]
+    branch: tuple[tuple[int, int], ...] = ()
+    pardo: Optional[int] = None
+    pardo_indices: frozenset[str] = frozenset()
+    pardo_location: Optional[SourceLocation] = None
+
+
+class _Walker:
+    def __init__(self, program: ast.Program, symbols: SymbolTable) -> None:
+        self.program = program
+        self.symbols = symbols
+        self.accesses: list[_Access] = []
+        self._next_id = 0
+
+    def fresh(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- helpers ------------------------------------------------------------
+    def canonical(self, ref: ast.BlockRef) -> tuple[str, ...]:
+        out = []
+        for name in ref.indices:
+            sym = self.symbols.lookup(name)
+            if isinstance(sym, SubindexSymbol):
+                out.append(sym.super_name.lower())
+            else:
+                out.append(name.lower())
+        return tuple(out)
+
+    def array_symbol(self, name: str) -> ArraySymbol:
+        sym = self.symbols.lookup(name)
+        assert isinstance(sym, ArraySymbol)
+        return sym
+
+    def record(
+        self,
+        st: _WalkState,
+        ref: ast.BlockRef,
+        mode: str,
+        verb: str,
+        location: Optional[SourceLocation],
+    ) -> None:
+        sym = self.array_symbol(ref.array)
+        if sym.kind not in (DISTRIBUTED, SERVED):
+            return
+        canonical = self.canonical(ref)
+        covers = st.pardo is not None and st.pardo_indices <= set(canonical)
+        self.accesses.append(
+            _Access(
+                array=ref.array.lower(),
+                display=sym.name,
+                cls=sym.kind,
+                mode=mode,
+                tuple=canonical,
+                pardo=st.pardo,
+                covers=covers,
+                phases=st.phases[sym.kind],
+                branch=st.branch,
+                location=location,
+                verb=verb,
+            )
+        )
+
+    def record_whole_array(
+        self,
+        st: _WalkState,
+        name: str,
+        mode: str,
+        verb: str,
+        location: Optional[SourceLocation],
+        owned_only: bool = False,
+    ) -> None:
+        sym = self.array_symbol(name)
+        self.accesses.append(
+            _Access(
+                array=sym.name.lower(),
+                display=sym.name,
+                cls=sym.kind,
+                mode=mode,
+                tuple=None,
+                pardo=st.pardo,
+                covers=False,
+                phases=st.phases[sym.kind],
+                branch=st.branch,
+                location=location,
+                verb=verb,
+                owned_only=owned_only,
+            )
+        )
+
+    # -- the walk -----------------------------------------------------------
+    def walk_program(self) -> None:
+        st = _WalkState(
+            phases={DISTRIBUTED: frozenset([self.fresh()]),
+                    SERVED: frozenset([self.fresh()])}
+        )
+        self.walk_body(self.program.body, st, proc_stack=())
+
+    def walk_body(
+        self, body: list[ast.Stmt], st: _WalkState, proc_stack: tuple[str, ...]
+    ) -> None:
+        for stmt in body:
+            self.walk_stmt(stmt, st, proc_stack)
+
+    def walk_stmt(
+        self, stmt: ast.Stmt, st: _WalkState, proc_stack: tuple[str, ...]
+    ) -> None:
+        if isinstance(stmt, ast.Barrier):
+            cls = DISTRIBUTED if stmt.kind == "sip" else SERVED
+            st.phases[cls] = frozenset([self.fresh()])
+        elif isinstance(stmt, ast.Pardo):
+            inner = _WalkState(
+                phases=st.phases,
+                branch=st.branch,
+                pardo=self.fresh(),
+                pardo_indices=frozenset(n.lower() for n in stmt.indices),
+                pardo_location=stmt.location,
+            )
+            # barriers cannot appear inside pardo (analyzer-enforced), so
+            # the shared phase dict cannot change during the body walk
+            self.walk_body(stmt.body, inner, proc_stack)
+        elif isinstance(stmt, (ast.Do, ast.DoIn)):
+            # walk the body twice so accesses of consecutive iterations
+            # land in the walk together: hazards across the loop's back
+            # edge (a last-phase write meeting a first-phase read of the
+            # next iteration) are only visible then
+            self.walk_body(stmt.body, st, proc_stack)
+            self.walk_body(stmt.body, st, proc_stack)
+        elif isinstance(stmt, ast.If):
+            if st.pardo is not None:
+                # iterations may branch differently: union both arms
+                self.walk_body(stmt.then_body, st, proc_stack)
+                self.walk_body(stmt.else_body, st, proc_stack)
+            else:
+                # outside pardo the condition is replicated SPMD state:
+                # every worker takes the same arm, so the arms are
+                # mutually exclusive program-wide
+                if_id = self.fresh()
+                then_st = _WalkState(
+                    phases=dict(st.phases),
+                    branch=st.branch + ((if_id, 0),),
+                )
+                else_st = _WalkState(
+                    phases=dict(st.phases),
+                    branch=st.branch + ((if_id, 1),),
+                )
+                self.walk_body(stmt.then_body, then_st, proc_stack)
+                self.walk_body(stmt.else_body, else_st, proc_stack)
+                # either arm may have been taken: afterwards the current
+                # phase is any phase either arm ended in
+                for cls in st.phases:
+                    st.phases[cls] = then_st.phases[cls] | else_st.phases[cls]
+        elif isinstance(stmt, ast.Call):
+            key = stmt.name.lower()
+            decl = self.program.procs.get(key)
+            if decl is None or key in proc_stack:
+                return  # undefined/recursive: the analyzer reports these
+            self.walk_body(decl.body, st, proc_stack + (key,))
+        elif isinstance(stmt, ast.Get):
+            self.record(st, stmt.ref, "read", "get", stmt.location)
+        elif isinstance(stmt, ast.Request):
+            self.record(st, stmt.ref, "read", "request", stmt.location)
+        elif isinstance(stmt, ast.Put):
+            self.record(st, stmt.dst, stmt.op, "put", stmt.location)
+        elif isinstance(stmt, ast.Prepare):
+            self.record(st, stmt.dst, stmt.op, "prepare", stmt.location)
+        elif isinstance(stmt, ast.BlocksToList):
+            # reads every owned block, then synchronizes all workers
+            self.record_whole_array(
+                st, stmt.array, "read", "blocks_to_list", stmt.location
+            )
+            st.phases[DISTRIBUTED] = frozenset([self.fresh()])
+        elif isinstance(stmt, ast.ListToBlocks):
+            # each worker overwrites only the blocks it owns, then
+            # synchronizes; the write itself cannot self-conflict
+            self.record_whole_array(
+                st,
+                stmt.array,
+                "=",
+                "list_to_blocks",
+                stmt.location,
+                owned_only=True,
+            )
+            st.phases[DISTRIBUTED] = frozenset([self.fresh()])
+        elif isinstance(stmt, ast.Checkpoint):
+            for sym in self.symbols.arrays():
+                if sym.kind == DISTRIBUTED:
+                    self.record_whole_array(
+                        st, sym.name, "read", "checkpoint", stmt.location
+                    )
+            st.phases[DISTRIBUTED] = frozenset([self.fresh()])
+        # all remaining statements (block assignments, scalar work,
+        # collective, create/delete, allocate, compute_integrals,
+        # execute) touch only worker-local state or replicated scalars
+
+
+# -- conflict rules ---------------------------------------------------------
+
+
+def _branch_compatible(a: _Access, b: _Access) -> bool:
+    """False when the accesses sit in opposite arms of one if."""
+    arms = dict(a.branch)
+    for if_id, arm in b.branch:
+        if arms.get(if_id, arm) != arm:
+            return False
+    return True
+
+
+def _may_overlap(a: _Access, b: _Access) -> bool:
+    """Can a and b touch the same block from different iterations?
+
+    Same-pardo accesses with identical canonical tuples containing
+    every pardo index map iteration -> block injectively; any other
+    same-phase combination is conservatively overlapping.
+    """
+    if a.pardo is not None and a.pardo == b.pardo:
+        return not (a.tuple == b.tuple and a.covers and b.covers)
+    return True
+
+
+def _describe(acc: _Access) -> str:
+    if acc.tuple is None:
+        ref = acc.display
+    else:
+        ref = f"{acc.display}({', '.join(acc.tuple)})"
+    stmt = f"{acc.verb} {ref}"
+    if acc.mode == "+=":
+        stmt += " +="
+    where = "" if acc.location is None else f" at {acc.location}"
+    return f"'{stmt}'{where}"
+
+
+class _ConflictFinder:
+    def __init__(self, program_name: str) -> None:
+        self.report = RaceReport(program_name)
+        self._seen: set[tuple] = set()
+
+    def add(
+        self,
+        kind: str,
+        acc: _Access,
+        message: str,
+        related: Optional[SourceLocation] = None,
+    ) -> None:
+        key = (kind, acc.array, acc.location, related)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.report.diagnostics.append(
+            RaceDiagnostic(
+                kind=kind,
+                array=acc.display,
+                message=message,
+                location=acc.location,
+                related=related,
+            )
+        )
+
+    def check_single(self, acc: _Access) -> None:
+        """Self-conflicts: one overwrite executed by many iterations/workers."""
+        if acc.mode != "=" or acc.owned_only:
+            return
+        if acc.pardo is not None:
+            if not acc.covers:
+                self.add(
+                    NON_INJECTIVE,
+                    acc,
+                    f"{_describe(acc)} does not use every index of the "
+                    "enclosing pardo, so different iterations may overwrite "
+                    "the same block; use '+=' to accumulate or cover all "
+                    "pardo indices",
+                )
+        else:
+            self.add(
+                SPMD_OVERWRITE,
+                acc,
+                f"{_describe(acc)} executes outside pardo, so every worker "
+                "overwrites the same block in the same phase; move it into "
+                "a pardo or use '+='",
+            )
+
+    def check_pair(self, a: _Access, b: _Access) -> None:
+        if a.mode == "read" and b.mode == "read":
+            return
+        if a.mode == "+=" and b.mode == "+=":
+            return  # accumulates commute
+        if (
+            a.pardo is None
+            and b.pardo is None
+            and a.location == b.location
+            and a.verb == b.verb
+        ):
+            # the same sequential statement seen again through a loop
+            # unroll; SPMD self-conflicts are reported by check_single
+            return
+        if not (a.phases & b.phases):
+            return
+        if not _branch_compatible(a, b):
+            return
+        if not _may_overlap(a, b):
+            return
+        # order: writer first for the message
+        if a.mode == "read":
+            a, b = b, a
+        kind = READ_WRITE if b.mode == "read" else WRITE_WRITE
+        if kind == READ_WRITE:
+            msg = (
+                f"{_describe(b)} may read a block that {_describe(a)} writes "
+                "in the same barrier phase"
+            )
+            primary, related = b, a.location
+        else:
+            msg = (
+                f"{_describe(a)} and {_describe(b)} may write the same block "
+                "in the same barrier phase and at most one is an accumulate"
+            )
+            primary, related = a, b.location
+        self.add(kind, primary, msg, related)
+
+
+def check_races(analyzed) -> RaceReport:
+    """Run the race check on an :class:`~.analyzer.AnalyzedProgram`."""
+    walker = _Walker(analyzed.program, analyzed.symbols)
+    walker.walk_program()
+    finder = _ConflictFinder(analyzed.program.name)
+
+    by_array: dict[tuple[str, str], list[_Access]] = {}
+    for acc in walker.accesses:
+        finder.check_single(acc)
+        by_array.setdefault((acc.cls, acc.array), []).append(acc)
+
+    for group in by_array.values():
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                finder.check_pair(a, b)
+    return finder.report

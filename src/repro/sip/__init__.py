@@ -27,9 +27,16 @@ from .memory import BlockPool, OutOfBlockMemory
 from .profiling import RunProfile, WorkerProfile
 from .registry import GLOBAL_REGISTRY, SuperCall, SuperInstructionRegistry, register
 from .runner import RunResult, run_program, run_source
+from .sanitizer import (
+    AccessPoint,
+    Sanitizer,
+    SanitizerConflict,
+    SanitizerReport,
+)
 from .scheduler import GuidedScheduler, StaticScheduler, enumerate_pardo
 
 __all__ = [
+    "AccessPoint",
     "BarrierViolation",
     "Block",
     "BlockCache",
@@ -55,6 +62,9 @@ __all__ = [
     "RunResult",
     "SIPConfig",
     "SIPError",
+    "Sanitizer",
+    "SanitizerConflict",
+    "SanitizerReport",
     "StaticScheduler",
     "SuperCall",
     "SuperInstructionRegistry",

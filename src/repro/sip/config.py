@@ -10,6 +10,7 @@ any of this -- retuning for a new platform means changing a
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -59,6 +60,15 @@ class SIPConfig:
     validate_barriers:
         Detect conflicting distributed/served accesses that are not
         separated by the appropriate barrier (paper, Section IV-C).
+    sanitize:
+        Record every distributed/served block access with its pardo
+        iteration, bytecode pc and source line, and report accesses
+        from different iterations that do not commute within a barrier
+        epoch (see :mod:`repro.sip.sanitizer`).  Pure bookkeeping: a
+        sanitized run is bit-identical to an unsanitized one.  The
+        ``REPRO_SANITIZE`` environment variable (any non-empty value)
+        turns this on by default, so a whole test suite can be run
+        sanitized without touching code.
     integral_source:
         Callable mapping per-axis global element ranges to an ndarray
         of two-electron integrals; used by ``compute_integrals``.
@@ -107,6 +117,7 @@ class SIPConfig:
     machine: Machine = LAPTOP
     memory_per_worker: Optional[float] = None
     validate_barriers: bool = True
+    sanitize: bool = False
     integral_source: Optional[Callable[..., Any]] = None
     inputs: dict[str, Any] = field(default_factory=dict)
     external_store: dict[str, Any] = field(default_factory=dict)
@@ -120,6 +131,8 @@ class SIPConfig:
     retry_backoff: float = 2.0
 
     def __post_init__(self) -> None:
+        if not self.sanitize and os.environ.get("REPRO_SANITIZE"):
+            self.sanitize = True
         if self.workers < 1:
             raise ValueError("need at least one worker")
         if self.io_servers < 0:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from math import prod
+from typing import Callable, Optional
 
 from .blocks import BlockId, ResolvedIndexTable
 from .config import SIPError
@@ -84,12 +85,28 @@ class ConflictTracker:
     One tracker guards all blocks a rank owns (distributed arrays on
     workers, served arrays on I/O servers); the matching barrier resets
     it.
+
+    A ``sink`` callable turns the tracker into a recorder: violations
+    are reported to it (the sanitizer collects them) instead of raised,
+    and the run continues.
     """
 
-    def __init__(self, name: str, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        enabled: bool = True,
+        sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
         self.name = name
         self.enabled = enabled
+        self.sink = sink
         self._records: dict[BlockId, _EpochRecord] = {}
+
+    def _violation(self, message: str) -> None:
+        if self.sink is not None:
+            self.sink(message)
+            return
+        raise BarrierViolation(message)
 
     def record_read(self, worker: int, block_id: BlockId) -> None:
         if not self.enabled:
@@ -97,7 +114,7 @@ class ConflictTracker:
         rec = self._records.setdefault(block_id, _EpochRecord())
         others_wrote = (rec.writers | rec.accumulators) - {worker}
         if others_wrote:
-            raise BarrierViolation(
+            self._violation(
                 f"{self.name}: worker {worker} reads block {block_id} written "
                 f"by worker(s) {sorted(others_wrote)} in the same epoch; "
                 "separate conflicting accesses with the appropriate barrier"
@@ -110,7 +127,7 @@ class ConflictTracker:
         rec = self._records.setdefault(block_id, _EpochRecord())
         other_readers = rec.readers - {worker}
         if other_readers:
-            raise BarrierViolation(
+            self._violation(
                 f"{self.name}: worker {worker} writes block {block_id} read "
                 f"by worker(s) {sorted(other_readers)} in the same epoch; "
                 "separate conflicting accesses with the appropriate barrier"
@@ -119,7 +136,7 @@ class ConflictTracker:
             # accumulates commute with each other but not with plain writes
             other_writers = rec.writers - {worker}
             if other_writers:
-                raise BarrierViolation(
+                self._violation(
                     f"{self.name}: accumulate to block {block_id} conflicts "
                     f"with plain put by worker(s) {sorted(other_writers)}"
                 )
@@ -127,7 +144,7 @@ class ConflictTracker:
         else:
             others = (rec.writers | rec.accumulators) - {worker}
             if others:
-                raise BarrierViolation(
+                self._violation(
                     f"{self.name}: worker {worker} overwrites block {block_id} "
                     f"also written by worker(s) {sorted(others)} in the same "
                     "epoch"

@@ -73,7 +73,13 @@ class IOServerProcess:
         t = self.trackers.get(epoch)
         if t is None:
             t = self.trackers[epoch] = ConflictTracker(
-                "served", enabled=self.rt.config.validate_barriers
+                "served",
+                enabled=self.rt.config.validate_barriers,
+                sink=(
+                    self.rt.sanitizer.note_owner_violation
+                    if self.rt.sanitizer is not None
+                    else None
+                ),
             )
         return t
 

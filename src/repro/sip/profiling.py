@@ -103,6 +103,26 @@ class RunProfile:
                 agg.chunk_wait += stats.chunk_wait
         return out
 
+    def by_line(self) -> dict[Optional[int], InstrStats]:
+        """Instruction stats aggregated by SIAL source line.
+
+        Instructions without a recorded location merge under ``None``.
+        Requires ``program`` (the pc -> location map).
+        """
+        out: dict[Optional[int], InstrStats] = {}
+        for w in self.workers:
+            for pc, stats in w.instr.items():
+                line: Optional[int] = None
+                if self.program is not None:
+                    loc = self.program.instructions[pc].location
+                    if loc is not None:
+                        line = loc.line
+                agg = out.setdefault(line, InstrStats())
+                agg.count += stats.count
+                agg.busy_time += stats.busy_time
+                agg.wait_time += stats.wait_time
+        return out
+
     def hotspots(self, limit: int = 10) -> list[tuple[int, InstrStats]]:
         """The costliest instructions across all workers."""
         merged: dict[int, InstrStats] = {}

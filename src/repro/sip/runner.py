@@ -26,6 +26,7 @@ from .ioserver import IOServerProcess
 from .master import MasterProcess
 from .profiling import RunProfile
 from .runtime import SharedRuntime
+from .sanitizer import SanitizerReport
 from .vm import WorkerProcess
 
 __all__ = ["RunResult", "run_program", "run_source"]
@@ -42,6 +43,7 @@ class RunResult:
     stats: dict[str, Any]
     external_store: dict[str, Any]
     fault_report: Optional[FaultReport] = None
+    sanitizer_report: Optional[SanitizerReport] = None
     _rt: SharedRuntime = field(repr=False, default=None)
     _workers: list = field(repr=False, default_factory=list)
     _servers: list = field(repr=False, default_factory=list)
@@ -189,6 +191,9 @@ def _execute(
         stats=stats,
         external_store=rt.external_store,
         fault_report=fault_report,
+        sanitizer_report=(
+            rt.sanitizer.report() if rt.sanitizer is not None else None
+        ),
         _rt=rt,
         _workers=workers,
         _servers=servers,

@@ -28,6 +28,7 @@ from .blocks import Block, BlockId, ResolvedIndexTable, block_shape
 from .config import SIPConfig, SIPError
 from .distributed import Placement
 from .registry import GLOBAL_REGISTRY, SuperInstructionRegistry
+from .sanitizer import Sanitizer
 
 __all__ = ["SharedRuntime"]
 
@@ -57,6 +58,10 @@ class SharedRuntime:
             config.superinstructions
         )
         self.external_store: dict[str, Any] = config.external_store
+        # shared block-access recorder; None when sanitize mode is off
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(program) if config.sanitize else None
+        )
 
         # placements for distributed and served arrays
         self.placements: dict[int, Placement] = {}

@@ -1,0 +1,210 @@
+"""Runtime block-access sanitizer for the SIP.
+
+The static race detector (:mod:`repro.sial.racecheck`) must pass any
+program whose conflicts depend on runtime values -- index arithmetic
+through subindices, data-dependent branches inside pardo, symbolic
+segment counts.  The sanitizer catches those at runtime: with
+``SIPConfig.sanitize`` enabled, every ``get``/``request``/``put``/
+``prepare`` a worker issues is recorded against the block it touches,
+keyed by the barrier epoch of its array class, together with the pardo
+iteration that issued it.  Two accesses to the same block in the same
+epoch conflict when they come from different iterations (or from
+different workers outside pardo) and they are not both reads or both
+``+=`` accumulates.
+
+Recording happens at the *issuing* worker, where the interpreter knows
+the current pardo iteration and the bytecode instruction -- so every
+conflict reports the worker rank, instruction pc, and SIAL source line
+of both endpoints.  The owner-side :class:`~.distributed.ConflictTracker`
+keeps running too; in sanitize mode its violations are routed into the
+report instead of aborting the run.
+
+The sanitizer is pure bookkeeping: it consumes no simulated time and
+never changes scheduling, so a sanitized run produces bit-identical
+results and timings to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sial.bytecode import CompiledProgram
+from .blocks import BlockId
+
+__all__ = ["AccessPoint", "SanitizerConflict", "SanitizerReport", "Sanitizer"]
+
+#: keep at most this many distinct conflicts in the report (the total
+#: count keeps growing; a racy loop would otherwise flood memory)
+MAX_CONFLICTS = 200
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One endpoint of a conflict: who touched the block, and where."""
+
+    worker: int
+    pc: int
+    mode: str  # "read" | "=" | "+="
+    line: Optional[int]
+    iteration: tuple  # ("iter", pardo_id, activation, combo) | ("seq", worker)
+
+    def describe(self) -> str:
+        what = {"read": "read", "=": "overwrite", "+=": "accumulate"}[self.mode]
+        if self.iteration[0] == "iter":
+            _, pardo_id, activation, combo = self.iteration
+            where = f"pardo {pardo_id} iteration {combo}"
+            if activation:
+                where += f" (activation {activation})"
+        else:
+            where = "outside pardo"
+        at = f"pc={self.pc}"
+        if self.line is not None:
+            at += f", line {self.line}"
+        return f"{what} by worker {self.worker} in {where} ({at})"
+
+
+@dataclass(frozen=True)
+class SanitizerConflict:
+    """Two accesses to one block in one epoch that do not commute."""
+
+    kind: str  # "read-write" | "write-write"
+    array: str
+    coords: tuple[int, ...]
+    epoch: int
+    first: AccessPoint
+    second: AccessPoint
+
+    def render(self) -> str:
+        return (
+            f"{self.kind} on {self.array}{list(self.coords)} in epoch "
+            f"{self.epoch}: {self.second.describe()} conflicts with "
+            f"{self.first.describe()}"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Everything the sanitizer observed during one run."""
+
+    conflicts: list[SanitizerConflict] = field(default_factory=list)
+    owner_violations: list[str] = field(default_factory=list)
+    total_conflicts: int = 0
+    accesses_recorded: int = 0
+    blocks_tracked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.total_conflicts == 0 and not self.owner_violations
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"sanitizer: no conflicts ({self.accesses_recorded} accesses "
+                f"on {self.blocks_tracked} blocks)"
+            )
+        lines = [
+            f"sanitizer: {self.total_conflicts} conflicting access pair(s)"
+            + (
+                f" (showing {len(self.conflicts)} distinct)"
+                if self.total_conflicts > len(self.conflicts)
+                else ""
+            )
+        ]
+        for c in self.conflicts:
+            lines.append("  " + c.render())
+        for v in self.owner_violations:
+            lines.append(f"  owner-side: {v}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _BlockEpochRecord:
+    """First access per iteration identity, split by access mode."""
+
+    readers: dict[tuple, AccessPoint] = field(default_factory=dict)
+    overwriters: dict[tuple, AccessPoint] = field(default_factory=dict)
+    accumulators: dict[tuple, AccessPoint] = field(default_factory=dict)
+
+
+class Sanitizer:
+    """Shared access recorder for one SIP run (all ranks report here)."""
+
+    def __init__(self, program: CompiledProgram) -> None:
+        self.program = program
+        self._records: dict[tuple[str, int, BlockId], _BlockEpochRecord] = {}
+        self._seen_conflicts: set[tuple] = set()
+        self.report_data = SanitizerReport()
+
+    # -- recording ----------------------------------------------------------
+    def record(
+        self,
+        cls: str,
+        epoch: int,
+        block_id: BlockId,
+        mode: str,
+        worker: int,
+        pc: int,
+        line: Optional[int],
+        iteration: tuple,
+    ) -> None:
+        point = AccessPoint(
+            worker=worker, pc=pc, mode=mode, line=line, iteration=iteration
+        )
+        rec = self._records.get((cls, epoch, block_id))
+        if rec is None:
+            rec = self._records[(cls, epoch, block_id)] = _BlockEpochRecord()
+            self.report_data.blocks_tracked += 1
+        self.report_data.accesses_recorded += 1
+
+        if mode == "read":
+            self._collide(rec.overwriters, point, block_id, epoch, "read-write")
+            self._collide(rec.accumulators, point, block_id, epoch, "read-write")
+            rec.readers.setdefault(iteration, point)
+        elif mode == "=":
+            self._collide(rec.readers, point, block_id, epoch, "read-write")
+            self._collide(rec.overwriters, point, block_id, epoch, "write-write")
+            self._collide(rec.accumulators, point, block_id, epoch, "write-write")
+            rec.overwriters.setdefault(iteration, point)
+        else:  # "+=" accumulates commute with each other only
+            self._collide(rec.readers, point, block_id, epoch, "read-write")
+            self._collide(rec.overwriters, point, block_id, epoch, "write-write")
+            rec.accumulators.setdefault(iteration, point)
+
+    def _collide(
+        self,
+        prior: dict[tuple, AccessPoint],
+        point: AccessPoint,
+        block_id: BlockId,
+        epoch: int,
+        kind: str,
+    ) -> None:
+        for iteration, first in prior.items():
+            if iteration == point.iteration:
+                continue
+            self.report_data.total_conflicts += 1
+            key = (kind, block_id.array_id, first.pc, point.pc)
+            if key in self._seen_conflicts:
+                continue
+            self._seen_conflicts.add(key)
+            if len(self.report_data.conflicts) < MAX_CONFLICTS:
+                name = self.program.array_table[block_id.array_id].name
+                self.report_data.conflicts.append(
+                    SanitizerConflict(
+                        kind=kind,
+                        array=name,
+                        coords=block_id.coords,
+                        epoch=epoch,
+                        first=first,
+                        second=point,
+                    )
+                )
+
+    def note_owner_violation(self, message: str) -> None:
+        """Sink for :class:`~.distributed.ConflictTracker` violations."""
+        if message not in self.report_data.owner_violations:
+            self.report_data.owner_violations.append(message)
+
+    # -- results ------------------------------------------------------------
+    def report(self) -> SanitizerReport:
+        return self.report_data

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sial.bytecode import Op
 
@@ -58,6 +59,7 @@ class TraceEvent:
     start: float
     end: float
     wait: float
+    line: Optional[int] = None  # SIAL source line of the instruction
 
     @property
     def busy(self) -> float:
@@ -82,9 +84,16 @@ class TraceRecorder:
     fault_events: list[FaultTraceEvent] = field(default_factory=list)
 
     def record(
-        self, worker: int, pc: int, op: str, start: float, end: float, wait: float
+        self,
+        worker: int,
+        pc: int,
+        op: str,
+        start: float,
+        end: float,
+        wait: float,
+        line: Optional[int] = None,
     ) -> None:
-        self.events.append(TraceEvent(worker, pc, op, start, end, wait))
+        self.events.append(TraceEvent(worker, pc, op, start, end, wait, line))
 
     def record_fault(self, time: float, rank: int, kind: str, detail: str = "") -> None:
         self.fault_events.append(FaultTraceEvent(time, rank, kind, detail))

@@ -124,6 +124,10 @@ class WorkerProcess:
         self.pardo_states: dict[int, _PardoState] = {}
         self.pardo_activations: dict[int, int] = {}
         self.current_pardo: Optional[int] = None  # pardo_id while inside
+        # sanitizer identity of the running pardo iteration, or None
+        # outside pardo; only maintained when the sanitizer is on
+        self.sanitizer = rt.sanitizer
+        self.current_iteration: Optional[tuple] = None
 
         # communication bookkeeping ------------------------------------------
         self._tag_counter = REPLY_TAG_BASE
@@ -222,8 +226,15 @@ class WorkerProcess:
             if self.current_pardo is not None:
                 self.profile.pardo_stats(self.current_pardo).wait_time += wait
             if self.config.tracer is not None and elapsed > 0:
+                loc = instr.location
                 self.config.tracer.record(
-                    self.worker_index, old_pc, instr.op, t0, self.sim.now, wait
+                    self.worker_index,
+                    old_pc,
+                    instr.op,
+                    t0,
+                    self.sim.now,
+                    wait,
+                    line=loc.line if loc is not None else None,
                 )
         # drain outstanding writes so they land before we report done
         yield from self._wait_events(self.outstanding_put_acks)
@@ -316,9 +327,33 @@ class WorkerProcess:
         t = self.trackers.get(epoch)
         if t is None:
             t = self.trackers[epoch] = ConflictTracker(
-                "distributed", enabled=self.config.validate_barriers
+                "distributed",
+                enabled=self.config.validate_barriers,
+                sink=(
+                    self.sanitizer.note_owner_violation
+                    if self.sanitizer is not None
+                    else None
+                ),
             )
         return t
+
+    def _sanitize(
+        self, cls: str, epoch: int, bid: BlockId, mode: str, instr, pc: int
+    ) -> None:
+        """Record one block access with the sanitizer (no simulated time)."""
+        if self.sanitizer is None:
+            return
+        loc = instr.location
+        self.sanitizer.record(
+            cls,
+            epoch,
+            bid,
+            mode,
+            worker=self.worker_index,
+            pc=pc,
+            line=loc.line if loc is not None else None,
+            iteration=self.current_iteration or ("seq", self.worker_index),
+        )
 
     def _wait(self, event) -> Generator:
         """Wait on an event, accounting the time as wait time."""
@@ -745,6 +780,7 @@ class WorkerProcess:
     def op_get(self, instr, pc: int) -> int:
         r = self.resolve(instr.args[0])
         bid = r.block_id
+        self._sanitize("distributed", self.epoch, bid, "read", instr, pc)
         if self.rt.owner_rank(bid) == self.rank:
             if bid not in self.owned:
                 raise SIPError(f"get of unwritten distributed block {bid}")
@@ -763,6 +799,7 @@ class WorkerProcess:
     def op_request(self, instr, pc: int) -> int:
         r = self.resolve(instr.args[0])
         bid = r.block_id
+        self._sanitize("served", self.served_epoch, bid, "read", instr, pc)
         if self.cache.lookup(bid, touch=False) is None:
             if bid in self.ever_fetched:
                 self.cache.mark_refetch(bid)
@@ -907,6 +944,10 @@ class WorkerProcess:
                 state.pos += 1
                 for i, v in zip(index_ids, combo):
                     self.index_values[i] = v
+                if self.sanitizer is not None:
+                    self.current_iteration = (
+                        "iter", pardo_id, state.activation, combo
+                    )
                 stats.iterations += 1
                 depth = self.config.prefetch_depth
                 self._prefetch_pardo(
@@ -942,6 +983,7 @@ class WorkerProcess:
                     self.index_values.pop(i, None)
                 stats.elapsed += self.sim.now - state.entry_time
                 self.current_pardo = None
+                self.current_iteration = None
                 return exit_pc
             state.chunk = iterations
             state.pos = 0
@@ -1142,6 +1184,7 @@ class WorkerProcess:
                 f"put shape mismatch: {src_block.shape} -> {dst_r.shape}"
             )
         bid = dst_r.block_id
+        self._sanitize("distributed", self.epoch, bid, op, instr, pc)
         owner = self.rt.owner_rank(bid)
         if owner == self.rank:
             self.apply_put(bid, op, src_block, self.worker_index, self.epoch)
@@ -1181,6 +1224,7 @@ class WorkerProcess:
         if src_r.slices is not None:
             src_block = self._materialize_view(src_r, src_block)
         bid = dst_r.block_id
+        self._sanitize("served", self.served_epoch, bid, op, instr, pc)
         server = self.rt.server_rank_for(bid)
         ack_tag = self.next_tag()
         req = self.comm.irecv(source=server, tag=ack_tag)

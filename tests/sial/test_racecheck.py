@@ -1,0 +1,211 @@
+"""Tests for the static race detector (repro.sial.racecheck)."""
+
+import pytest
+
+from repro.programs.library import ALL_PROGRAMS
+from repro.sial import SemanticError, check_races, parse
+from repro.sial.analyzer import analyze
+from repro.sial.racecheck import (
+    NON_INJECTIVE,
+    READ_WRITE,
+    SPMD_OVERWRITE,
+    WRITE_WRITE,
+)
+
+
+def lint(source, filename="<test>"):
+    return check_races(analyze(parse(source, filename), source))
+
+
+RACY_OVERWRITE = """
+sial racy_overwrite
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, i)
+temp T(i, i)
+pardo i, j
+  T(i, i) = 1.0
+  put D(i, i) = T(i, i)
+endpardo i, j
+sip_barrier
+endsial racy_overwrite
+"""
+
+SAFE_ACCUMULATE = RACY_OVERWRITE.replace(
+    "put D(i, i) = T(i, i)", "put D(i, i) += T(i, i)"
+).replace("racy_overwrite", "safe_accumulate")
+
+SAFE_COVERING = """
+sial safe_covering
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, j)
+temp T(i, j)
+pardo i, j
+  T(i, j) = 1.0
+  put D(i, j) = T(i, j)
+endpardo i, j
+sip_barrier
+endsial safe_covering
+"""
+
+PHASE_CROSSING_GET = """
+sial phase_crossing_get
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, j)
+temp T(i, j)
+pardo i, j
+  T(i, j) = 1.0
+  put D(i, j) = T(i, j)
+endpardo i, j
+pardo i, j
+  get D(i, j)
+  T(i, j) = D(i, j) * 2.0
+endpardo i, j
+sip_barrier
+endsial phase_crossing_get
+"""
+
+BARRIER_SEPARATED = PHASE_CROSSING_GET.replace(
+    "endpardo i, j\npardo i, j", "endpardo i, j\nsip_barrier\npardo i, j"
+).replace("phase_crossing_get", "barrier_separated")
+
+SPMD_PUT = """
+sial spmd_put
+symbolic nb
+aoindex i = 1, nb
+distributed D(i, i)
+temp T(i, i)
+do i
+  T(i, i) = 1.0
+  put D(i, i) = T(i, i)
+enddo i
+sip_barrier
+endsial spmd_put
+"""
+
+SERVED_OVERWRITE = """
+sial served_overwrite
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+served S(i, i)
+temp T(i, i)
+pardo i, j
+  T(i, i) = 1.0
+  prepare S(i, i) = T(i, i)
+endpardo i, j
+server_barrier
+endsial served_overwrite
+"""
+
+
+def test_overwrite_put_flagged_non_injective():
+    report = lint(RACY_OVERWRITE)
+    assert not report.ok
+    kinds = {d.kind for d in report.diagnostics}
+    assert NON_INJECTIVE in kinds
+    diag = next(d for d in report.diagnostics if d.kind == NON_INJECTIVE)
+    assert diag.array == "D"
+
+
+def test_diagnostic_carries_exact_source_location():
+    report = lint(RACY_OVERWRITE, filename="prog.sial")
+    diag = report.diagnostics[0]
+    assert diag.location is not None
+    # `put D(i, i) = ...` is on line 10 of the source, column 3
+    assert diag.location.line == 10
+    assert diag.location.column == 3
+    assert "prog.sial:10:3" in diag.render()
+
+
+def test_accumulate_variant_is_clean():
+    assert lint(SAFE_ACCUMULATE).ok
+
+
+def test_covering_overwrite_is_clean():
+    assert lint(SAFE_COVERING).ok
+
+
+def test_phase_crossing_get_flagged_read_write():
+    report = lint(PHASE_CROSSING_GET)
+    assert not report.ok
+    diag = next(d for d in report.diagnostics if d.kind == READ_WRITE)
+    # the reader is primary, the writer is the related endpoint
+    assert diag.location is not None and diag.related is not None
+    assert diag.location.line != diag.related.line
+
+
+def test_barrier_separates_the_phases():
+    assert lint(BARRIER_SEPARATED).ok
+
+
+def test_spmd_overwrite_outside_pardo_flagged():
+    report = lint(SPMD_PUT)
+    assert not report.ok
+    assert {d.kind for d in report.diagnostics} == {SPMD_OVERWRITE}
+
+
+def test_served_arrays_checked_like_distributed():
+    report = lint(SERVED_OVERWRITE)
+    assert not report.ok
+    assert any(d.kind == NON_INJECTIVE for d in report.diagnostics)
+    assert all(d.array == "S" for d in report.diagnostics)
+
+
+def test_report_render_mentions_program_and_count():
+    report = lint(RACY_OVERWRITE)
+    text = report.render()
+    assert "racy_overwrite" in text
+    assert "potential race" in text
+    clean = lint(SAFE_COVERING)
+    assert "no races detected" in clean.render()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+def test_bundled_programs_have_no_false_positives(name):
+    report = lint(ALL_PROGRAMS[name], filename=f"<{name}>")
+    assert report.ok, report.render()
+
+
+def test_analyze_strict_raises_semantic_error_with_location():
+    program = parse(RACY_OVERWRITE, "prog.sial")
+    with pytest.raises(SemanticError) as exc:
+        analyze(program, RACY_OVERWRITE, strict=True)
+    assert "non-injective" in str(exc.value)
+    assert "prog.sial:10" in str(exc.value)
+
+
+def test_analyze_strict_passes_clean_program():
+    program = parse(SAFE_COVERING, "prog.sial")
+    analyze(program, SAFE_COVERING, strict=True)  # must not raise
+
+
+WRITE_WRITE_ACROSS_PARDOS = """
+sial ww_across
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, j)
+temp T(i, j)
+pardo i, j
+  T(i, j) = 1.0
+  put D(i, j) = T(i, j)
+endpardo i, j
+pardo i, j
+  T(i, j) = 2.0
+  put D(i, j) = T(i, j)
+endpardo i, j
+sip_barrier
+endsial ww_across
+"""
+
+
+def test_write_write_across_pardo_instances():
+    report = lint(WRITE_WRITE_ACROSS_PARDOS)
+    assert not report.ok
+    assert any(d.kind == WRITE_WRITE for d in report.diagnostics)

@@ -85,3 +85,28 @@ def test_report_without_program_still_renders():
     w = make_worker([(0, 1.0, 0.0)])
     text = RunProfile(workers=[w], elapsed=1.0).report()
     assert "pc=0" in text
+
+
+def test_by_line_merges_instructions_on_same_source_line():
+    prog = compile_source(
+        "sial t\nsymbolic nb\naoindex M = 1, nb\ntemp T(M, M)\n"
+        "pardo M\nT(M, M) = 1.0\nT(M, M) += 2.0\nendpardo\nendsial t\n"
+    )
+    fills = [i for i, ins in enumerate(prog.instructions) if ins.op == "FILL"]
+    assert len(fills) == 2
+    w = make_worker([(fills[0], 1.0, 0.25), (fills[1], 2.0, 0.25)])
+    profile = RunProfile(workers=[w], elapsed=3.0, program=prog)
+    lines = profile.by_line()
+    # the two assignments live on source lines 6 and 7
+    assert lines[6].count == 1 and lines[6].busy_time == 1.0
+    assert lines[7].count == 1 and lines[7].busy_time == 2.0
+
+
+def test_by_line_without_program_groups_under_none():
+    w = make_worker([(0, 1.0, 0.0), (5, 2.0, 0.5)])
+    profile = RunProfile(workers=[w], elapsed=3.0)
+    lines = profile.by_line()
+    assert set(lines) == {None}
+    assert lines[None].count == 2
+    assert lines[None].busy_time == 3.0
+    assert lines[None].wait_time == 0.5

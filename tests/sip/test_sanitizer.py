@@ -1,0 +1,139 @@
+"""Tests for the runtime block-access sanitizer."""
+
+import pytest
+
+from repro.sip import BarrierViolation, SIPConfig, run_source
+
+RACY = """
+sial racy
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, i)
+temp T(i, i)
+pardo i, j
+  T(i, i) = 1.0
+  put D(i, i) = T(i, i)
+endpardo i, j
+sip_barrier
+endsial racy
+"""
+
+CLEAN = """
+sial clean
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, j)
+temp T(i, j)
+pardo i, j
+  T(i, j) = 1.0
+  put D(i, j) += T(i, j)
+endpardo i, j
+sip_barrier
+endsial clean
+"""
+
+SERVED_RACY = """
+sial served_racy
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+served S(i, i)
+temp T(i, i)
+pardo i, j
+  T(i, i) = 1.0
+  prepare S(i, i) = T(i, i)
+endpardo i, j
+server_barrier
+endsial served_racy
+"""
+
+
+def cfg(sanitize=True, **overrides):
+    defaults = dict(workers=3, io_servers=1, segment_size=2, sanitize=sanitize)
+    defaults.update(overrides)
+    return SIPConfig(**defaults)
+
+
+def test_racy_overwrite_put_reported():
+    res = run_source(RACY, cfg(), {"nb": 4.0})
+    rep = res.sanitizer_report
+    assert rep is not None and not rep.ok
+    assert rep.total_conflicts > 0
+    conflict = rep.conflicts[0]
+    assert conflict.kind == "write-write"
+    assert conflict.array == "D"
+    # both endpoints carry source line, pc, worker and pardo iteration
+    for point in (conflict.first, conflict.second):
+        assert point.line is not None
+        assert point.pc >= 0
+        assert point.iteration[0] == "iter"
+    assert conflict.first.iteration != conflict.second.iteration
+
+
+def test_owner_violations_recorded_not_raised():
+    # without the sanitizer the owner-side tracker aborts the run ...
+    with pytest.raises(BarrierViolation):
+        run_source(RACY, cfg(sanitize=False), {"nb": 4.0})
+    # ... with it, the run completes and the violation lands in the report
+    res = run_source(RACY, cfg(), {"nb": 4.0})
+    assert res.sanitizer_report.owner_violations
+
+
+def test_clean_program_reports_no_conflicts():
+    res = run_source(CLEAN, cfg(), {"nb": 4.0})
+    rep = res.sanitizer_report
+    assert rep is not None and rep.ok
+    assert rep.accesses_recorded > 0
+    assert rep.blocks_tracked > 0
+    assert "no conflicts" in rep.render()
+
+
+def test_served_prepare_overwrite_reported():
+    res = run_source(SERVED_RACY, cfg(), {"nb": 4.0})
+    rep = res.sanitizer_report
+    assert rep is not None and not rep.ok
+    assert any(c.array == "S" for c in rep.conflicts)
+
+
+def test_sanitize_off_yields_no_report():
+    res = run_source(CLEAN, cfg(sanitize=False), {"nb": 4.0})
+    assert res.sanitizer_report is None
+
+
+def test_sanitizer_consumes_no_simulated_time():
+    on = run_source(CLEAN, cfg(), {"nb": 4.0})
+    off = run_source(CLEAN, cfg(sanitize=False), {"nb": 4.0})
+    assert on.elapsed == off.elapsed
+    assert on.scalars == off.scalars
+    assert on.stats["messages_sent"] == off.stats["messages_sent"]
+
+
+def test_conflict_render_names_both_endpoints():
+    res = run_source(RACY, cfg(), {"nb": 4.0})
+    text = res.sanitizer_report.render()
+    assert "write-write" in text
+    assert "conflicts with" in text
+    assert "line" in text
+    assert "owner-side" in text
+
+
+def test_env_var_enables_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert SIPConfig().sanitize is True
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert SIPConfig().sanitize is False
+
+
+def test_explicit_flag_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert SIPConfig(sanitize=True).sanitize is True
+
+
+def test_conflicts_deduplicated_by_statement_pair():
+    # 2x2 block grid -> several racing pairs, but all from one statement
+    res = run_source(RACY, cfg(), {"nb": 4.0})
+    rep = res.sanitizer_report
+    assert len(rep.conflicts) == 1
+    assert rep.total_conflicts >= len(rep.conflicts)

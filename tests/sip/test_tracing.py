@@ -31,7 +31,7 @@ endsial trace_probe
 """
 
 
-def run_traced(workers=3):
+def run_traced(workers=3, sanitize=False):
     tracer = TraceRecorder()
     rng = np.random.default_rng(0)
     a, b = rng.standard_normal((8, 8)), rng.standard_normal((8, 8))
@@ -41,6 +41,7 @@ def run_traced(workers=3):
         segment_size=4,
         tracer=tracer,
         inputs={"A": a, "B": b},
+        sanitize=sanitize,
     )
     res = run_source(SRC, cfg, symbolics={"nb": 8})
     return tracer, res
@@ -94,3 +95,29 @@ def test_per_worker_query():
     tracer, _ = run_traced(workers=2)
     all_events = len(tracer.events)
     assert len(tracer.for_worker(0)) + len(tracer.for_worker(1)) == all_events
+
+
+def test_events_carry_source_lines():
+    tracer, _ = run_traced()
+    assert tracer.events
+    for e in tracer.events:
+        assert e.line is not None
+    # the contraction `TC(M, N) += A(M, L) * B(L, N)` is on line 17
+    contract_lines = {e.line for e in tracer.events if e.op == Op.CONTRACT}
+    assert contract_lines == {17}
+
+
+def test_record_without_line_defaults_to_none():
+    tracer = TraceRecorder()
+    tracer.record(0, 3, Op.FILL, 0.0, 1.0, 0.0)
+    assert tracer.events[0].line is None
+
+
+def test_sanitizer_off_and_on_trace_identically():
+    """The sanitizer is pure bookkeeping: identical events either way."""
+    plain, res_plain = run_traced(sanitize=False)
+    sanitized, res_san = run_traced(sanitize=True)
+    assert plain.events == sanitized.events
+    assert res_plain.elapsed == res_san.elapsed
+    assert res_san.sanitizer_report is not None
+    assert res_san.sanitizer_report.ok

@@ -121,3 +121,83 @@ def test_trace_command_renders_timeline(good_file, capsys):
     out = capsys.readouterr().out
     assert "timeline:" in out
     assert "w0" in out and "w1" in out
+
+
+RACY = """
+sial cli_racy
+symbolic nb
+aoindex i = 1, nb
+aoindex j = 1, nb
+distributed D(i, i)
+temp T(i, i)
+pardo i, j
+  T(i, i) = 1.0
+  put D(i, i) = T(i, i)
+endpardo i, j
+sip_barrier
+endsial cli_racy
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.sial"
+    path.write_text(RACY)
+    return str(path)
+
+
+def test_check_strict_passes_clean_program(good_file, capsys):
+    assert main(["check", "--strict", good_file]) == 0
+    assert "no races detected" in capsys.readouterr().out
+
+
+def test_check_strict_fails_on_race_with_location(racy_file, capsys):
+    assert main(["check", "--strict", racy_file]) == 1
+    err = capsys.readouterr().err
+    assert "non-injective" in err
+    assert "racy.sial:10:3" in err
+
+
+def test_check_non_strict_accepts_racy_program(racy_file, capsys):
+    assert main(["check", racy_file]) == 0
+
+
+def test_lint_clean_file(good_file, capsys):
+    assert main(["lint", good_file]) == 0
+    assert "no races detected" in capsys.readouterr().out
+
+
+def test_lint_racy_file_prints_diagnostics(racy_file, capsys):
+    assert main(["lint", racy_file]) == 1
+    out = capsys.readouterr().out
+    assert "non-injective-overwrite" in out
+    assert "racy.sial:10:3" in out
+
+
+def test_lint_library_all_clean(capsys):
+    assert main(["lint", "--library"]) == 0
+    out = capsys.readouterr().out
+    assert "library:ccsd" in out
+    assert "library:checkpoint_demo" in out
+    assert "no races detected" in out
+
+
+def test_lint_without_targets_rejected():
+    with pytest.raises(SystemExit):
+        main(["lint"])
+
+
+def test_run_sanitize_clean_program(good_file, capsys):
+    code = main(["run", "--sanitize", good_file, "-D", "nb=8", "-w", "3"])
+    assert code == 0
+    assert "sanitizer: no conflicts" in capsys.readouterr().out
+
+
+def test_run_sanitize_racy_program_nonzero_exit(racy_file, capsys):
+    code = main(
+        ["run", "--sanitize", racy_file, "-D", "nb=4", "-w", "3", "-s", "2"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "write-write" in out
+    assert "owner-side" in out
