@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..einsum_cache import cached_einsum
+
 __all__ = [
     "CCResult",
     "ccd",
@@ -104,15 +106,15 @@ def ccsd(
 def _cc_energy(eri, t1, t2, no):
     o, v = slice(0, no), slice(no, eri.shape[0])
     oovv = eri[o, o, v, v]
-    e = 0.25 * np.einsum("ijab,ijab->", oovv, t2, optimize=True)
-    e += 0.5 * np.einsum("ijab,ia,jb->", oovv, t1, t1, optimize=True)
+    e = 0.25 * cached_einsum("ijab,ijab->", oovv, t2)
+    e += 0.5 * cached_einsum("ijab,ia,jb->", oovv, t1, t1)
     return float(e)
 
 
 def _ccsd_update(eps, eri, t1, t2, no, d1, d2):
     nso = eri.shape[0]
     o, v = slice(0, no), slice(no, nso)
-    ein = np.einsum
+    ein = cached_einsum
 
     tau_t = t2 + 0.5 * (
         ein("ia,jb->ijab", t1, t1) - ein("ib,ja->ijab", t1, t1)
@@ -234,7 +236,7 @@ def ccsd_t(
     nso = eri.shape[0]
     o, v = slice(0, no), slice(no, nso)
     e_o, e_v = eps[:no], eps[no:]
-    ein = np.einsum
+    ein = cached_einsum
 
     d3 = (
         e_o[:, None, None, None, None, None]
@@ -270,7 +272,7 @@ def lccd_residual(eri: np.ndarray, t2: np.ndarray, n_occ_so: int) -> np.ndarray:
     """
     no = n_occ_so
     o, v = slice(0, no), slice(no, eri.shape[0])
-    ein = np.einsum
+    ein = cached_einsum
     r = eri[o, o, v, v].copy()
     r += 0.5 * ein("abef,ijef->ijab", eri[v, v, v, v], t2, optimize=True)
     r += 0.5 * ein("mnij,mnab->ijab", eri[o, o, o, o], t2, optimize=True)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..einsum_cache import cached_einsum
+
 __all__ = [
     "ao_to_mo",
     "mo_slices",
@@ -26,10 +28,10 @@ def ao_to_mo(eri_ao: np.ndarray, c: np.ndarray) -> np.ndarray:
     Four quarter-transformations, each O(n^5) -- the very contraction
     sequence whose parallelization the SIA targets.
     """
-    tmp = np.einsum("mp,mnls->pnls", c, eri_ao, optimize=True)
-    tmp = np.einsum("nq,pnls->pqls", c, tmp, optimize=True)
-    tmp = np.einsum("lr,pqls->pqrs", c, tmp, optimize=True)
-    return np.einsum("st,pqrs->pqrt", c, tmp, optimize=True)
+    tmp = cached_einsum("mp,mnls->pnls", c, eri_ao)
+    tmp = cached_einsum("nq,pnls->pqls", c, tmp)
+    tmp = cached_einsum("lr,pqls->pqrs", c, tmp)
+    return cached_einsum("st,pqrs->pqrt", c, tmp)
 
 
 def mo_slices(n_occ: int, n_basis: int) -> tuple[slice, slice]:
@@ -77,10 +79,10 @@ def spin_orbital_eri_uhf(
     mo_a = ao_to_mo(eri_ao, c_alpha)
     mo_b = ao_to_mo(eri_ao, c_beta)
     # mixed chemists' integrals (alpha alpha | beta beta)
-    tmp = np.einsum("mp,mnls->pnls", c_alpha, eri_ao, optimize=True)
-    tmp = np.einsum("nq,pnls->pqls", c_alpha, tmp, optimize=True)
-    tmp = np.einsum("lr,pqls->pqrs", c_beta, tmp, optimize=True)
-    mo_ab = np.einsum("st,pqrs->pqrt", c_beta, tmp, optimize=True)
+    tmp = cached_einsum("mp,mnls->pnls", c_alpha, eri_ao)
+    tmp = cached_einsum("nq,pnls->pqls", c_alpha, tmp)
+    tmp = cached_einsum("lr,pqls->pqrs", c_beta, tmp)
+    mo_ab = cached_einsum("st,pqrs->pqrt", c_beta, tmp)
 
     def chem(p, sp, q, sq, r, sr, s, ss):
         """(pq|rs) with given spatial indices and spins."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..einsum_cache import cached_einsum
+
 __all__ = [
     "mp2_energy_rhf",
     "mp2_energy_uhf",
@@ -131,6 +133,6 @@ def mp2_density_spin(
     t, _ = _spin_amplitudes(eri_so, eps, n_occ_so)
     no = n_occ_so
     dm = np.zeros((n, n))
-    dm[:no, :no] = -0.5 * np.einsum("imab,jmab->ij", t, t, optimize=True)
-    dm[no:, no:] = 0.5 * np.einsum("ijac,ijbc->ab", t, t, optimize=True)
+    dm[:no, :no] = -0.5 * cached_einsum("imab,jmab->ij", t, t)
+    dm[no:, no:] = 0.5 * cached_einsum("ijac,ijbc->ab", t, t)
     return dm

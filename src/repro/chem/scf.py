@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..einsum_cache import cached_einsum
+
 __all__ = ["SCFResult", "fock_rhf", "rhf", "uhf"]
 
 
@@ -42,15 +44,15 @@ def fock_rhf(h: np.ndarray, eri: np.ndarray, density: np.ndarray) -> np.ndarray:
         J[mu,nu] = (mu nu|la si) D[la,si]
         K[mu,nu] = (mu la|nu si) D[la,si]
     """
-    j = np.einsum("mnls,ls->mn", eri, density, optimize=True)
-    k = np.einsum("mlns,ls->mn", eri, density, optimize=True)
+    j = cached_einsum("mnls,ls->mn", eri, density)
+    k = cached_einsum("mlns,ls->mn", eri, density)
     return h + j - 0.5 * k
 
 
 def _fock_spin(h, eri, d_total, d_spin):
     """One spin channel of the UHF Fock matrix."""
-    j = np.einsum("mnls,ls->mn", eri, d_total, optimize=True)
-    k = np.einsum("mlns,ls->mn", eri, d_spin, optimize=True)
+    j = cached_einsum("mnls,ls->mn", eri, d_total)
+    k = cached_einsum("mlns,ls->mn", eri, d_spin)
     return h + j - k
 
 

@@ -1,0 +1,59 @@
+"""A process-wide cache of ``np.einsum_path`` results.
+
+``np.einsum(..., optimize=True)`` re-runs the contraction-order search
+on *every* call, even when the subscripts and operand shapes are
+unchanged.  The reference chemistry code (SCF Fock builds, AO->MO
+transforms, CCSD residuals) calls the same handful of einsums hundreds
+of times per run, so the path search dominates their wall time for
+small systems.
+
+``cached_einsum`` is a drop-in replacement for ``np.einsum`` with
+``optimize=True`` semantics: the first call with a given
+``(subscripts, operand shapes)`` pair runs ``np.einsum_path`` once and
+memoizes the resulting contraction list; later calls execute with the
+precomputed path.  Because an explicit path executes the exact same
+contraction sequence the search would have chosen, results are
+bit-identical to the uncached call.
+
+This is the host-side analogue of :class:`repro.sip.plans.KernelPlanCache`,
+which does the same (plus GEMM lowering) for super-instruction kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cached_einsum", "path_cache_info", "clear_path_cache"]
+
+_PATHS: dict[tuple, list] = {}
+_HITS = 0
+_MISSES = 0
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray, **kwargs):
+    """``np.einsum(subscripts, *operands, optimize=True)`` with the
+    contraction path memoized by ``(subscripts, operand shapes)``."""
+    global _HITS, _MISSES
+    opt = kwargs.pop("optimize", True)
+    if opt is True:
+        key = (subscripts, *(op.shape for op in operands))
+        opt = _PATHS.get(key)
+        if opt is None:
+            _MISSES += 1
+            opt = np.einsum_path(subscripts, *operands, optimize=True)[0]
+            _PATHS[key] = opt
+        else:
+            _HITS += 1
+    return np.einsum(subscripts, *operands, optimize=opt, **kwargs)
+
+
+def path_cache_info() -> dict:
+    """Hit/miss counters and the number of distinct cached paths."""
+    return {"hits": _HITS, "misses": _MISSES, "paths": len(_PATHS)}
+
+
+def clear_path_cache() -> None:
+    global _HITS, _MISSES
+    _PATHS.clear()
+    _HITS = 0
+    _MISSES = 0

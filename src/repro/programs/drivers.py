@@ -26,6 +26,7 @@ from ..chem import (
     rhf,
     spin_orbital_eri,
 )
+from ..einsum_cache import cached_einsum
 from ..sip import RunResult, SIPConfig, run_source
 from . import library, supers
 
@@ -80,7 +81,7 @@ def run_paper_contraction(
         config,
         symbolics={"norb": n_basis, "nocc": n_occ},
     )
-    reference = np.einsum("mnls,lsij->mnij", ints.eri, t, optimize=True)
+    reference = cached_einsum("mnls,lsij->mnij", ints.eri, t)
     return SialOutcome(value=result.array("R"), reference=reference, result=result)
 
 
@@ -134,10 +135,10 @@ def run_uhf_mp2(
     mo_aa = ao_to_mo(ints.eri, ca)
     mo_bb = ao_to_mo(ints.eri, cb)
     # mixed chemists' integrals (alpha alpha | beta beta)
-    tmp = np.einsum("mp,mnls->pnls", ca, ints.eri, optimize=True)
-    tmp = np.einsum("nq,pnls->pqls", ca, tmp, optimize=True)
-    tmp = np.einsum("lr,pqls->pqrs", cb, tmp, optimize=True)
-    mo_ab = np.einsum("st,pqrs->pqrt", cb, tmp, optimize=True)
+    tmp = cached_einsum("mp,mnls->pnls", ca, ints.eri)
+    tmp = cached_einsum("nq,pnls->pqls", ca, tmp)
+    tmp = cached_einsum("lr,pqls->pqrs", cb, tmp)
+    mo_ab = cached_einsum("st,pqrs->pqrt", cb, tmp)
 
     oa, va = slice(0, n_alpha), slice(n_alpha, n_basis)
     ob, vb = slice(0, n_beta), slice(n_beta, n_basis)

@@ -4,7 +4,7 @@ Super instructions take one or two blocks as input and produce a new
 block, never communicating (paper, Section III).  The SIP treats them
 as opaque; here they come in two flavours sharing one interface:
 
-* :class:`RealBackend` executes numpy kernels (einsum/transpose play
+* :class:`RealBackend` executes numpy kernels (einsum/matmul play
   the role of the paper's Fortran+DGEMM implementations) *and* charges
   modeled time;
 * :class:`ModelBackend` charges only the modeled time, letting the
@@ -12,11 +12,18 @@ as opaque; here they come in two flavours sharing one interface:
 
 Every method returns the simulated seconds the instruction costs; the
 interpreter yields a Timeout for that amount.
+
+When a :class:`~repro.sip.plans.KernelPlanCache` is attached (the
+default fast path), contractions execute through compiled GEMM /
+einsum-path plans and axis permutations are memoized; without one the
+backend runs the legacy per-call ``np.einsum(..., optimize=True)``
+path.  Both produce bit-identical data and charge identical simulated
+time.
 """
 
 from __future__ import annotations
 
-import string
+import time
 from dataclasses import dataclass
 from math import prod
 from typing import Callable, Optional
@@ -24,9 +31,25 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..costmodel import CostModel
+from .blocks import DTYPE_BYTES
 from .config import SIPError
+from .plans import KernelPlanCache, einsum_subscripts, perm as _perm
 
 __all__ = ["KernelOperand", "ComputeBackend", "RealBackend", "ModelBackend", "make_backend"]
+
+#: kernel methods wrapped by the wall-clock instrumentation
+_KERNEL_NAMES = (
+    "fill",
+    "copy",
+    "accumulate",
+    "scale",
+    "scale_inplace",
+    "negate",
+    "addsub",
+    "contract",
+    "scalar_contract",
+    "compute_integrals",
+)
 
 
 @dataclass
@@ -49,27 +72,10 @@ class KernelOperand:
 
     @property
     def nbytes(self) -> int:
-        return prod(self.shape, start=1) * 8
-
-
-def _perm(dst_ids: tuple[int, ...], src_ids: tuple[int, ...]) -> tuple[int, ...]:
-    """Axes permutation mapping src layout onto dst layout.
-
-    Handles repeated index variables (e.g. a diagonal block ``D(M, M)``)
-    by matching each destination axis to the first unused source axis
-    with the same id.
-    """
-    used = [False] * len(src_ids)
-    perm = []
-    for ix in dst_ids:
-        for pos, sid in enumerate(src_ids):
-            if sid == ix and not used[pos]:
-                used[pos] = True
-                perm.append(pos)
-                break
-        else:
-            raise SIPError(f"operand index mismatch: {dst_ids} vs {src_ids}")
-    return tuple(perm)
+        # model mode carries no data; the runtime is double precision
+        # throughout, so both modes charge identical costs
+        itemsize = DTYPE_BYTES if self.data is None else self.data.dtype.itemsize
+        return prod(self.shape, start=1) * itemsize
 
 
 class ComputeBackend:
@@ -77,8 +83,38 @@ class ComputeBackend:
 
     real = False
 
-    def __init__(self, cost: CostModel) -> None:
+    def __init__(
+        self,
+        cost: CostModel,
+        plans: Optional[KernelPlanCache] = None,
+        timed: bool = False,
+    ) -> None:
         self.cost = cost
+        self.plans = plans
+        self.wall: dict[str, float] = {}
+        if timed:
+            self._enable_wall_timing()
+
+    def _enable_wall_timing(self) -> None:
+        """Wrap every kernel to accumulate host wall-clock per opcode."""
+        for name in _KERNEL_NAMES:
+            inner = getattr(self, name)
+
+            def timed(*args, __inner=inner, __name=name):
+                t0 = time.perf_counter()
+                try:
+                    return __inner(*args)
+                finally:
+                    self.wall[__name] = (
+                        self.wall.get(__name, 0.0) + time.perf_counter() - t0
+                    )
+
+            setattr(self, name, timed)
+
+    def _perm(self, dst_ids: tuple[int, ...], src_ids: tuple[int, ...]) -> tuple[int, ...]:
+        if self.plans is not None:
+            return self.plans.perm(dst_ids, src_ids)
+        return _perm(dst_ids, src_ids)
 
     # -- kernels -----------------------------------------------------------
     def fill(self, dst: KernelOperand, value: float, op: str) -> float:
@@ -93,12 +129,16 @@ class ComputeBackend:
 
     def copy(self, dst: KernelOperand, src: KernelOperand) -> float:
         if self.real:
-            dst.data[...] = np.transpose(src.data, _perm(dst.index_ids, src.index_ids))
+            dst.data[...] = np.transpose(
+                src.data, self._perm(dst.index_ids, src.index_ids)
+            )
         return self.cost.elementwise_time(dst.nbytes)
 
     def accumulate(self, dst: KernelOperand, op: str, src: KernelOperand) -> float:
         if self.real:
-            aligned = np.transpose(src.data, _perm(dst.index_ids, src.index_ids))
+            aligned = np.transpose(
+                src.data, self._perm(dst.index_ids, src.index_ids)
+            )
             if op == "+=":
                 dst.data[...] += aligned
             else:
@@ -110,7 +150,7 @@ class ComputeBackend:
     ) -> float:
         if self.real:
             aligned = factor * np.transpose(
-                src.data, _perm(dst.index_ids, src.index_ids)
+                src.data, self._perm(dst.index_ids, src.index_ids)
             )
             if op == "=":
                 dst.data[...] = aligned
@@ -128,7 +168,7 @@ class ComputeBackend:
     def negate(self, dst: KernelOperand, src: KernelOperand) -> float:
         if self.real:
             dst.data[...] = -np.transpose(
-                src.data, _perm(dst.index_ids, src.index_ids)
+                src.data, self._perm(dst.index_ids, src.index_ids)
             )
         return self.cost.elementwise_time(dst.nbytes)
 
@@ -136,8 +176,8 @@ class ComputeBackend:
         self, dst: KernelOperand, op: str, a: KernelOperand, b: KernelOperand
     ) -> float:
         if self.real:
-            aa = np.transpose(a.data, _perm(dst.index_ids, a.index_ids))
-            bb = np.transpose(b.data, _perm(dst.index_ids, b.index_ids))
+            aa = np.transpose(a.data, self._perm(dst.index_ids, a.index_ids))
+            bb = np.transpose(b.data, self._perm(dst.index_ids, b.index_ids))
             dst.data[...] = aa + bb if op == "+" else aa - bb
         return self.cost.elementwise_time(2 * dst.nbytes)
 
@@ -150,21 +190,30 @@ class ComputeBackend:
             if ix not in dst.index_ids
         )
         if self.real:
-            subscripts, letters = _einsum_subscripts(a, b, dst.index_ids)
-            result = np.einsum(subscripts, a.data, b.data, optimize=True)
-            if op == "=":
-                dst.data[...] = result
-            elif op == "+=":
-                dst.data[...] += result
+            if self.plans is not None:
+                plan = self.plans.contraction(
+                    a.index_ids, a.shape, b.index_ids, b.shape,
+                    dst.index_ids, dst.shape,
+                )
+                plan.execute(a.data, b.data, dst.data, op)
             else:
-                dst.data[...] -= result
+                subscripts = einsum_subscripts(
+                    a.index_ids, b.index_ids, dst.index_ids
+                )
+                result = np.einsum(subscripts, a.data, b.data, optimize=True)
+                if op == "=":
+                    dst.data[...] = result
+                elif op == "+=":
+                    dst.data[...] += result
+                else:
+                    dst.data[...] -= result
         return self.cost.contraction_time(dst.shape, contracted_shape)
 
     def scalar_contract(self, a: KernelOperand, b: KernelOperand) -> tuple[float, float]:
         """Full contraction to a scalar; returns (value, cost)."""
         value = 0.0
         if self.real:
-            aligned = np.transpose(b.data, _perm(a.index_ids, b.index_ids))
+            aligned = np.transpose(b.data, self._perm(a.index_ids, b.index_ids))
             value = float(np.sum(a.data * aligned))
         cost = self.cost.contraction_time((), a.shape)
         return value, cost
@@ -199,23 +248,28 @@ class ModelBackend(ComputeBackend):
     real = False
 
 
-def make_backend(kind: str, cost: CostModel) -> ComputeBackend:
+def make_backend(
+    kind: str,
+    cost: CostModel,
+    plans: Optional[KernelPlanCache] = None,
+    timed: bool = False,
+) -> ComputeBackend:
     if kind == "real":
-        return RealBackend(cost)
+        return RealBackend(cost, plans=plans, timed=timed)
     if kind == "model":
-        return ModelBackend(cost)
+        return ModelBackend(cost, timed=timed)
     raise ValueError(f"unknown backend {kind!r}")
 
 
 def _einsum_subscripts(
     a: KernelOperand, b: KernelOperand, out_ids: tuple[int, ...]
 ) -> tuple[str, dict[int, str]]:
+    """Backward-compatible wrapper kept for external callers/tests."""
+    import string
+
     letters: dict[int, str] = {}
     pool = iter(string.ascii_lowercase)
     for ix in (*a.index_ids, *b.index_ids, *out_ids):
         if ix not in letters:
             letters[ix] = next(pool)
-    a_sub = "".join(letters[i] for i in a.index_ids)
-    b_sub = "".join(letters[i] for i in b.index_ids)
-    out_sub = "".join(letters[i] for i in out_ids)
-    return f"{a_sub},{b_sub}->{out_sub}", letters
+    return einsum_subscripts(a.index_ids, b.index_ids, out_ids), letters

@@ -30,6 +30,7 @@ __all__ = [
     "ResolvedIndexTable",
     "BlockId",
     "Block",
+    "CowStats",
     "OperandView",
     "block_shape",
     "block_nbytes",
@@ -221,25 +222,62 @@ def _symbolic_vector(
 # --------------------------------------------------------------------------
 # Blocks
 # --------------------------------------------------------------------------
-@dataclass(frozen=True)
 class BlockId:
-    """Identity of one block: which array, which block coordinates."""
+    """Identity of one block: which array, which block coordinates.
 
-    array_id: int
-    coords: tuple[int, ...]
+    Block ids key every hot dict in the runtime (caches, placements,
+    owned/local block maps), so the hash is computed once up front.
+    """
+
+    __slots__ = ("array_id", "coords", "_hash")
+
+    def __init__(self, array_id: int, coords: tuple[int, ...]) -> None:
+        self.array_id = array_id
+        self.coords = coords
+        self._hash = hash((array_id, coords))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BlockId):
+            return self.array_id == other.array_id and self.coords == other.coords
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockId(array_id={self.array_id}, coords={self.coords})"
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"B[{self.array_id}]{self.coords}"
 
 
-class Block:
-    """A block of double-precision data (or just its shape in model mode)."""
+@dataclass
+class CowStats:
+    """Observable effect of copy-on-write block transport."""
 
-    __slots__ = ("shape", "data")
+    sends_shared: int = 0
+    bytes_not_copied: int = 0
+    cow_copies: int = 0
+    cow_bytes_copied: int = 0
+
+
+class Block:
+    """A block of double-precision data (or just its shape in model mode).
+
+    Blocks support zero-copy snapshots: :meth:`share` returns a twin
+    referencing the same ndarray, and the twins track each other through
+    a shared reference-count cell.  Any holder that is about to write in
+    place calls :meth:`ensure_writable`, which detaches it (copying the
+    buffer only if another holder remains) -- so eager deep copies on
+    every send/cache insert become copies on first write only.
+    """
+
+    __slots__ = ("shape", "data", "_shared")
 
     def __init__(self, shape: tuple[int, ...], data: Optional[np.ndarray] = None):
         self.shape = shape
         self.data = data
+        self._shared = None  # refcount cell shared by all twins, or None
 
     @property
     def nbytes(self) -> int:
@@ -248,6 +286,47 @@ class Block:
     def copy(self) -> "Block":
         data = None if self.data is None else self.data.copy()
         return Block(self.shape, data)
+
+    def share(self) -> "Block":
+        """A zero-copy snapshot sharing this block's buffer."""
+        if self.data is None:
+            return Block(self.shape, None)
+        cell = self._shared
+        if cell is None:
+            cell = self._shared = [1]
+        cell[0] += 1
+        twin = Block(self.shape, self.data)
+        twin._shared = cell
+        return twin
+
+    def ensure_writable(self) -> int:
+        """Detach from copy-on-write sharing before an in-place write.
+
+        Returns the number of bytes copied (0 when the buffer was
+        already exclusive).
+        """
+        cell = self._shared
+        if cell is None:
+            return 0
+        self._shared = None
+        cell[0] -= 1
+        if cell[0] <= 0 or self.data is None:
+            return 0
+        self.data = self.data.copy()
+        return self.data.nbytes
+
+    def surrender(self) -> bool:
+        """Drop this block's claim on its buffer (pool free path).
+
+        True means no twin still references the buffer, so it is safe
+        to recycle.
+        """
+        cell = self._shared
+        if cell is None:
+            return True
+        self._shared = None
+        cell[0] -= 1
+        return cell[0] <= 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "real" if self.data is not None else "model"

@@ -70,6 +70,7 @@ class BlockCache:
         self.on_evict = on_evict
         self.stats = CacheStats()
         self._entries: "OrderedDict[BlockId, CacheEntry]" = OrderedDict()
+        self._pending = 0  # incremental count of in-flight entries
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,6 +100,7 @@ class BlockCache:
         self._make_room()
         entry = CacheEntry(arrival=arrival, fetch_count=1)
         self._entries[block_id] = entry
+        self._pending += 1
         self.stats.insertions += 1
         return entry
 
@@ -107,6 +109,8 @@ class BlockCache:
         entry = self._entries.get(block_id)
         if entry is None:
             return  # evicted while in flight; arrival event still fires
+        if entry.pending:
+            self._pending -= 1
         entry.block = block
         entry.arrival = None
 
@@ -116,6 +120,8 @@ class BlockCache:
         """Insert a complete block (server prepare / local store)."""
         entry = self._entries.get(block_id)
         if entry is not None:
+            if entry.pending:
+                self._pending -= 1
             entry.block = block
             entry.dirty = dirty or entry.dirty
             # A pending entry may have waiters parked on its arrival
@@ -135,7 +141,9 @@ class BlockCache:
         self.stats.refetches += 1
 
     def remove(self, block_id: BlockId) -> None:
-        self._entries.pop(block_id, None)
+        entry = self._entries.pop(block_id, None)
+        if entry is not None and entry.pending:
+            self._pending -= 1
 
     def clear_clean(self) -> None:
         """Drop every clean, unpinned, non-pending entry (sip_barrier)."""
@@ -186,7 +194,7 @@ class BlockCache:
 
     @property
     def pending_count(self) -> int:
-        return sum(1 for e in self._entries.values() if e.pending)
+        return self._pending
 
     def any_pending_arrival(self) -> Optional[Event]:
         """The arrival event of some in-flight fetch (backpressure hook)."""

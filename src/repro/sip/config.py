@@ -53,6 +53,17 @@ class SIPConfig:
     backend:
         ``"real"`` executes numpy kernels (correctness); ``"model"``
         charges only modeled time (scaling studies).
+    fastpath:
+        Enable the execution fast path: compiled kernel plans (cached
+        GEMM lowering / einsum paths), memoized operand resolution, and
+        zero-copy (copy-on-write) block transport.  Results -- data and
+        simulated time -- are bit-identical with it on or off; turning
+        it off recovers the legacy per-call einsum + eager-copy
+        behaviour for benchmarking.
+    kernel_wallclock:
+        Accumulate host wall-clock time per kernel opcode on each
+        worker's backend (``backend.wall``); the benchmark harness uses
+        this for per-kernel timings.
     machine:
         Machine performance model used for all costs.
     memory_per_worker:
@@ -114,6 +125,8 @@ class SIPConfig:
     chunk_factor: int = 2
     scheduling: str = "guided"
     backend: str = "real"
+    fastpath: bool = True
+    kernel_wallclock: bool = False
     machine: Machine = LAPTOP
     memory_per_worker: Optional[float] = None
     validate_barriers: bool = True

@@ -32,6 +32,7 @@ from .messages import (
     SERVER_TAG,
     Shutdown,
     message_nbytes,
+    snapshot_for_transport,
 )
 from .runtime import SharedRuntime
 
@@ -150,6 +151,12 @@ class IOServerProcess:
     def _apply(self, block: Block, p: PrepareBlock) -> None:
         if block.data is None or p.block.data is None:
             return
+        # the cached block may have been shared zero-copy with a
+        # requester; detach before writing
+        copied = block.ensure_writable()
+        if copied:
+            self.rt.cow.cow_copies += 1
+            self.rt.cow.cow_bytes_copied += copied
         if p.op == "=":
             block.data[...] = p.block.data
         else:
@@ -296,7 +303,10 @@ class IOServerProcess:
             tracer.record_fault(self.sim.now, self.rank, kind, str(detail))
 
     def _reply(self, p: RequestBlock, source: int, block: Block) -> None:
-        reply = BlockReply(p.block_id, block.copy())
+        reply = BlockReply(
+            p.block_id,
+            snapshot_for_transport(block, self.rt.cow_enabled, self.rt.cow),
+        )
         self.comm.isend(
             reply, dest=source, tag=p.reply_tag, nbytes=message_nbytes(reply)
         )

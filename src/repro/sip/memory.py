@@ -86,5 +86,9 @@ class BlockPool:
         if self.stats.bytes_in_use < 0:  # pragma: no cover - double free guard
             raise SIPError(f"{self.name}: double free detected")
         if self.real and block.data is not None:
-            self._free.setdefault(block.shape, []).append(block.data)
+            # a copy-on-write twin (in-flight message payload, another
+            # worker's cache entry) may still reference this buffer; it
+            # can only be recycled once the last holder surrenders it
+            if block.surrender():
+                self._free.setdefault(block.shape, []).append(block.data)
             block.data = None

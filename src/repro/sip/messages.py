@@ -34,6 +34,7 @@ __all__ = [
     "WorkerDone",
     "Shutdown",
     "message_nbytes",
+    "snapshot_for_transport",
 ]
 
 SERVICE_TAG = 1
@@ -160,3 +161,22 @@ def message_nbytes(msg: Any) -> Optional[int]:
     if block is not None:
         return HEADER_BYTES + block.nbytes
     return None
+
+
+def snapshot_for_transport(block: Block, zero_copy: bool = False, stats=None) -> Block:
+    """Snapshot a block payload for a message.
+
+    The simulated network delivers payloads by reference, so the sender
+    must hand over a snapshot that later local writes cannot disturb.
+    With ``zero_copy`` off that is an eager deep copy (the legacy
+    behaviour); with it on, a copy-on-write share -- the copy happens
+    only if the sender writes the block before the buffer is dropped.
+    ``stats`` (a :class:`~repro.sip.blocks.CowStats`) records the bytes
+    that did not need copying.
+    """
+    if not zero_copy or block.data is None:
+        return block.copy()
+    if stats is not None:
+        stats.sends_shared += 1
+        stats.bytes_not_copied += block.nbytes
+    return block.share()

@@ -12,7 +12,7 @@ reordering -- each pc maps straight back to a source line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..sial.bytecode import CompiledProgram
 
@@ -69,6 +69,10 @@ class RunProfile:
     workers: list[WorkerProfile]
     elapsed: float
     program: Optional[CompiledProgram] = None
+    # fast-path observability: a PlanCacheStats and a CowStats when the
+    # run used compiled kernel plans / zero-copy transport, else None
+    plan_cache: Optional[Any] = None
+    cow: Optional[Any] = None
 
     @property
     def total_busy(self) -> float:
@@ -167,5 +171,20 @@ class RunProfile:
                 f"pardo {pid}: iterations={stats.iterations} "
                 f"elapsed={stats.elapsed:.6f}s wait={stats.wait_time:.6f}s "
                 f"chunk_wait={stats.chunk_wait:.6f}s"
+            )
+        if self.plan_cache is not None:
+            p = self.plan_cache
+            lines.append(
+                f"kernel plans: {p.hits} hits / {p.misses} misses "
+                f"(hit rate {100.0 * p.hit_rate:.1f} %, "
+                f"{p.gemm_plans} gemm / {p.einsum_plans} einsum)"
+            )
+        if self.cow is not None:
+            c = self.cow
+            lines.append(
+                f"zero-copy transport: {c.sends_shared} payloads shared, "
+                f"{c.bytes_not_copied} bytes not copied, "
+                f"{c.cow_copies} copy-on-write copies "
+                f"({c.cow_bytes_copied} bytes)"
             )
         return "\n".join(lines)

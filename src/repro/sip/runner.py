@@ -167,13 +167,33 @@ def _execute(
 
     elapsed = max((w.profile.elapsed for w in workers), default=0.0)
     profile = RunProfile(
-        workers=[w.profile for w in workers], elapsed=elapsed, program=program
+        workers=[w.profile for w in workers],
+        elapsed=elapsed,
+        program=program,
+        plan_cache=rt.plan_cache.stats if rt.plan_cache is not None else None,
+        cow=rt.cow if rt.cow_enabled else None,
     )
     scalars = {
         name.lower(): workers[0].scalars[i]
         for i, name in enumerate(program.scalar_table)
     }
     stats = _collect_stats(rt, workers, servers, master)
+    tracer = config.tracer
+    if tracer is not None and hasattr(tracer, "annotate"):
+        if rt.plan_cache is not None:
+            p = rt.plan_cache.stats
+            tracer.annotate(
+                "plan_cache",
+                f"{p.hits} hits / {p.misses} misses "
+                f"(hit rate {100.0 * p.hit_rate:.1f} %)",
+            )
+        if rt.cow_enabled:
+            tracer.annotate(
+                "zero_copy",
+                f"{rt.cow.sends_shared} payloads shared, "
+                f"{rt.cow.bytes_not_copied} bytes not copied, "
+                f"{rt.cow.cow_copies} cow copies",
+            )
     fault_report = None
     if config.faults is not None:
         fault_report = FaultReport(
@@ -211,9 +231,17 @@ def _scatter_inputs(
             raise SIPError(f"input provided for undeclared array {name!r}") from None
         desc = rt.array_desc(array_id)
         if desc.kind == "static":
-            for w in workers:
+            if rt.cow_enabled:
+                # slice the input once; every worker gets a copy-on-write
+                # share of the same block (copies happen on first write)
                 for coords, block in rt.blocks_from_input(array_id, value).items():
-                    w.local_blocks[BlockId(array_id, coords)] = block
+                    bid = BlockId(array_id, coords)
+                    for w in workers:
+                        w.local_blocks[bid] = block.share()
+            else:
+                for w in workers:
+                    for coords, block in rt.blocks_from_input(array_id, value).items():
+                        w.local_blocks[BlockId(array_id, coords)] = block
         elif desc.kind == "distributed":
             placement = rt.placements[array_id]
             blocks = rt.blocks_from_input(array_id, value)
@@ -240,7 +268,22 @@ def _scatter_inputs(
 def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
     cache_hits = sum(w.cache.stats.hits for w in workers)
     cache_misses = sum(w.cache.stats.misses for w in workers)
+    plans = rt.plan_cache
+    kernel_wall: dict[str, float] = {}
+    for w in workers:
+        for name, seconds in getattr(w.backend, "wall", {}).items():
+            kernel_wall[name] = kernel_wall.get(name, 0.0) + seconds
     return {
+        "plan_cache_hits": plans.stats.hits if plans is not None else 0,
+        "plan_cache_misses": plans.stats.misses if plans is not None else 0,
+        "plan_cache_hit_rate": plans.stats.hit_rate if plans is not None else 0.0,
+        "plan_cache_gemm": plans.stats.gemm_plans if plans is not None else 0,
+        "plan_cache_einsum": plans.stats.einsum_plans if plans is not None else 0,
+        "cow_shared_payloads": rt.cow.sends_shared,
+        "cow_bytes_not_copied": rt.cow.bytes_not_copied,
+        "cow_copies": rt.cow.cow_copies,
+        "cow_bytes_copied": rt.cow.cow_bytes_copied,
+        "kernel_wall": kernel_wall,
         "messages_sent": rt.world.stats.messages_sent,
         "bytes_sent": rt.world.stats.bytes_sent,
         "remote_bytes": rt.world.stats.remote_bytes,

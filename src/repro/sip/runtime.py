@@ -24,9 +24,11 @@ from ..costmodel import CostModel
 from ..sial.bytecode import ArrayDesc, CompiledProgram
 from ..simmpi import Barrier, Simulator, World
 from .backend import make_backend
-from .blocks import Block, BlockId, ResolvedIndexTable, block_shape
+from .blocks import Block, BlockId, CowStats, ResolvedIndexTable, block_shape
 from .config import SIPConfig, SIPError
+from .decode import decode_program
 from .distributed import Placement
+from .plans import KernelPlanCache
 from .registry import GLOBAL_REGISTRY, SuperInstructionRegistry
 from .sanitizer import Sanitizer
 
@@ -63,6 +65,18 @@ class SharedRuntime:
             Sanitizer(program) if config.sanitize else None
         )
 
+        # execution fast path: the pre-decoded instruction stream is
+        # always built (it changes nothing observable); the kernel plan
+        # cache and zero-copy transport follow config.fastpath
+        self.decoded = decode_program(program, self.table)
+        self.plan_cache: Optional[KernelPlanCache] = (
+            KernelPlanCache() if (config.fastpath and self.real) else None
+        )
+        self.cow = CowStats()
+        self.cow_enabled = config.fastpath
+        self._owner_rank_cache: dict[BlockId, int] = {}
+        self._server_rank_cache: dict[BlockId, int] = {}
+
         # placements for distributed and served arrays
         self.placements: dict[int, Placement] = {}
         self.served_placements: dict[int, Placement] = {}
@@ -97,12 +111,20 @@ class SharedRuntime:
 
     def owner_rank(self, block_id: BlockId) -> int:
         """World rank of the worker owning a distributed block."""
-        idx = self.placements[block_id.array_id].owner_index(block_id.coords)
-        return self.config.worker_rank(idx)
+        rank = self._owner_rank_cache.get(block_id)
+        if rank is None:
+            idx = self.placements[block_id.array_id].owner_index(block_id.coords)
+            rank = self._owner_rank_cache[block_id] = self.config.worker_rank(idx)
+        return rank
 
     def server_rank_for(self, block_id: BlockId) -> int:
-        idx = self.served_placements[block_id.array_id].owner_index(block_id.coords)
-        return self.config.server_rank(idx)
+        rank = self._server_rank_cache.get(block_id)
+        if rank is None:
+            idx = self.served_placements[block_id.array_id].owner_index(
+                block_id.coords
+            )
+            rank = self._server_rank_cache[block_id] = self.config.server_rank(idx)
+        return rank
 
     def block_shape(self, block_id: BlockId) -> tuple[int, ...]:
         return block_shape(
@@ -110,7 +132,12 @@ class SharedRuntime:
         )
 
     def make_backend(self):
-        return make_backend(self.config.backend, self.cost)
+        return make_backend(
+            self.config.backend,
+            self.cost,
+            plans=self.plan_cache,
+            timed=self.config.kernel_wallclock,
+        )
 
     @property
     def real(self) -> bool:

@@ -82,6 +82,12 @@ class TraceRecorder:
 
     events: list[TraceEvent] = field(default_factory=list)
     fault_events: list[FaultTraceEvent] = field(default_factory=list)
+    # run-level annotations (plan-cache hit rates, zero-copy savings, ...)
+    summary: dict = field(default_factory=dict)
+
+    def annotate(self, key: str, value) -> None:
+        """Attach a run-level summary value (shown by :meth:`report`)."""
+        self.summary[key] = value
 
     def record(
         self,
@@ -158,4 +164,8 @@ class TraceRecorder:
             lines.append("recovery actions:")
             for kind, n in Counter(e.kind for e in self.fault_events).most_common():
                 lines.append(f"  {kind:<18s} {n}")
+        if self.summary:
+            lines.append("run annotations:")
+            for key in sorted(self.summary):
+                lines.append(f"  {key}: {self.summary[key]}")
         return "\n".join(lines)

@@ -36,6 +36,7 @@ from .backend import KernelOperand
 from .blocks import Block, BlockId
 from .cache import BlockCache
 from .config import SIPError
+from .decode import DecodedOperand, ResolvedOperand
 from .distributed import ConflictTracker
 from .memory import BlockPool
 from .messages import (
@@ -55,6 +56,7 @@ from .messages import (
     Shutdown,
     WorkerDone,
     message_nbytes,
+    snapshot_for_transport,
 )
 from .profiling import WorkerProfile
 from .runtime import SharedRuntime
@@ -62,18 +64,6 @@ from .runtime import SharedRuntime
 __all__ = ["WorkerProcess", "ResolvedOperand"]
 
 LOCAL_KINDS = ("static", "temp", "local")
-
-
-@dataclass(frozen=True)
-class ResolvedOperand:
-    """A block operand resolved against the current index values."""
-
-    block_id: BlockId
-    kind: str
-    index_ids: tuple[int, ...]
-    shape: tuple[int, ...]
-    slices: Optional[tuple[slice, ...]]
-    element_ranges: tuple[tuple[int, int], ...]
 
 
 @dataclass
@@ -194,45 +184,58 @@ class WorkerProcess:
             Op.CHECKPOINT: self.op_checkpoint,
         }
 
+        # execution fast path: the pre-decoded stream plus flat per-pc
+        # handler tables, so the inner loop does no per-step dict lookup
+        self._instrs = rt.decoded.instructions
+        self._fast_tab = [self._fast.get(d.op) for d in self._instrs]
+        self._slow_tab = [self._slow.get(d.op) for d in self._instrs]
+        self._memo_resolve = rt.config.fastpath
+
     # ======================================================================
     # main loops
     # ======================================================================
     def run(self) -> Generator:
         """The worker's main interpreter loop (a simulated process)."""
-        instrs = self.rt.program.instructions
-        start_time = self.sim.now
+        instrs = self._instrs
+        fast_tab = self._fast_tab
+        slow_tab = self._slow_tab
+        tracer = self.config.tracer
+        crash_at = self._crash_at
+        sim = self.sim
+        profile = self.profile
+        start_time = sim.now
         pc = 0
         while True:
-            if self._crash_at is not None and self.sim.now >= self._crash_at:
-                self.rt.config.faults.record_crash(self.rank, self.sim.now)
-                raise WorkerCrashed(self.rank, self.sim.now)
+            if crash_at is not None and sim.now >= crash_at:
+                self.rt.config.faults.record_crash(self.rank, sim.now)
+                raise WorkerCrashed(self.rank, sim.now)
             instr = instrs[pc]
-            if instr.op == Op.STOP:
-                break
-            fast = self._fast.get(instr.op)
+            fast = fast_tab[pc]
             if fast is not None:
                 pc = fast(instr, pc)
                 continue
-            handler = self._slow.get(instr.op)
+            handler = slow_tab[pc]
             if handler is None:
+                if instr.op == Op.STOP:
+                    break
                 raise SIPError(f"worker cannot execute opcode {instr.op}")
             self._wait_acc = 0.0
-            t0 = self.sim.now
+            t0 = sim.now
             old_pc = pc
             pc = yield from handler(instr, pc)
-            elapsed = self.sim.now - t0
+            elapsed = sim.now - t0
             wait = self._wait_acc
-            self.profile.record_instr(old_pc, elapsed - wait, wait)
+            profile.record_instr(old_pc, elapsed - wait, wait)
             if self.current_pardo is not None:
-                self.profile.pardo_stats(self.current_pardo).wait_time += wait
-            if self.config.tracer is not None and elapsed > 0:
+                profile.pardo_stats(self.current_pardo).wait_time += wait
+            if tracer is not None and elapsed > 0:
                 loc = instr.location
-                self.config.tracer.record(
+                tracer.record(
                     self.worker_index,
                     old_pc,
                     instr.op,
                     t0,
-                    self.sim.now,
+                    sim.now,
                     wait,
                     line=loc.line if loc is not None else None,
                 )
@@ -286,7 +289,12 @@ class WorkerProcess:
                 self.tracker(payload.epoch).record_read(
                     payload.worker_index, payload.block_id
                 )
-                reply = BlockReply(payload.block_id, block.copy())
+                reply = BlockReply(
+                    payload.block_id,
+                    snapshot_for_transport(
+                        block, self.rt.cow_enabled, self.rt.cow
+                    ),
+                )
                 self.comm.isend(
                     reply,
                     dest=msg.source,
@@ -444,73 +452,18 @@ class WorkerProcess:
         )
 
     # -- operand resolution ---------------------------------------------------
-    def resolve(self, op: BlockOperand) -> ResolvedOperand:
-        rt = self.rt
-        desc = rt.array_desc(op.array_id)
-        table = rt.table
-        coords: list[int] = []
-        slices: list[slice] = []
-        shape: list[int] = []
-        eranges: list[tuple[int, int]] = []
-        any_slice = False
-        for did, uid in zip(desc.index_ids, op.index_ids):
-            val = self.index_values.get(uid)
-            if val is None:
-                raise SIPError(
-                    f"index {table[uid].name!r} has no value here "
-                    f"(array {desc.name!r})"
-                )
-            ri_u = table[uid]
-            if ri_u.is_subindex and not table[did].is_subindex:
-                # a subindex used on a full-segment dimension slices the
-                # block; any subindex of a same-kind, same-partition
-                # index works (the analyzer already checked the kind)
-                parent = ri_u.super_segment_of(val)
-                sub = ri_u.segment(val)
-                if not 1 <= parent <= table[did].n_segments:
-                    raise SIPError(
-                        f"subindex {ri_u.name!r} segment {val} falls outside "
-                        f"dimension {table[did].name!r} of {desc.name!r}"
-                    )
-                pseg = table[did].segment(parent)
-                if sub.start < pseg.start or sub.stop > pseg.stop:
-                    raise SIPError(
-                        f"subindex {ri_u.name!r} and dimension "
-                        f"{table[did].name!r} of {desc.name!r} have "
-                        "incompatible segmentations"
-                    )
-                coords.append(parent)
-                slices.append(slice(sub.start - pseg.start, sub.stop - pseg.start))
-                shape.append(sub.length)
-                eranges.append((sub.start, sub.stop))
-                any_slice = True
-            else:
-                nd = table[did].n_segments
-                if not 1 <= val <= nd:
-                    raise SIPError(
-                        f"segment {val} of index {ri_u.name!r} is outside the "
-                        f"declared range of dimension {table[did].name!r} of "
-                        f"array {desc.name!r} (1..{nd})"
-                    )
-                seg = table[did].segment(val)
-                used_seg = ri_u.segment(val) if not ri_u.is_simple else seg
-                if used_seg.length != seg.length:
-                    raise SIPError(
-                        f"index {ri_u.name!r} and dimension {table[did].name!r} "
-                        f"of {desc.name!r} have incompatible segmentations"
-                    )
-                coords.append(val)
-                slices.append(slice(0, seg.length))
-                shape.append(seg.length)
-                eranges.append((seg.start, seg.stop))
-        return ResolvedOperand(
-            block_id=BlockId(op.array_id, tuple(coords)),
-            kind=desc.kind,
-            index_ids=op.index_ids,
-            shape=tuple(shape),
-            slices=tuple(slices) if any_slice else None,
-            element_ranges=tuple(eranges),
-        )
+    def resolve(self, op) -> ResolvedOperand:
+        """Resolve a (decoded) block operand against current index values.
+
+        Decoded operands memoize by index-value tuple when the fast path
+        is on; raw :class:`BlockOperand`s (tests, external callers) are
+        decoded on the fly.
+        """
+        if not isinstance(op, DecodedOperand):
+            op = DecodedOperand(
+                op, self.rt.array_desc(op.array_id), self.rt.table
+            )
+        return op.resolve(self.index_values, self._memo_resolve)
 
     # -- block acquisition (read path) ----------------------------------------
     def acquire(self, r: ResolvedOperand) -> Generator:
@@ -636,7 +589,7 @@ class WorkerProcess:
         if r.kind == "temp":
             current = self.temp_current.get(bid.array_id)
             if current == bid:
-                return self.local_blocks[bid]
+                return self._writable(self.local_blocks[bid])
             if r.slices is not None:
                 raise SIPError(
                     f"insertion into temp block {bid} that does not exist yet"
@@ -659,12 +612,22 @@ class WorkerProcess:
                     )
                 block = self._alloc_block(bid, zero=needs_existing)
                 self.local_blocks[bid] = block
-            return block
+                return block
+            return self._writable(block)
         verb = "put" if r.kind == "distributed" else "prepare"
         raise SIPError(
             f"{r.kind} array blocks are written with '{verb}', "
             "not direct assignment"
         )
+
+    def _writable(self, block: Block) -> Block:
+        """Copy-on-write barrier before any in-place block write."""
+        copied = block.ensure_writable()
+        if copied:
+            cow = self.rt.cow
+            cow.cow_copies += 1
+            cow.cow_bytes_copied += copied
+        return block
 
     def _alloc_block(self, bid: BlockId, zero: bool) -> Block:
         shape = self.rt.block_shape(bid)
@@ -698,6 +661,8 @@ class WorkerProcess:
         if block is None:
             block = self._alloc_block(bid, zero=True)
             self.owned[bid] = block
+        else:
+            self._writable(block)
         if block.data is not None and incoming.data is not None:
             if op == "=":
                 block.data[...] = incoming.data
@@ -749,7 +714,7 @@ class WorkerProcess:
             nxt = state.values[
                 state.pos + 1 : state.pos + 1 + self.config.prefetch_depth
             ]
-            get_pcs = self.rt.program.instructions[start_pc].args[2]
+            get_pcs = self._instrs[start_pc].args[2]
             self._prefetch_future(get_pcs, index_id, nxt)
             return body_start
         del self.do_states[start_pc]
@@ -857,7 +822,7 @@ class WorkerProcess:
         if not get_pcs or self.config.prefetch_depth == 0:
             return
         saved = self.index_values.get(index_id)
-        instrs = self.rt.program.instructions
+        instrs = self._instrs
         for v in future_values:
             if self.cache.pending_count >= self.cache.capacity - 2:
                 break  # leave room for demand fetches
@@ -895,7 +860,7 @@ class WorkerProcess:
         if not get_pcs or self.config.prefetch_depth == 0:
             return
         saved = {i: self.index_values.get(i) for i in index_ids}
-        instrs = self.rt.program.instructions
+        instrs = self._instrs
         for combo in tuples:
             if self.cache.pending_count >= self.cache.capacity - 2:
                 break  # leave room for demand fetches
@@ -1147,6 +1112,9 @@ class WorkerProcess:
                 block = self.local_blocks.get(r.block_id)
                 if block is None:
                     block = self.write_target(r, needs_existing=True)
+                else:
+                    # user supers may write their block args in place
+                    self._writable(block)
                 blocks.append(self.kernel_operand(r, block))
             elif kind == "num":
                 scalars.append(value)
@@ -1197,7 +1165,7 @@ class WorkerProcess:
         payload = PutBlock(
             bid,
             op,
-            src_block.copy(),
+            snapshot_for_transport(src_block, self.rt.cow_enabled, self.rt.cow),
             self.worker_index,
             self.epoch,
             ack_tag,
@@ -1232,7 +1200,7 @@ class WorkerProcess:
         payload = PrepareBlock(
             bid,
             op,
-            src_block.copy(),
+            snapshot_for_transport(src_block, self.rt.cow_enabled, self.rt.cow),
             self.worker_index,
             self.served_epoch,
             ack_tag,
@@ -1346,6 +1314,8 @@ class WorkerProcess:
             if block is None:
                 block = self._alloc_block(bid, zero=False)
                 self.owned[bid] = block
+            else:
+                self._writable(block)
             if block.data is not None:
                 block.data[...] = saved
             total += block.nbytes

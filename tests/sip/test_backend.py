@@ -203,3 +203,19 @@ def test_mismatched_ids_rejected(real):
     dst = out((2, 2), (0, 1))
     with pytest.raises(Exception, match="mismatch"):
         real.copy(dst, op(np.ones((2, 2)), (5, 6)))
+
+
+def test_operand_nbytes_tracks_actual_dtype():
+    """nbytes follows the payload's itemsize, not a hardcoded 8."""
+    f32 = KernelOperand(shape=(4, 5), index_ids=(0, 1),
+                        data=np.zeros((4, 5), dtype=np.float32))
+    assert f32.nbytes == 4 * 5 * 4
+    f64 = KernelOperand(shape=(4, 5), index_ids=(0, 1),
+                        data=np.zeros((4, 5), dtype=np.float64))
+    assert f64.nbytes == 4 * 5 * 8
+
+
+def test_operand_nbytes_model_mode_assumes_double():
+    # no payload (model mode): cost accounting uses DTYPE_BYTES doubles
+    shaped = KernelOperand(shape=(3, 7), index_ids=(0, 1), data=None)
+    assert shaped.nbytes == 3 * 7 * 8

@@ -1,0 +1,135 @@
+"""End-to-end tests for the execution fast path.
+
+The fast path (compiled kernel plans, pre-decoded instruction stream,
+copy-on-write block transport) is a pure host-side optimization: with
+it on or off, a run must produce bit-identical simulated times,
+scalars, and array results.  These tests pin that invariant on the
+bundled drivers, and cover the copy-on-write ``Block`` semantics the
+transport layer relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.programs.drivers import _default_config, run_ccsd, run_fock_build
+from repro.sip.blocks import Block
+
+
+def _cfg(fastpath, **kw):
+    cfg = _default_config(**kw)
+    cfg.fastpath = fastpath
+    return cfg
+
+
+def _assert_outcomes_identical(slow, fast):
+    assert slow.result.elapsed == fast.result.elapsed
+    assert slow.result.scalars == fast.result.scalars
+    assert np.array_equal(np.asarray(slow.value), np.asarray(fast.value))
+
+
+def test_fock_build_fastpath_bit_identical():
+    slow = run_fock_build(config=_cfg(False))
+    fast = run_fock_build(config=_cfg(True))
+    _assert_outcomes_identical(slow, fast)
+
+
+def test_ccsd_fastpath_bit_identical():
+    kw = dict(n_basis=4, n_occ=2, iterations=2, config=None)
+    slow = run_ccsd(**{**kw, "config": _cfg(False, segment_size=3)})
+    fast = run_ccsd(**{**kw, "config": _cfg(True, segment_size=3)})
+    _assert_outcomes_identical(slow, fast)
+
+
+def test_fastpath_stats_surface_plan_cache_and_cow():
+    out = run_fock_build(config=_cfg(True))
+    stats = out.result.stats
+    for key in (
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "plan_cache_hit_rate",
+        "plan_cache_gemm",
+        "plan_cache_einsum",
+        "cow_shared_payloads",
+        "cow_bytes_not_copied",
+        "cow_copies",
+        "cow_bytes_copied",
+    ):
+        assert key in stats
+    attempts = stats["plan_cache_hits"] + stats["plan_cache_misses"]
+    assert attempts > 0
+    assert stats["plan_cache_misses"] <= attempts
+
+
+def test_ccsd_plan_cache_hit_rate_is_high():
+    out = run_ccsd(config=_cfg(True, segment_size=3), n_basis=4, n_occ=2, iterations=3)
+    stats = out.result.stats
+    # every signature compiles once in the first sweep, then hits
+    assert stats["plan_cache_hit_rate"] > 0.5
+
+
+def test_legacy_path_reports_no_plan_cache_activity():
+    out = run_fock_build(config=_cfg(False))
+    stats = out.result.stats
+    assert stats["plan_cache_hits"] == 0
+    assert stats["plan_cache_misses"] == 0
+    assert stats["cow_shared_payloads"] == 0
+
+
+def test_sanitized_run_stays_clean_with_cow():
+    """COW sharing must not trip the block-access sanitizer."""
+    cfg = _cfg(True)
+    cfg.sanitize = True
+    fast = run_fock_build(config=cfg)
+    slow = run_fock_build(config=_cfg(False))
+    _assert_outcomes_identical(slow, fast)
+
+
+# ---------------------------------------------------------------------------
+# Block copy-on-write unit semantics
+# ---------------------------------------------------------------------------
+
+
+def test_share_aliases_buffer_until_write():
+    orig = Block((2, 3), np.arange(6.0).reshape(2, 3))
+    twin = orig.share()
+    assert twin.data is orig.data  # zero-copy snapshot
+    copied = twin.ensure_writable()
+    assert copied == twin.data.nbytes
+    assert twin.data is not orig.data
+    twin.data[...] = -1.0
+    assert orig.data[0, 0] == 0.0  # no aliasing after detach
+
+
+def test_ensure_writable_is_free_when_exclusive():
+    orig = Block((4,), np.ones(4))
+    twin = orig.share()
+    # original detaches first: twin is then the sole holder
+    assert orig.ensure_writable() == orig.data.nbytes
+    assert twin.ensure_writable() == 0
+    assert orig.ensure_writable() == 0  # already exclusive
+
+
+def test_share_chain_counts_holders():
+    orig = Block((2,), np.zeros(2))
+    t1 = orig.share()
+    t2 = t1.share()
+    assert t1.data is orig.data and t2.data is orig.data
+    # three holders: first two detaches copy, the last is exclusive
+    assert t1.ensure_writable() > 0
+    assert t2.ensure_writable() > 0
+    assert orig.ensure_writable() == 0
+
+
+def test_surrender_guards_buffer_recycling():
+    orig = Block((2,), np.zeros(2))
+    twin = orig.share()
+    assert not orig.surrender()  # twin still references the buffer
+    assert twin.surrender()  # last holder out: safe to recycle
+
+
+def test_model_mode_blocks_share_trivially():
+    orig = Block((8, 8), None)
+    twin = orig.share()
+    assert twin.data is None
+    assert twin.ensure_writable() == 0
+    assert orig.surrender()

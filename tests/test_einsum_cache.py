@@ -1,0 +1,46 @@
+"""Tests for the shared einsum contraction-path cache."""
+
+import numpy as np
+
+from repro.einsum_cache import cached_einsum, clear_path_cache, path_cache_info
+
+
+def test_cached_einsum_matches_numpy_bitwise():
+    clear_path_cache()
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((6, 7))
+    b = rng.standard_normal((7, 5))
+    want = np.einsum("ij,jk->ik", a, b, optimize=True)
+    got = cached_einsum("ij,jk->ik", a, b)
+    assert np.array_equal(got, want)
+
+
+def test_path_cached_per_subscripts_and_shapes():
+    clear_path_cache()
+    a = np.ones((3, 4))
+    b = np.ones((4, 2))
+    cached_einsum("ij,jk->ik", a, b)
+    cached_einsum("ij,jk->ik", a, b)
+    assert path_cache_info() == {"hits": 1, "misses": 1, "paths": 1}
+    # a different shape is a different path entry
+    cached_einsum("ij,jk->ik", np.ones((5, 4)), b)
+    assert path_cache_info() == {"hits": 1, "misses": 2, "paths": 2}
+
+
+def test_explicit_optimize_kwarg_bypasses_cache():
+    clear_path_cache()
+    a = np.ones((3, 3))
+    got = cached_einsum("ij,jk->ik", a, a, optimize=False)
+    assert np.array_equal(got, np.einsum("ij,jk->ik", a, a, optimize=False))
+    assert path_cache_info()["paths"] == 0  # nothing cached
+
+
+def test_three_operand_contraction():
+    clear_path_cache()
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((4, 5))
+    b = rng.standard_normal((5, 6))
+    c = rng.standard_normal((6, 3))
+    want = np.einsum("ij,jk,kl->il", a, b, c, optimize=True)
+    got = cached_einsum("ij,jk,kl->il", a, b, c)
+    assert np.array_equal(got, want)
