@@ -56,6 +56,9 @@ def _symbolics(pairs: Optional[Sequence[str]]) -> dict[str, float]:
 
 
 def _config(args: argparse.Namespace) -> SIPConfig:
+    kwargs = {}
+    if args.memory_mb is not None:
+        kwargs["memory_per_worker"] = args.memory_mb * 1e6
     return SIPConfig(
         workers=args.workers,
         io_servers=args.io_servers,
@@ -63,6 +66,8 @@ def _config(args: argparse.Namespace) -> SIPConfig:
         backend="model",
         machine=get_machine(args.machine),
         prefetch_depth=args.prefetch,
+        spill=args.spill,
+        **kwargs,
     )
 
 
@@ -77,6 +82,18 @@ def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
         default="laptop",
         choices=sorted(MACHINES),
         help="machine performance model",
+    )
+    parser.add_argument(
+        "--memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-worker memory budget in MB (default: config default)",
+    )
+    parser.add_argument(
+        "--spill",
+        action="store_true",
+        help="enable the unified memory hierarchy with spill-to-scratch",
     )
 
 

@@ -36,7 +36,7 @@ __all__ = [
     "block_nbytes",
 ]
 
-DTYPE_BYTES = 8  # double precision throughout, as in the paper
+DTYPE_BYTES = 8  # default: double precision, as in the paper
 
 
 @dataclass(frozen=True)
@@ -272,25 +272,35 @@ class Block:
     every send/cache insert become copies on first write only.
     """
 
-    __slots__ = ("shape", "data", "_shared")
+    __slots__ = ("shape", "data", "dtype", "_shared")
 
-    def __init__(self, shape: tuple[int, ...], data: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        shape: tuple[int, ...],
+        data: Optional[np.ndarray] = None,
+        dtype=None,
+    ):
         self.shape = shape
         self.data = data
+        # element type used for byte accounting when no data is attached
+        # (model mode, spilled blocks); real blocks defer to data.dtype
+        self.dtype = data.dtype if data is not None else dtype
         self._shared = None  # refcount cell shared by all twins, or None
 
     @property
     def nbytes(self) -> int:
-        return block_nbytes(self.shape)
+        if self.data is not None:
+            return self.data.nbytes
+        return block_nbytes(self.shape, self.dtype)
 
     def copy(self) -> "Block":
         data = None if self.data is None else self.data.copy()
-        return Block(self.shape, data)
+        return Block(self.shape, data, dtype=self.dtype)
 
     def share(self) -> "Block":
         """A zero-copy snapshot sharing this block's buffer."""
         if self.data is None:
-            return Block(self.shape, None)
+            return Block(self.shape, None, dtype=self.dtype)
         cell = self._shared
         if cell is None:
             cell = self._shared = [1]
@@ -333,8 +343,9 @@ class Block:
         return f"<Block {self.shape} {mode}>"
 
 
-def block_nbytes(shape: Sequence[int]) -> int:
-    return prod(shape, start=1) * DTYPE_BYTES
+def block_nbytes(shape: Sequence[int], dtype=None) -> int:
+    itemsize = DTYPE_BYTES if dtype is None else np.dtype(dtype).itemsize
+    return prod(shape, start=1) * itemsize
 
 
 def block_shape(

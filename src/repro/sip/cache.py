@@ -48,6 +48,7 @@ class CacheEntry:
     pinned: int = 0
     used: bool = False  # read at least once since insertion
     fetch_count: int = 0
+    charged: int = 0  # bytes charged against the memory ledger
 
     @property
     def pending(self) -> bool:
@@ -62,15 +63,36 @@ class BlockCache:
         capacity_blocks: int,
         name: str = "cache",
         on_evict: Optional[Callable[[BlockId, CacheEntry], None]] = None,
+        nbytes_of: Optional[Callable[[BlockId], int]] = None,
+        ledger=None,
     ) -> None:
         if capacity_blocks < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity_blocks
         self.name = name
         self.on_evict = on_evict
+        # Optional byte accounting: `nbytes_of` sizes an entry by its
+        # block id, and `ledger` (a MemoryManager) is asked for headroom
+        # before each insert so cached bytes share the rank's budget.
+        self.nbytes_of = nbytes_of
+        self.ledger = ledger
+        self.bytes_in_use = 0
         self.stats = CacheStats()
         self._entries: "OrderedDict[BlockId, CacheEntry]" = OrderedDict()
         self._pending = 0  # incremental count of in-flight entries
+
+    def _charge(self, block_id: BlockId) -> int:
+        if self.nbytes_of is None:
+            return 0
+        nbytes = self.nbytes_of(block_id)
+        if self.ledger is not None:
+            self.ledger.cache_headroom(nbytes)
+        self.bytes_in_use += nbytes
+        return nbytes
+
+    def _release(self, entry: CacheEntry) -> None:
+        self.bytes_in_use -= entry.charged
+        entry.charged = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,7 +120,8 @@ class BlockCache:
         if block_id in self._entries:
             raise SIPError(f"{self.name}: duplicate pending insert of {block_id}")
         self._make_room()
-        entry = CacheEntry(arrival=arrival, fetch_count=1)
+        charged = self._charge(block_id)
+        entry = CacheEntry(arrival=arrival, fetch_count=1, charged=charged)
         self._entries[block_id] = entry
         self._pending += 1
         self.stats.insertions += 1
@@ -132,7 +155,8 @@ class BlockCache:
             self._entries.move_to_end(block_id)
             return entry
         self._make_room()
-        entry = CacheEntry(block=block, dirty=dirty)
+        charged = self._charge(block_id)
+        entry = CacheEntry(block=block, dirty=dirty, charged=charged)
         self._entries[block_id] = entry
         self.stats.insertions += 1
         return entry
@@ -142,8 +166,10 @@ class BlockCache:
 
     def remove(self, block_id: BlockId) -> None:
         entry = self._entries.pop(block_id, None)
-        if entry is not None and entry.pending:
-            self._pending -= 1
+        if entry is not None:
+            if entry.pending:
+                self._pending -= 1
+            self._release(entry)
 
     def clear_clean(self) -> None:
         """Drop every clean, unpinned, non-pending entry (sip_barrier)."""
@@ -156,8 +182,13 @@ class BlockCache:
         self._entries[block_id].pinned += 1
 
     def unpin(self, block_id: BlockId) -> None:
-        entry = self._entries[block_id]
-        if entry.pinned <= 0:  # pragma: no cover - protocol bug guard
+        entry = self._entries.get(block_id)
+        if entry is None:
+            raise SIPError(
+                f"{self.name}: unpin of {block_id}, which is not cached "
+                "(pinned entries must not be removed before their unpin)"
+            )
+        if entry.pinned <= 0:
             raise SIPError(f"{self.name}: unpin of unpinned {block_id}")
         entry.pinned -= 1
 
@@ -167,11 +198,31 @@ class BlockCache:
     def _evict(self, key: BlockId, entry: CacheEntry) -> None:
         """Drop one entry with full accounting (evictions, on_evict)."""
         del self._entries[key]
+        self._release(entry)
         self.stats.evictions += 1
         if not entry.used:
             self.stats.evicted_before_use += 1
         if self.on_evict is not None:
             self.on_evict(key, entry)
+
+    def evict_for_pressure(self, need_bytes: int) -> tuple[int, int]:
+        """Drop clean LRU entries until ~need_bytes are freed.
+
+        Returns (bytes freed, entries evicted).  Pinned, pending, and
+        dirty entries are skipped; freeing less than asked is fine (the
+        caller's victim cascade moves on to spilling).
+        """
+        freed = 0
+        count = 0
+        for key in list(self._entries):  # LRU order
+            if freed >= need_bytes:
+                break
+            entry = self._entries[key]
+            if self.evictable(entry):
+                freed += entry.charged
+                count += 1
+                self._evict(key, entry)
+        return freed, count
 
     def _make_room(self) -> None:
         if len(self._entries) < self.capacity:

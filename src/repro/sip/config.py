@@ -68,6 +68,21 @@ class SIPConfig:
         Machine performance model used for all costs.
     memory_per_worker:
         Override of the machine's per-rank memory budget, bytes.
+    spill:
+        Unify each rank's pool, cache and adopted input bytes under one
+        budget and, under pressure, run the victim cascade (drop clean
+        cached replicas, then spill evictable blocks to the rank's
+        scratch disk, faulted back in on next touch) instead of raising
+        ``OutOfBlockMemory``.  Off by default: without it every
+        mechanism enforces its own budget exactly as before, and runs
+        are bitwise identical to historical behaviour.
+    scratch_per_worker:
+        Scratch-disk capacity available for spilled blocks on each
+        rank, bytes.  None (default) means unbounded scratch.
+    dtype:
+        Numpy dtype name of block elements (default ``"float64"``, the
+        paper's double precision).  Threads through block allocation,
+        pool/cache byte accounting, and the dry run.
     validate_barriers:
         Detect conflicting distributed/served accesses that are not
         separated by the appropriate barrier (paper, Section IV-C).
@@ -129,6 +144,9 @@ class SIPConfig:
     kernel_wallclock: bool = False
     machine: Machine = LAPTOP
     memory_per_worker: Optional[float] = None
+    spill: bool = False
+    scratch_per_worker: Optional[float] = None
+    dtype: str = "float64"
     validate_barriers: bool = True
     sanitize: bool = False
     integral_source: Optional[Callable[..., Any]] = None
@@ -164,6 +182,14 @@ class SIPConfig:
             raise ValueError("retry_limit must be >= 1")
         if self.retry_backoff < 1.0:
             raise ValueError("retry_backoff must be >= 1")
+        if self.scratch_per_worker is not None and self.scratch_per_worker <= 0:
+            raise ValueError("scratch_per_worker must be positive")
+        try:
+            import numpy as _np
+
+            _np.dtype(self.dtype)
+        except TypeError:
+            raise ValueError(f"unknown dtype {self.dtype!r}") from None
 
     @property
     def resilience_enabled(self) -> bool:

@@ -15,6 +15,13 @@ The estimate covers, per worker:
 * one live block per temp array and per local array (the block-stack
   working set),
 * the remote-block cache reserve (``cache_blocks`` x largest block).
+
+Their sum is the *no-spill requirement*: with that much memory no
+block ever leaves RAM.  The report also states the *pinned-only
+floor* -- the blocks one instruction must hold resident at once plus
+in-flight transfers -- which is what a spill-enabled run actually
+needs; between floor and requirement, the MemoryManager's victim
+cascade trades scratch-disk traffic for the shortfall.
 """
 
 from __future__ import annotations
@@ -22,8 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil, prod
 
+import numpy as np
+
 from ..sial.bytecode import CompiledProgram
-from .blocks import ResolvedIndexTable, block_nbytes
+from .blocks import ResolvedIndexTable
 from .config import SIPConfig, SIPError
 
 __all__ = ["DryRunReport", "dry_run", "InfeasibleComputation"]
@@ -31,6 +40,12 @@ __all__ = ["DryRunReport", "dry_run", "InfeasibleComputation"]
 
 class InfeasibleComputation(SIPError):
     """The computation does not fit in the configured memory."""
+
+
+# blocks one instruction can pin at once (destination + two sources)
+# plus headroom for an in-flight demand fetch, an incoming put being
+# applied by the service pump, and one spare for a fault-in in progress
+PINNED_FLOOR_BLOCKS = 6
 
 
 @dataclass
@@ -45,6 +60,8 @@ class DryRunReport:
     cache_reserve_bytes: int
     array_bytes: dict[str, int]
     required_workers: int
+    pinned_floor_bytes: int = 0
+    spill: bool = False
 
     @property
     def per_worker_bytes(self) -> int:
@@ -56,21 +73,36 @@ class DryRunReport:
             + self.cache_reserve_bytes
         )
 
+    @property
+    def spill_headroom_bytes(self) -> int:
+        """Budget left above the pinned-only floor (what spill can use)."""
+        return int(self.budget_bytes - self.pinned_floor_bytes)
+
     def report(self) -> str:
         lines = [
             f"dry run: {self.workers} workers, "
             f"{self.budget_bytes / 1e6:.1f} MB per worker",
-            f"  static (replicated):     {self.static_bytes:>14d} B",
-            f"  distributed (max owned): {self.distributed_max_bytes:>14d} B",
-            f"  temp working set:        {self.temp_bytes:>14d} B",
-            f"  local working set:       {self.local_bytes:>14d} B",
+            "  pool (resident blocks):",
+            f"    static (replicated):     {self.static_bytes:>14d} B",
+            f"    distributed (max owned): {self.distributed_max_bytes:>14d} B",
+            f"    temp working set:        {self.temp_bytes:>14d} B",
+            f"    local working set:       {self.local_bytes:>14d} B",
             f"  block cache reserve:     {self.cache_reserve_bytes:>14d} B",
-            f"  total per worker:        {self.per_worker_bytes:>14d} B",
+            f"  total per worker:        {self.per_worker_bytes:>14d} B "
+            "(no-spill requirement)",
+            f"  pinned-only floor:       {self.pinned_floor_bytes:>14d} B",
+            f"  spill headroom:          {self.spill_headroom_bytes:>14d} B "
+            f"(spill {'enabled' if self.spill else 'disabled'})",
         ]
         for name, nbytes in sorted(self.array_bytes.items()):
             lines.append(f"    array {name:<12s} {nbytes:>14d} B total")
         if self.feasible:
             lines.append("  FEASIBLE")
+        elif self.spill:
+            lines.append(
+                "  INFEASIBLE: the pinned-only floor exceeds the budget; "
+                "even spilling everything evictable cannot help"
+            )
         else:
             lines.append(
                 f"  INFEASIBLE: would need at least {self.required_workers} "
@@ -83,6 +115,7 @@ def dry_run(
     program: CompiledProgram, config: SIPConfig, table: ResolvedIndexTable
 ) -> DryRunReport:
     """Estimate per-worker memory and feasibility for this configuration."""
+    itemsize = np.dtype(config.dtype).itemsize
     static_bytes = 0
     temp_bytes = 0
     local_bytes = 0
@@ -93,11 +126,11 @@ def dry_run(
 
     for desc in program.array_table:
         dims = [table[i] for i in desc.index_ids]
-        total = prod((d.n_elements for d in dims), start=1) * 8
+        total = prod((d.n_elements for d in dims), start=1) * itemsize
         largest_block = prod(
             (max((s.length for s in d.segments), default=d.n_elements) for d in dims),
             start=1,
-        ) * 8
+        ) * itemsize
         array_bytes[desc.name] = total
         max_block = max(max_block, largest_block)
         if desc.kind == "static":
@@ -112,6 +145,7 @@ def dry_run(
         # served arrays live on the I/O servers' disks, not worker RAM
 
     cache_reserve = config.cache_blocks * max_block
+    pinned_floor = PINNED_FLOOR_BLOCKS * max_block
 
     def dist_share(workers: int) -> int:
         # owned share: ceil-split of each array plus one block of slack
@@ -126,7 +160,12 @@ def dry_run(
         + cache_reserve
     )
     budget = config.memory_budget
-    feasible = per_worker <= budget
+    if config.spill:
+        # with spill, only what must stay pinned at once has to fit;
+        # everything else can live on scratch between touches
+        feasible = pinned_floor <= budget
+    else:
+        feasible = per_worker <= budget
 
     fixed = static_bytes + temp_bytes + local_bytes + cache_reserve
     if fixed >= budget:
@@ -151,4 +190,6 @@ def dry_run(
         cache_reserve_bytes=cache_reserve,
         array_bytes=array_bytes,
         required_workers=required,
+        pinned_floor_bytes=pinned_floor,
+        spill=config.spill,
     )

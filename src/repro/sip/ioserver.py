@@ -20,9 +20,10 @@ import numpy as np
 from ..simmpi import Disk, Timeout
 from ..simmpi.comm import SimComm
 from ..simmpi.faults import ResilienceStats
-from .blocks import Block, BlockId
-from .cache import BlockCache, CacheEntry
+from .blocks import Block, BlockId, block_nbytes
+from .cache import CacheEntry
 from .config import SIPError
+from .memman import MemoryManager
 from .distributed import ConflictTracker
 from .messages import (
     Ack,
@@ -48,9 +49,25 @@ class IOServerProcess:
         self.rank = rt.config.server_rank(server_index)
         self.comm = comm
         self.sim = rt.sim
-        self.cache = BlockCache(
-            rt.config.server_cache_blocks, name=f"ioserver{server_index}.cache"
+        self._nbytes_memo: dict[BlockId, int] = {}
+        # the server's cache shares the rank budget through the same
+        # MemoryManager workers use; it has no spillable blocks, so
+        # pressure resolves through eviction and write-back alone
+        self.memman = MemoryManager(
+            rt.config.memory_budget,
+            real=rt.real,
+            name=f"ioserver{server_index}",
+            cache_blocks=rt.config.server_cache_blocks,
+            nbytes_of=self._block_nbytes,
+            dtype=rt.dtype,
+            spill=rt.config.spill,
+            clock=lambda: rt.sim.now,
+            tracer=rt.config.tracer,
+            rank=self.rank,
         )
+        # servers answer demand traffic only; every insert may evict
+        self.memman.cache_spill_ok = True
+        self.cache = self.memman.cache
         self.disk = Disk(
             rt.sim,
             seek_latency=rt.config.machine.disk_seek,
@@ -162,10 +179,18 @@ class IOServerProcess:
         else:
             block.data[...] += p.block.data
 
+    def _block_nbytes(self, bid: BlockId) -> int:
+        n = self._nbytes_memo.get(bid)
+        if n is None:
+            n = self._nbytes_memo[bid] = block_nbytes(
+                self.rt.block_shape(bid), self.rt.dtype
+            )
+        return n
+
     def _fresh_block(self, bid: BlockId) -> Block:
         shape = self.rt.block_shape(bid)
-        data = np.zeros(shape, dtype=np.float64) if self.rt.real else None
-        return Block(shape, data)
+        data = np.zeros(shape, dtype=self.rt.dtype) if self.rt.real else None
+        return Block(shape, data, dtype=self.rt.dtype)
 
     def _start_writeback(self, bid: BlockId) -> None:
         version = self._writeback_version.get(bid, 0) + 1
@@ -239,6 +264,13 @@ class IOServerProcess:
                 try:
                     self.cache.insert_pending(bid, arrival)
                 except SIPError:
+                    # back-pressure only helps if something can still
+                    # become evictable (a write-back or load in flight);
+                    # otherwise the budget is genuinely too small
+                    if not any(
+                        e.dirty or e.pending for _, e in self.cache.items()
+                    ):
+                        raise
                     yield self._wait_clean()
                     continue
                 block = yield from self._load_block(bid, allow_missing)
@@ -278,7 +310,7 @@ class IOServerProcess:
         shape = self.rt.block_shape(bid)
         attempts = 0
         while True:
-            fault = yield self.disk.read(int(np.prod(shape)) * 8)
+            fault = yield self.disk.read(self._block_nbytes(bid))
             if fault is None:
                 break
             attempts += 1

@@ -31,9 +31,12 @@ class PoolStats:
     frees: int = 0
     bytes_in_use: int = 0
     peak_bytes: int = 0
-    # live block count per shape at peak, for dry-run validation
+    # peak *total* live block count across all shapes
     peak_blocks: int = 0
     blocks_in_use: int = 0
+    # peak live block count per shape, for dry-run validation (how many
+    # buffers of each size a preallocating runtime would need)
+    peak_by_shape: dict[tuple[int, ...], int] = field(default_factory=dict)
 
 
 class BlockPool:
@@ -46,15 +49,23 @@ class BlockPool:
     feasibility behaves identically in both modes.
     """
 
-    def __init__(self, budget_bytes: float, real: bool, name: str = "pool") -> None:
+    def __init__(
+        self,
+        budget_bytes: float,
+        real: bool,
+        name: str = "pool",
+        dtype=np.float64,
+    ) -> None:
         self.budget_bytes = budget_bytes
         self.real = real
         self.name = name
+        self.dtype = np.dtype(dtype)
         self.stats = PoolStats()
         self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        self._live_by_shape: dict[tuple[int, ...], int] = {}
 
     def allocate(self, shape: tuple[int, ...]) -> Block:
-        nbytes = block_nbytes(shape)
+        nbytes = block_nbytes(shape, self.dtype)
         if self.stats.bytes_in_use + nbytes > self.budget_bytes:
             raise OutOfBlockMemory(
                 f"{self.name}: allocating {nbytes} bytes for shape {shape} "
@@ -66,6 +77,10 @@ class BlockPool:
         self.stats.blocks_in_use += 1
         self.stats.peak_bytes = max(self.stats.peak_bytes, self.stats.bytes_in_use)
         self.stats.peak_blocks = max(self.stats.peak_blocks, self.stats.blocks_in_use)
+        live = self._live_by_shape.get(shape, 0) + 1
+        self._live_by_shape[shape] = live
+        if live > self.stats.peak_by_shape.get(shape, 0):
+            self.stats.peak_by_shape[shape] = live
         data = None
         if self.real:
             stack = self._free.get(shape)
@@ -73,16 +88,21 @@ class BlockPool:
                 data = stack.pop()
                 self.stats.reuses += 1
             else:
-                data = np.zeros(shape, dtype=np.float64)
+                data = np.zeros(shape, dtype=self.dtype)
                 self.stats.allocations += 1
         else:
             self.stats.allocations += 1
-        return Block(shape, data)
+        return Block(shape, data, dtype=self.dtype)
 
     def free(self, block: Block) -> None:
         self.stats.bytes_in_use -= block.nbytes
         self.stats.blocks_in_use -= 1
         self.stats.frees += 1
+        live = self._live_by_shape.get(block.shape, 0) - 1
+        if live > 0:
+            self._live_by_shape[block.shape] = live
+        else:
+            self._live_by_shape.pop(block.shape, None)
         if self.stats.bytes_in_use < 0:  # pragma: no cover - double free guard
             raise SIPError(f"{self.name}: double free detected")
         if self.real and block.data is not None:

@@ -73,6 +73,10 @@ class RunProfile:
     # run used compiled kernel plans / zero-copy transport, else None
     plan_cache: Optional[Any] = None
     cow: Optional[Any] = None
+    # memory-pressure observability: an aggregated MemStats plus the
+    # per-rank budget it was measured against
+    memory: Optional[Any] = None
+    memory_budget: float = 0.0
 
     @property
     def total_busy(self) -> float:
@@ -186,5 +190,16 @@ class RunProfile:
                 f"{c.bytes_not_copied} bytes not copied, "
                 f"{c.cow_copies} copy-on-write copies "
                 f"({c.cow_bytes_copied} bytes)"
+            )
+        m = self.memory
+        if m is not None and (m.cascades or m.spills or m.pressure_evictions):
+            lines.append(
+                f"memory pressure: {m.cascades} cascades, "
+                f"{m.pressure_evictions} pressure evictions, "
+                f"{m.spills} spills ({m.spill_bytes} B out), "
+                f"{m.faults_in} faults back in ({m.fault_bytes} B), "
+                f"peak {m.peak_bytes} B resident / "
+                f"{m.peak_spill_bytes} B on scratch "
+                f"(budget {self.memory_budget:.0f} B)"
             )
         return "\n".join(lines)

@@ -164,14 +164,21 @@ def _execute(
         for s in servers:
             retries.add(s.resilience)
         retries.add(master.resilience)
+        # fault spilled blocks back in so result gathering (and the
+        # external store) sees every block's data
+        for w in workers:
+            w.memman.restore_all()
 
     elapsed = max((w.profile.elapsed for w in workers), default=0.0)
+    memory = _aggregate_mem(workers, servers)
     profile = RunProfile(
         workers=[w.profile for w in workers],
         elapsed=elapsed,
         program=program,
         plan_cache=rt.plan_cache.stats if rt.plan_cache is not None else None,
         cow=rt.cow if rt.cow_enabled else None,
+        memory=memory,
+        memory_budget=config.memory_budget,
     )
     scalars = {
         name.lower(): workers[0].scalars[i]
@@ -193,6 +200,15 @@ def _execute(
                 f"{rt.cow.sends_shared} payloads shared, "
                 f"{rt.cow.bytes_not_copied} bytes not copied, "
                 f"{rt.cow.cow_copies} cow copies",
+            )
+        if memory.cascades or memory.spills or memory.pressure_evictions:
+            tracer.annotate(
+                "memory_pressure",
+                f"{memory.pressure_evictions} pressure evictions, "
+                f"{memory.spills} spills ({memory.spill_bytes} B), "
+                f"{memory.faults_in} faults back in, "
+                f"peak {memory.peak_bytes} B of "
+                f"{config.memory_budget:.0f} B budget",
             )
     fault_report = None
     if config.faults is not None:
@@ -237,17 +253,23 @@ def _scatter_inputs(
                 for coords, block in rt.blocks_from_input(array_id, value).items():
                     bid = BlockId(array_id, coords)
                     for w in workers:
-                        w.local_blocks[bid] = block.share()
+                        twin = block.share()
+                        w.local_blocks[bid] = twin
+                        w.memman.adopt(bid, twin, "static")
             else:
                 for w in workers:
                     for coords, block in rt.blocks_from_input(array_id, value).items():
-                        w.local_blocks[BlockId(array_id, coords)] = block
+                        bid = BlockId(array_id, coords)
+                        w.local_blocks[bid] = block
+                        w.memman.adopt(bid, block, "static")
         elif desc.kind == "distributed":
             placement = rt.placements[array_id]
             blocks = rt.blocks_from_input(array_id, value)
             for coords, block in blocks.items():
                 owner = placement.owner_index(coords)
-                workers[owner].owned[BlockId(array_id, coords)] = block
+                bid = BlockId(array_id, coords)
+                workers[owner].owned[bid] = block
+                workers[owner].memman.adopt(bid, block, "distributed")
         elif desc.kind == "served":
             placement = rt.served_placements[array_id]
             blocks = rt.blocks_from_input(array_id, value)
@@ -263,6 +285,17 @@ def _scatter_inputs(
                 f"cannot provide input for {desc.kind} array {name!r}; "
                 "only static, distributed, and served arrays take inputs"
             )
+
+
+def _aggregate_mem(workers, servers):
+    from .memman import MemStats
+
+    agg = MemStats()
+    for w in workers:
+        agg.add(w.memman.stats)
+    for s in servers:
+        agg.add(s.memman.stats)
+    return agg
 
 
 def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
@@ -295,6 +328,27 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
         ),
         "refetches": sum(w.cache.stats.refetches for w in workers),
         "pool_peak_bytes": max((w.pool.stats.peak_bytes for w in workers), default=0),
+        "mem_budget_bytes": rt.config.memory_budget,
+        "mem_peak_bytes": max(
+            (w.memman.stats.peak_bytes for w in workers), default=0
+        ),
+        "mem_cascades": sum(w.memman.stats.cascades for w in workers)
+        + sum(s.memman.stats.cascades for s in servers),
+        "mem_pressure_evictions": sum(
+            w.memman.stats.pressure_evictions for w in workers
+        )
+        + sum(s.memman.stats.pressure_evictions for s in servers),
+        "mem_spills": sum(w.memman.stats.spills for w in workers),
+        "mem_spill_bytes": sum(w.memman.stats.spill_bytes for w in workers),
+        "mem_faults_in": sum(w.memman.stats.faults_in for w in workers),
+        "mem_fault_bytes": sum(w.memman.stats.fault_bytes for w in workers),
+        "mem_peak_spill_bytes": max(
+            (w.memman.stats.peak_spill_bytes for w in workers), default=0
+        ),
+        "mem_spill_retries": sum(
+            w.memman.stats.spill_write_retries + w.memman.stats.spill_read_retries
+            for w in workers
+        ),
         "chunks_served": master.chunks_served,
         "server_cache_hits": sum(s.cache.stats.hits for s in servers),
         "server_cache_misses": sum(s.cache.stats.misses for s in servers),

@@ -56,6 +56,7 @@ class SharedRuntime:
             subsegments_per_segment=config.subsegments_per_segment,
         )
         self.cost = CostModel(config.machine)
+        self.dtype = np.dtype(config.dtype)
         self.registry: SuperInstructionRegistry = GLOBAL_REGISTRY.merged_with(
             config.superinstructions
         )
@@ -165,7 +166,7 @@ class SharedRuntime:
         desc = self.array_desc(array_id)
         full_shape = self.table.array_shape(desc)
         if value is not None:
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=self.dtype)
             if value.shape != full_shape:
                 raise SIPError(
                     f"input for array {desc.name!r} has shape {value.shape}, "
@@ -177,7 +178,7 @@ class SharedRuntime:
             data = None
             if self.real:
                 if value is None:
-                    data = np.zeros(shape, dtype=np.float64)
+                    data = np.zeros(shape, dtype=self.dtype)
                 else:
                     slices = tuple(
                         slice(
@@ -187,7 +188,7 @@ class SharedRuntime:
                         for i, c in zip(desc.index_ids, coords)
                     )
                     data = np.ascontiguousarray(value[slices])
-            out[coords] = Block(shape, data)
+            out[coords] = Block(shape, data, dtype=self.dtype)
         return out
 
     def assemble_array(
@@ -197,7 +198,7 @@ class SharedRuntime:
         if not self.real:
             raise SIPError("array contents are not available in model mode")
         desc = self.array_desc(array_id)
-        full = np.zeros(self.table.array_shape(desc), dtype=np.float64)
+        full = np.zeros(self.table.array_shape(desc), dtype=self.dtype)
         for coords, block in blocks.items():
             if block.data is None:
                 continue

@@ -76,12 +76,24 @@ class FaultTraceEvent:
     detail: str
 
 
+@dataclass(frozen=True)
+class MemTraceEvent:
+    """One memory-pressure action taken by a rank's MemoryManager."""
+
+    time: float
+    rank: int
+    kind: str  # "spill" | "fault-in"
+    block: str
+    nbytes: int
+
+
 @dataclass
 class TraceRecorder:
     """Collects instruction events; query or render after the run."""
 
     events: list[TraceEvent] = field(default_factory=list)
     fault_events: list[FaultTraceEvent] = field(default_factory=list)
+    mem_events: list[MemTraceEvent] = field(default_factory=list)
     # run-level annotations (plan-cache hit rates, zero-copy savings, ...)
     summary: dict = field(default_factory=dict)
 
@@ -103,6 +115,11 @@ class TraceRecorder:
 
     def record_fault(self, time: float, rank: int, kind: str, detail: str = "") -> None:
         self.fault_events.append(FaultTraceEvent(time, rank, kind, detail))
+
+    def record_mem(
+        self, time: float, rank: int, kind: str, block: str, nbytes: int
+    ) -> None:
+        self.mem_events.append(MemTraceEvent(time, rank, kind, block, nbytes))
 
     # -- queries -----------------------------------------------------------
     def for_worker(self, worker: int) -> list[TraceEvent]:
@@ -164,6 +181,11 @@ class TraceRecorder:
             lines.append("recovery actions:")
             for kind, n in Counter(e.kind for e in self.fault_events).most_common():
                 lines.append(f"  {kind:<18s} {n}")
+        if self.mem_events:
+            lines.append("memory pressure actions:")
+            for kind, n in Counter(e.kind for e in self.mem_events).most_common():
+                total = sum(e.nbytes for e in self.mem_events if e.kind == kind)
+                lines.append(f"  {kind:<18s} {n}  ({total} B)")
         if self.summary:
             lines.append("run annotations:")
             for key in sorted(self.summary):

@@ -33,12 +33,11 @@ from ..simmpi import AnyOf, Timeout
 from ..simmpi.comm import SimComm
 from ..simmpi.faults import ResilienceStats, WorkerCrashed
 from .backend import KernelOperand
-from .blocks import Block, BlockId
-from .cache import BlockCache
+from .blocks import Block, BlockId, block_nbytes
 from .config import SIPError
 from .decode import DecodedOperand, ResolvedOperand
 from .distributed import ConflictTracker
-from .memory import BlockPool
+from .memman import MemoryManager
 from .messages import (
     HEADER_BYTES,
     MASTER_TAG,
@@ -94,14 +93,28 @@ class WorkerProcess:
         self.sim = rt.sim
         self.backend = rt.make_backend()
         self.profile = WorkerProfile()
-        self.pool = BlockPool(
+        self.resilience = ResilienceStats()
+        self._nbytes_memo: dict[BlockId, int] = {}
+        self.memman = MemoryManager(
             rt.config.memory_budget,
             real=rt.real,
             name=f"worker{worker_index}",
+            cache_blocks=rt.config.cache_blocks,
+            nbytes_of=self._block_nbytes,
+            dtype=rt.dtype,
+            spill=rt.config.spill,
+            spill_capacity=rt.config.scratch_per_worker,
+            machine=rt.config.machine,
+            faults=rt.config.faults,
+            fault_device=f"scratch{worker_index}",
+            retry_limit=rt.config.retry_limit,
+            clock=lambda: rt.sim.now,
+            tracer=rt.config.tracer,
+            rank=self.rank,
+            resilience=self.resilience,
         )
-        self.cache = BlockCache(
-            rt.config.cache_blocks, name=f"worker{worker_index}.cache"
-        )
+        self.pool = self.memman.pool
+        self.cache = self.memman.cache
 
         # interpreter state ---------------------------------------------------
         self.scalars: list[float] = [0.0] * len(rt.program.scalar_table)
@@ -134,7 +147,6 @@ class WorkerProcess:
 
         # resilience bookkeeping (all inert unless a FaultPlan /
         # config.resilient is set) -------------------------------------
-        self.resilience = ResilienceStats()
         self._msg_seq = 0  # sender-unique seq for puts/prepares
         self._chunk_seq = 0  # monotone seq for chunk requests
         self._applied_puts: set[tuple[int, int]] = set()  # (source, seq)
@@ -203,6 +215,7 @@ class WorkerProcess:
         crash_at = self._crash_at
         sim = self.sim
         profile = self.profile
+        memman = self.memman
         start_time = sim.now
         pc = 0
         while True:
@@ -213,16 +226,24 @@ class WorkerProcess:
             fast = fast_tab[pc]
             if fast is not None:
                 pc = fast(instr, pc)
+                if memman.time_debt:
+                    # spill/fault-in traffic caused by this instruction
+                    yield Timeout(memman.take_time_debt())
                 continue
             handler = slow_tab[pc]
             if handler is None:
                 if instr.op == Op.STOP:
                     break
                 raise SIPError(f"worker cannot execute opcode {instr.op}")
+            memman.clear_instr_pins()
             self._wait_acc = 0.0
             t0 = sim.now
             old_pc = pc
             pc = yield from handler(instr, pc)
+            if memman.time_debt:
+                t_io = sim.now
+                yield Timeout(memman.take_time_debt())
+                self._wait_acc += sim.now - t_io
             elapsed = sim.now - t0
             wait = self._wait_acc
             profile.record_instr(old_pc, elapsed - wait, wait)
@@ -286,6 +307,7 @@ class WorkerProcess:
                         f"(array "
                         f"{self.rt.array_desc(payload.block_id.array_id).name!r})"
                     )
+                self.memman.touch(payload.block_id)
                 self.tracker(payload.epoch).record_read(
                     payload.worker_index, payload.block_id
                 )
@@ -323,6 +345,8 @@ class WorkerProcess:
                 self.comm.isend(Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag)
             else:
                 raise SIPError(f"unexpected service message {payload!r}")
+            if self.memman.time_debt:
+                yield Timeout(self.memman.take_time_debt())
 
     # ======================================================================
     # helpers
@@ -330,6 +354,15 @@ class WorkerProcess:
     def next_tag(self) -> int:
         self._tag_counter += 1
         return self._tag_counter
+
+    def _block_nbytes(self, bid: BlockId) -> int:
+        """Size of a block by id (memoized; sizes cache byte accounting)."""
+        n = self._nbytes_memo.get(bid)
+        if n is None:
+            n = self._nbytes_memo[bid] = block_nbytes(
+                self.rt.block_shape(bid), self.rt.dtype
+            )
+        return n
 
     def tracker(self, epoch: int) -> ConflictTracker:
         t = self.trackers.get(epoch)
@@ -476,6 +509,8 @@ class WorkerProcess:
                     f"block {r.block_id.coords} of {desc.kind} array "
                     f"{desc.name!r} read before it was written"
                 )
+            self.memman.touch(r.block_id)
+            self.memman.pin_instr(r.block_id)
             return block
         if r.kind == "distributed":
             if self.rt.owner_rank(r.block_id) == self.rank:
@@ -484,6 +519,8 @@ class WorkerProcess:
                     raise SIPError(
                         f"get of unwritten distributed block {r.block_id}"
                     )
+                self.memman.touch(r.block_id)
+                self.memman.pin_instr(r.block_id)
                 self.tracker(self.epoch).record_read(self.worker_index, r.block_id)
                 return block
             return (yield from self._acquire_cached(r, self._issue_get))
@@ -494,9 +531,16 @@ class WorkerProcess:
     def _issue_with_backpressure(self, bid: BlockId, issue) -> Generator:
         """Issue a fetch, waiting for cache space when it is full of
         in-flight blocks (demand fetches outrank prefetches)."""
+        memman = self.memman
         while True:
             try:
-                return issue(bid)
+                # a demand fetch may spill for cache headroom; speculative
+                # prefetch inserts only ever drop clean replicas
+                memman.cache_spill_ok = True
+                try:
+                    return issue(bid)
+                finally:
+                    memman.cache_spill_ok = False
             except SIPError:
                 pending = self.cache.any_pending_arrival()
                 if pending is None:
@@ -589,6 +633,8 @@ class WorkerProcess:
         if r.kind == "temp":
             current = self.temp_current.get(bid.array_id)
             if current == bid:
+                self.memman.touch(bid)
+                self.memman.pin_instr(bid)
                 return self._writable(self.local_blocks[bid])
             if r.slices is not None:
                 raise SIPError(
@@ -596,7 +642,7 @@ class WorkerProcess:
                 )
             if current is not None:
                 old = self.local_blocks.pop(current)
-                self.pool.free(old)
+                self.memman.free(current, old)
             block = self._alloc_block(bid, zero=needs_existing)
             self.temp_current[bid.array_id] = bid
             self.local_blocks[bid] = block
@@ -613,6 +659,8 @@ class WorkerProcess:
                 block = self._alloc_block(bid, zero=needs_existing)
                 self.local_blocks[bid] = block
                 return block
+            self.memman.touch(bid)
+            self.memman.pin_instr(bid)
             return self._writable(block)
         verb = "put" if r.kind == "distributed" else "prepare"
         raise SIPError(
@@ -631,9 +679,14 @@ class WorkerProcess:
 
     def _alloc_block(self, bid: BlockId, zero: bool) -> Block:
         shape = self.rt.block_shape(bid)
-        block = self.pool.allocate(shape)
+        block = self.memman.allocate(shape)
         if zero and block.data is not None:
             block.data[...] = 0.0
+        if self.memman.unified:
+            self.memman.register(
+                bid, block, self.rt.array_desc(bid.array_id).kind
+            )
+            self.memman.pin_instr(bid)
         return block
 
     def kernel_operand(self, r: ResolvedOperand, block: Block) -> KernelOperand:
@@ -662,6 +715,7 @@ class WorkerProcess:
             block = self._alloc_block(bid, zero=True)
             self.owned[bid] = block
         else:
+            self.memman.touch(bid)
             self._writable(block)
         if block.data is not None and incoming.data is not None:
             if op == "=":
@@ -780,7 +834,7 @@ class WorkerProcess:
     def op_delete(self, instr, pc: int) -> int:
         array_id = instr.args[0]
         for bid in [b for b in self.owned if b.array_id == array_id]:
-            self.pool.free(self.owned.pop(bid))
+            self.memman.free(bid, self.owned.pop(bid))
         for bid in [b for b, e in list(self.cache.items()) if b.array_id == array_id]:
             self.cache.remove(bid)
         return pc + 1
@@ -796,7 +850,7 @@ class WorkerProcess:
         block = self.local_blocks.pop(r.block_id, None)
         if block is None:
             raise SIPError(f"deallocate of missing block {r.block_id}")
-        self.pool.free(block)
+        self.memman.free(r.block_id, block)
         return pc + 1
 
     def op_scalar_assign(self, instr, pc: int) -> int:
@@ -823,35 +877,40 @@ class WorkerProcess:
             return
         saved = self.index_values.get(index_id)
         instrs = self._instrs
-        for v in future_values:
-            if self.cache.pending_count >= self.cache.capacity - 2:
-                break  # leave room for demand fetches
-            self.index_values[index_id] = v
-            for gpc in get_pcs:
-                instr = instrs[gpc]
-                try:
-                    r = self.resolve(instr.args[0])
-                except SIPError:
-                    continue  # depends on an index not currently bound
-                bid = r.block_id
-                if self.cache.lookup(bid, touch=False) is not None:
-                    continue
-                if instr.op == Op.GET:
-                    if self.rt.owner_rank(bid) == self.rank:
+        try:
+            for v in future_values:
+                if self.cache.pending_count >= self.cache.capacity - 2:
+                    break  # leave room for demand fetches
+                self.index_values[index_id] = v
+                for gpc in get_pcs:
+                    instr = instrs[gpc]
+                    try:
+                        r = self.resolve(instr.args[0])
+                    except SIPError:
+                        continue  # depends on an index not currently bound
+                    bid = r.block_id
+                    if self.cache.lookup(bid, touch=False) is not None:
                         continue
-                    try:
-                        self._issue_get(bid)
-                    except SIPError:
-                        return  # cache full of pending blocks: stop prefetching
-                elif instr.op == Op.REQUEST:
-                    try:
-                        self._issue_request(bid)
-                    except SIPError:
-                        return
-        if saved is None:
-            self.index_values.pop(index_id, None)
-        else:
-            self.index_values[index_id] = saved
+                    if instr.op == Op.GET:
+                        if self.rt.owner_rank(bid) == self.rank:
+                            continue
+                        try:
+                            self._issue_get(bid)
+                        except SIPError:
+                            # cache full of pending blocks: stop prefetching
+                            return
+                    elif instr.op == Op.REQUEST:
+                        try:
+                            self._issue_request(bid)
+                        except SIPError:
+                            return
+        finally:
+            # the early returns above must not leak a future index value
+            # into the running iteration's bindings
+            if saved is None:
+                self.index_values.pop(index_id, None)
+            else:
+                self.index_values[index_id] = saved
 
     def _prefetch_pardo(
         self, get_pcs: tuple[int, ...], index_ids: tuple[int, ...], tuples
@@ -1114,6 +1173,8 @@ class WorkerProcess:
                     block = self.write_target(r, needs_existing=True)
                 else:
                     # user supers may write their block args in place
+                    self.memman.touch(r.block_id)
+                    self.memman.pin_instr(r.block_id)
                     self._writable(block)
                 blocks.append(self.kernel_operand(r, block))
             elif kind == "num":
@@ -1285,6 +1346,7 @@ class WorkerProcess:
         for bid, block in self.owned.items():
             if bid.array_id != array_id:
                 continue
+            self.memman.touch(bid)
             store[bid.coords] = (
                 block.data.copy() if block.data is not None else block.shape
             )
@@ -1315,6 +1377,7 @@ class WorkerProcess:
                 block = self._alloc_block(bid, zero=False)
                 self.owned[bid] = block
             else:
+                self.memman.touch(bid)
                 self._writable(block)
             if block.data is not None:
                 block.data[...] = saved

@@ -185,6 +185,81 @@ def test_insert_ready_over_fulfilled_entry_does_not_retrigger():
     sim.run()
 
 
+def test_all_pinned_cache_cannot_make_room():
+    cache = BlockCache(2)
+    for i in (1, 2):
+        ready(cache, i)
+        cache.pin(bid(i))
+    with pytest.raises(SIPError, match="cache full"):
+        ready(cache, 3)
+    # the failed insert must not have disturbed the pinned entries
+    assert len(cache) == 2
+    for i in (1, 2):
+        cache.unpin(bid(i))
+
+
+def test_remove_pending_entry_with_outstanding_arrival():
+    """Evicting an in-flight entry must leave its arrival event usable.
+
+    The fetch coroutine is still parked on the event; when the reply
+    lands, fulfil() must be a no-op and the event must still fire.
+    """
+    sim = Simulator()
+    cache = BlockCache(4)
+    arrival = sim.event()
+    cache.insert_pending(bid(1), arrival)
+    woke = []
+
+    def waiter():
+        woke.append((yield arrival))
+
+    sim.spawn(waiter())
+    cache.remove(bid(1))
+    assert cache.pending_count == 0
+    block = Block((2,), None)
+    cache.fulfil(bid(1), block)  # entry gone: must not resurrect it
+    assert bid(1) not in cache
+    arrival.succeed(block)  # the reply path still completes the fetch
+    sim.run()
+    assert woke == [block]
+
+
+def test_unpin_after_remove_is_an_error():
+    cache = BlockCache(4)
+    ready(cache, 1)
+    cache.pin(bid(1))
+    # removing a pinned entry is a protocol violation the cache cannot
+    # see (remove doesn't check pins); the later unpin must report it
+    cache.remove(bid(1))
+    with pytest.raises(SIPError, match="not cached"):
+        cache.unpin(bid(1))
+
+
+def test_unpin_of_never_pinned_entry_is_an_error():
+    cache = BlockCache(4)
+    ready(cache, 1)
+    with pytest.raises(SIPError, match="unpinned"):
+        cache.unpin(bid(1))
+
+
+def test_evict_for_pressure_skips_dirty_pending_pinned():
+    sim = Simulator()
+    cache = BlockCache(
+        8, nbytes_of=lambda block_id: 16
+    )
+    ready(cache, 1)  # clean: evictable
+    ready(cache, 2, dirty=True)
+    cache.insert_pending(bid(3), sim.event())
+    ready(cache, 4)
+    cache.pin(bid(4))
+    ready(cache, 5)  # clean: evictable
+    freed, count = cache.evict_for_pressure(1000)
+    assert count == 2
+    assert freed == 32
+    assert bid(2) in cache and bid(3) in cache and bid(4) in cache
+    assert cache.bytes_in_use == 48
+
+
 def test_clear_clean_accounts_evictions():
     """Regression test: clear_clean used to delete entries directly,
     bypassing the eviction stats and the on_evict callback that

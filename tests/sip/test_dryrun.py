@@ -84,6 +84,37 @@ def test_hopeless_case_flagged():
     assert r.required_workers == -1
 
 
+def test_pinned_floor_reported():
+    r = report_for(nb=16, seg=4)
+    assert r.pinned_floor_bytes == 6 * 4 * 4 * 8  # 6 x largest block
+    assert "pinned-only floor" in r.report()
+    assert "spill headroom" in r.report()
+
+
+def test_spill_flips_infeasible_to_feasible():
+    # too small for the no-spill requirement, plenty above the floor
+    r = report_for(nb=64, seg=8, workers=1, memory_per_worker=80_000.0)
+    assert not r.feasible
+    r_spill = report_for(
+        nb=64, seg=8, workers=1, memory_per_worker=80_000.0, spill=True
+    )
+    assert r_spill.feasible
+    assert r_spill.spill_headroom_bytes > 0
+
+
+def test_spill_cannot_rescue_budget_below_the_floor():
+    r = report_for(nb=64, seg=8, workers=1, memory_per_worker=1000.0, spill=True)
+    assert not r.feasible
+    assert "pinned-only floor exceeds the budget" in r.report()
+
+
+def test_dtype_scales_dry_run_estimate():
+    r64 = report_for(nb=16)
+    r32 = report_for(nb=16, dtype="float32")
+    assert r32.static_bytes * 2 == r64.static_bytes
+    assert r32.per_worker_bytes * 2 == r64.per_worker_bytes
+
+
 def test_dry_run_estimate_covers_observed_peak():
     """The paper's guarantee: the dry run bounds actual memory use."""
     decls = """

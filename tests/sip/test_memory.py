@@ -62,6 +62,36 @@ def test_peak_tracks_high_water_mark():
     assert pool.stats.peak_blocks == 5
 
 
+def test_peak_blocks_is_global_not_per_shape():
+    """peak_blocks counts total live blocks across all shapes at once;
+    per-shape high-water marks live in peak_by_shape."""
+    pool = BlockPool(budget_bytes=100_000, real=False)
+    a = pool.allocate((10,))
+    b = pool.allocate((10,))
+    c = pool.allocate((5, 5))
+    assert pool.stats.peak_blocks == 3  # 2 of one shape + 1 of another
+    assert pool.stats.peak_by_shape == {(10,): 2, (5, 5): 1}
+    for blk in (a, b, c):
+        pool.free(blk)
+    # churning one shape raises neither peak
+    d = pool.allocate((10,))
+    pool.free(d)
+    assert pool.stats.peak_blocks == 3
+    assert pool.stats.peak_by_shape[(10,)] == 2
+
+
+def test_dtype_aware_block_sizes():
+    import numpy as np
+
+    pool = BlockPool(budget_bytes=1000, real=True, dtype=np.float32)
+    b = pool.allocate((10, 10))
+    assert b.data.dtype == np.float32
+    assert pool.stats.bytes_in_use == 400  # 100 elements x 4 B
+    pool.allocate((10, 10))  # fits: two float32 blocks are 800 B
+    with pytest.raises(OutOfBlockMemory):
+        pool.allocate((10, 10))
+
+
 def test_freed_block_loses_data_reference():
     pool = BlockPool(budget_bytes=10_000, real=True)
     b = pool.allocate((4,))
