@@ -1,0 +1,163 @@
+"""Scheduling-policy sweep: guided vs static vs locality-aware.
+
+The locality policy aligns pardo iterations with the workers that own
+(or recently cached) the blocks those iterations fetch, then lets idle
+workers steal the cold tail of the busiest queue.  This benchmark runs
+the program library under every policy at several worker counts and
+asserts the two properties that make the policy shippable:
+
+* **determinism** -- every policy produces bitwise-identical results at
+  every worker count (the canonical collective reduction makes the
+  answer independent of which worker ran which iteration), and
+* **traffic** -- on the get-heavy programs (MP2, CCSD) the locality
+  policy moves strictly fewer simulated remote bytes than guided at
+  every multi-worker count.
+
+Simulated bytes moved and simulated wall-clock per (program, policy,
+workers) cell are written to a JSON report (CI uploads it as an
+artifact).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduling.py \
+        [--smoke] [--out BENCH_scheduling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.programs import (
+    run_ao2mo,
+    run_ccsd,
+    run_fock_build,
+    run_lccd,
+    run_mp2,
+    run_paper_contraction,
+)
+from repro.sip import SIPConfig
+
+POLICIES = ("guided", "static", "locality")
+WORKER_COUNTS = (1, 2, 4)
+
+DRIVERS = {
+    "mp2_energy": lambda cfg: run_mp2(n_basis=10, n_occ=4, config=cfg),
+    "ccsd": lambda cfg: run_ccsd(n_basis=6, n_occ=2, iterations=2, config=cfg),
+    "paper_contraction": lambda cfg: run_paper_contraction(
+        n_basis=8, n_occ=3, config=cfg
+    ),
+    "ao2mo_transform": lambda cfg: run_ao2mo(n_basis=6, config=cfg),
+    "lccd_iteration": lambda cfg: run_lccd(
+        n_basis=6, n_occ=2, iterations=2, config=cfg
+    ),
+    "fock_build": lambda cfg: run_fock_build(n_basis=8, n_occ=3, config=cfg),
+}
+
+SMOKE_DRIVERS = ("mp2_energy", "ccsd")
+
+# programs where the acceptance bar requires locality < guided traffic
+TRAFFIC_GATED = ("mp2_energy", "ccsd")
+
+
+def _config(policy: str, workers: int) -> SIPConfig:
+    return SIPConfig(
+        workers=workers, io_servers=1, segment_size=2, scheduling=policy
+    )
+
+
+def run_cell(name: str, policy: str, workers: int) -> dict:
+    out = DRIVERS[name](_config(policy, workers))
+    assert out.error < 1e-10, (name, policy, workers, out.error)
+    stats = out.result.stats
+    return {
+        "program": name,
+        "policy": policy,
+        "workers": workers,
+        "value": np.asarray(out.value).tolist(),
+        "simulated_time": out.result.elapsed,
+        "remote_bytes": int(stats["remote_bytes"]),
+        "chunks": int(stats["sched_chunks"]),
+        "iterations": int(stats["sched_iterations"]),
+        "locality_hits": int(stats["sched_locality_hits"]),
+        "locality_misses": int(stats["sched_locality_misses"]),
+        "steals": int(stats["sched_steals"]),
+        "stolen_iterations": int(stats["sched_stolen_iterations"]),
+    }
+
+
+def run_one(name: str) -> list[dict]:
+    rows = []
+    for workers in WORKER_COUNTS:
+        cells = {p: run_cell(name, p, workers) for p in POLICIES}
+        values = {repr(c["value"]) for c in cells.values()}
+        assert len(values) == 1, (
+            f"{name} @ {workers} workers: policies disagree bitwise: {values}"
+        )
+        if name in TRAFFIC_GATED and workers > 1:
+            loc, gui = cells["locality"], cells["guided"]
+            assert loc["remote_bytes"] < gui["remote_bytes"], (
+                f"{name} @ {workers} workers: locality moved "
+                f"{loc['remote_bytes']} B, guided {gui['remote_bytes']} B"
+            )
+        rows.extend(cells.values())
+        loc = cells["locality"]
+        saved = cells["guided"]["remote_bytes"] - loc["remote_bytes"]
+        print(
+            f"{name:>18} w={workers}: guided {cells['guided']['remote_bytes']:>9} B, "
+            f"locality {loc['remote_bytes']:>9} B ({saved:+d} B saved)  "
+            f"hits={loc['locality_hits']:<5} steals={loc['steals']:<3} "
+            f"bitwise=yes"
+        )
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="subset, quick CI run")
+    ap.add_argument("--out", default="BENCH_scheduling.json")
+    args = ap.parse_args()
+
+    names = SMOKE_DRIVERS if args.smoke else sorted(DRIVERS)
+    rows = []
+    for name in names:
+        rows.extend(run_one(name))
+
+    loc_rows = [r for r in rows if r["policy"] == "locality" and r["workers"] > 1]
+    total_hits = sum(r["locality_hits"] for r in loc_rows)
+    assert total_hits > 0, "locality policy never hit a preferred worker"
+    saved = sum(
+        g["remote_bytes"] - l["remote_bytes"]
+        for g in rows
+        for l in rows
+        if g["policy"] == "guided"
+        and l["policy"] == "locality"
+        and g["program"] == l["program"]
+        and g["workers"] == l["workers"]
+        and g["workers"] > 1
+    )
+
+    report = {
+        "benchmark": "scheduling",
+        "smoke": args.smoke,
+        "policies": list(POLICIES),
+        "worker_counts": list(WORKER_COUNTS),
+        "cells": rows,
+        "total_locality_hits": total_hits,
+        "total_steals": sum(r["steals"] for r in loc_rows),
+        "remote_bytes_saved_vs_guided": int(saved),
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nwrote {args.out}: {len(rows)} cells, "
+        f"{saved} remote bytes saved vs guided"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from .backend import KernelOperand, ModelBackend, RealBackend
 from .blocks import Block, BlockId, ResolvedIndexTable
 from .cache import BlockCache
 from .config import SIPConfig, SIPError
-from .distributed import BarrierViolation, ConflictTracker, Placement
+from .distributed import BarrierViolation, ConflictTracker, Placement, ReplicaMap
 from .dryrun import DryRunReport, InfeasibleComputation, dry_run
 from .memory import BlockPool, OutOfBlockMemory
 from .profiling import RunProfile, WorkerProfile
@@ -33,7 +33,15 @@ from .sanitizer import (
     SanitizerConflict,
     SanitizerReport,
 )
-from .scheduler import GuidedScheduler, StaticScheduler, enumerate_pardo
+from .scheduler import (
+    GuidedScheduler,
+    LocalityScheduler,
+    SchedStats,
+    StaticScheduler,
+    enumerate_pardo,
+    make_scheduler,
+)
+from .tracing import SchedTraceEvent, TraceRecorder
 
 __all__ = [
     "AccessPoint",
@@ -65,8 +73,14 @@ __all__ = [
     "Sanitizer",
     "SanitizerConflict",
     "SanitizerReport",
+    "LocalityScheduler",
+    "ReplicaMap",
+    "SchedStats",
+    "SchedTraceEvent",
     "StaticScheduler",
     "SuperCall",
+    "TraceRecorder",
+    "make_scheduler",
     "SuperInstructionRegistry",
     "WorkerCrashed",
     "WorkerProfile",

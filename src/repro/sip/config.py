@@ -50,6 +50,27 @@ class SIPConfig:
     chunk_factor:
         Guided-scheduling aggressiveness: a chunk is
         ``ceil(remaining / (chunk_factor * workers))`` iterations.
+    min_chunk:
+        Lower bound on guided/locality chunk size, in iterations.  1
+        (the default) reproduces classic guided scheduling; larger
+        values trade tail balance for fewer master round-trips.
+    scheduling:
+        Pardo dole-out policy: ``"guided"`` (shrinking chunks from one
+        shared queue), ``"static"`` (one equal slice per worker), or
+        ``"locality"`` (per-worker affinity queues scored from block
+        placement, with work stealing; see
+        :class:`~repro.sip.scheduler.LocalityScheduler`).  Results are
+        bitwise identical across policies.
+    affinity_owner_weight:
+        Locality scoring: weight (per byte) credited to the worker that
+        *owns* a distributed block a pardo iteration gets.
+    affinity_replica_weight:
+        Locality scoring: weight (per byte) credited to each worker
+        recently holding a cached replica of a block the iteration gets
+        (distributed or served).
+    affinity_replica_history:
+        How many recent cache holders the replica map remembers per
+        block; 0 disables replica tracking entirely.
     backend:
         ``"real"`` executes numpy kernels (correctness); ``"model"``
         charges only modeled time (scaling studies).
@@ -138,7 +159,11 @@ class SIPConfig:
     cache_blocks: int = 64
     server_cache_blocks: int = 128
     chunk_factor: int = 2
+    min_chunk: int = 1
     scheduling: str = "guided"
+    affinity_owner_weight: float = 2.0
+    affinity_replica_weight: float = 1.0
+    affinity_replica_history: int = 2
     backend: str = "real"
     fastpath: bool = True
     kernel_wallclock: bool = False
@@ -174,8 +199,14 @@ class SIPConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
-        if self.scheduling not in ("guided", "static"):
+        if self.scheduling not in ("guided", "static", "locality"):
             raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
+        if self.min_chunk < 1:
+            raise ValueError("min_chunk must be >= 1")
+        if self.affinity_owner_weight < 0 or self.affinity_replica_weight < 0:
+            raise ValueError("affinity weights must be >= 0")
+        if self.affinity_replica_history < 0:
+            raise ValueError("affinity_replica_history must be >= 0")
         if self.retry_timeout <= 0:
             raise ValueError("retry_timeout must be positive")
         if self.retry_limit < 1:

@@ -16,6 +16,7 @@ conflict with each other.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from math import prod
 from typing import Callable, Optional
@@ -23,7 +24,7 @@ from typing import Callable, Optional
 from .blocks import BlockId, ResolvedIndexTable
 from .config import SIPError
 
-__all__ = ["Placement", "BarrierViolation", "ConflictTracker"]
+__all__ = ["Placement", "ReplicaMap", "BarrierViolation", "ConflictTracker"]
 
 
 class BarrierViolation(SIPError):
@@ -70,6 +71,48 @@ class Placement:
             coords.append(lin // s + 1)
             lin %= s
         return tuple(coords)
+
+
+class ReplicaMap:
+    """Recently cached replicas of remote blocks, by block id.
+
+    Workers note each block they fetch into their LRU cache; the
+    locality scheduler reads the map to steer iterations toward workers
+    that already hold a copy.  The map is a *hint*, not a directory: a
+    bounded number of recent holders is kept per block, entries are
+    discarded on barrier-epoch cache clears but may outlive silent LRU
+    evictions, and staleness only ever mis-scores an assignment -- it
+    can never affect results, because every rank still fetches through
+    the normal ownership protocol.
+    """
+
+    def __init__(self, history: int = 2) -> None:
+        self.history = history
+        self._holders: dict[BlockId, OrderedDict[int, None]] = {}
+
+    def note(self, block_id: BlockId, worker_index: int) -> None:
+        if self.history <= 0:
+            return
+        holders = self._holders.setdefault(block_id, OrderedDict())
+        holders.pop(worker_index, None)
+        holders[worker_index] = None
+        while len(holders) > self.history:
+            holders.popitem(last=False)
+
+    def discard(self, block_id: BlockId, worker_index: int) -> None:
+        holders = self._holders.get(block_id)
+        if holders is None:
+            return
+        holders.pop(worker_index, None)
+        if not holders:
+            del self._holders[block_id]
+
+    def holders(self, block_id: BlockId) -> tuple[int, ...]:
+        holders = self._holders.get(block_id)
+        return tuple(holders) if holders else ()
+
+    def __len__(self) -> int:
+        return len(self._holders)
 
 
 @dataclass

@@ -21,6 +21,7 @@ from typing import Generator
 from ..simmpi import AnyOf, Timeout
 from ..simmpi.comm import SimComm
 from ..simmpi.faults import ResilienceStats
+from .blocks import BlockId, block_nbytes
 from .config import SIPError
 from .messages import (
     MASTER_TAG,
@@ -36,7 +37,12 @@ from .messages import (
     WorkerDone,
 )
 from .runtime import SharedRuntime
-from .scheduler import GuidedScheduler, StaticScheduler, enumerate_pardo
+from .scheduler import (
+    SchedStats,
+    conditions_read_scalars,
+    enumerate_pardo,
+    make_scheduler,
+)
 
 __all__ = ["MasterProcess"]
 
@@ -50,15 +56,25 @@ class MasterProcess:
         self.comm = comm
         self.config = rt.config
         self.schedulers: dict[tuple[int, int], object] = {}
+        self.sched_stats = SchedStats(policy=self.config.scheduling)
         self.collectives: dict[int, list[CollectiveContribution]] = {}
         self.collective_sources: dict[int, dict[int, int]] = {}
         self.chunks_served = 0
         self.resilience = ResilienceStats()
-        # resilient protocol state: replayed replies for retried requests
-        self._chunk_replay: dict[int, tuple[int, ChunkReply, int]] = {}
+        # resilient protocol state: replayed replies for retried
+        # requests, keyed (worker, pardo_pc, activation) so a late
+        # duplicate from a previous activation can never alias a live
+        # one's cached reply
+        self._chunk_replay: dict[
+            tuple[int, int, int], tuple[int, ChunkReply, int]
+        ] = {}
         self._collective_results: dict[int, float] = {}
         self._done_workers: set[int] = set()
         self._next_reply_tag = REPLY_TAG_BASE
+        self._nbytes_memo: dict[BlockId, int] = {}
+        # scalar snapshot each scheduler was built against, for the
+        # invariance assertion on later requests
+        self._sched_scalars: dict[tuple[int, int], tuple[float, ...]] = {}
 
     def run(self) -> Generator:
         resilient = self.rt.resilient
@@ -142,8 +158,9 @@ class MasterProcess:
             timeout *= self.config.retry_backoff
 
     def _serve_chunk(self, payload: ChunkRequest, source: int) -> None:
+        replay_key = (payload.worker_index, payload.pardo_pc, payload.activation)
         if payload.seq >= 0:
-            cached = self._chunk_replay.get(payload.worker_index)
+            cached = self._chunk_replay.get(replay_key)
             if cached is not None:
                 seq, reply, nbytes = cached
                 if payload.seq == seq:
@@ -157,31 +174,131 @@ class MasterProcess:
                 if payload.seq < seq:
                     self.resilience.duplicates_ignored += 1
                     return  # stale duplicate; its reply already went out
+        stats = self.sched_stats
+        hits0, steals0 = stats.locality_hits, stats.stolen_iterations
         chunk = self._next_chunk(payload)
         reply = ChunkReply(tuple(chunk))
         nbytes = 64 + _BYTES_PER_ITERATION * len(chunk)
         if payload.seq >= 0:
-            self._chunk_replay[payload.worker_index] = (payload.seq, reply, nbytes)
+            self._chunk_replay[replay_key] = (payload.seq, reply, nbytes)
         self.comm.isend(reply, dest=source, tag=payload.reply_tag, nbytes=nbytes)
         self.chunks_served += 1
+        tracer = self.config.tracer
+        if tracer is not None and chunk and hasattr(tracer, "record_sched"):
+            tracer.record_sched(
+                self.rt.sim.now,
+                payload.worker_index,
+                payload.pardo_pc,
+                len(chunk),
+                stats.locality_hits - hits0,
+                stats.stolen_iterations - steals0,
+            )
 
     def _next_chunk(self, req: ChunkRequest) -> list[tuple[int, ...]]:
         key = (req.pardo_pc, req.activation)
         sched = self.schedulers.get(key)
         if sched is None:
-            instr = self.rt.program.instructions[req.pardo_pc]
-            _pardo_id, index_ids, conditions, _exit, _gets = instr.args
-            iterations = enumerate_pardo(self.rt.table, index_ids, conditions)
-            if self.config.scheduling == "static":
-                sched = StaticScheduler(iterations, self.config.workers)
-            else:
-                sched = GuidedScheduler(
-                    iterations, self.config.workers, self.config.chunk_factor
-                )
+            instr = self.rt.decoded.instructions[req.pardo_pc]
+            _pardo_id, index_ids, conditions, _exit, get_pcs = instr.args
+            scalars = None
+            if conditions_read_scalars(conditions):
+                if req.scalars is None:
+                    raise SIPError(
+                        "pardo where clause reads scalars but the chunk "
+                        "request carried no scalar snapshot"
+                    )
+                scalars = req.scalars
+            iterations = enumerate_pardo(
+                self.rt.table, index_ids, conditions, scalars=scalars
+            )
+            preferred = None
+            if self.config.scheduling == "locality":
+                preferred = self._affinity_map(index_ids, get_pcs, iterations)
+            sched = make_scheduler(
+                self.config.scheduling,
+                iterations,
+                self.config.workers,
+                self.config.chunk_factor,
+                min_chunk=self.config.min_chunk,
+                preferred=preferred,
+                stats=self.sched_stats,
+            )
             self.schedulers[key] = sched
-        if isinstance(sched, StaticScheduler):
-            return sched.next_chunk_for(req.worker_index)
-        return sched.next_chunk()
+            if scalars is not None:
+                self._sched_scalars[key] = scalars
+        elif req.scalars is not None:
+            baseline = self._sched_scalars.get(key)
+            if baseline is not None and req.scalars != baseline:
+                # every worker reaches the pardo through the same
+                # sequential prefix, so snapshots must agree; a mismatch
+                # means the iteration space is not well defined
+                raise SIPError(
+                    f"workers disagree on the scalar state at pardo entry "
+                    f"(pc {req.pardo_pc}, activation {req.activation}); "
+                    "the iteration space is ambiguous"
+                )
+        return sched.next_chunk_for(req.worker_index)
+
+    def _block_nbytes(self, bid: BlockId) -> int:
+        n = self._nbytes_memo.get(bid)
+        if n is None:
+            n = self._nbytes_memo[bid] = block_nbytes(
+                self.rt.block_shape(bid), self.rt.dtype
+            )
+        return n
+
+    def _affinity_map(
+        self,
+        index_ids: tuple[int, ...],
+        get_pcs: tuple[int, ...],
+        iterations: list[tuple[int, ...]],
+    ) -> list[int] | None:
+        """Preferred worker per iteration, scored from block placement.
+
+        For each iteration the pardo indices are bound and every
+        get/request the body issues at pardo level is resolved; the
+        owner of a distributed block earns ``affinity_owner_weight`` per
+        byte (a get a worker serves to itself moves no bytes at all),
+        and each recent cache holder earns ``affinity_replica_weight``
+        per byte.  Gets whose operands also depend on inner-loop indices
+        cannot be resolved here and are skipped -- correctly so, since
+        those blocks are touched from every iteration.  Iterations with
+        no placement signal round-robin over the workers.
+        """
+        workers = self.config.workers
+        if workers <= 1 or not iterations:
+            return None
+        decoded = self.rt.decoded.instructions
+        ops = [decoded[gpc].args[0] for gpc in get_pcs]
+        if not ops:
+            return None
+        w_owner = self.config.affinity_owner_weight
+        w_replica = self.config.affinity_replica_weight
+        placements = self.rt.placements
+        replicas = self.rt.replicas
+        memo = self.config.fastpath
+        preferred: list[int] = []
+        for n, combo in enumerate(iterations):
+            values = dict(zip(index_ids, combo))
+            scores: dict[int, float] = {}
+            for op in ops:
+                try:
+                    r = op.resolve(values, memo)
+                except SIPError:
+                    continue  # depends on an index bound inside the body
+                bid = r.block_id
+                nb = self._block_nbytes(bid)
+                if w_owner > 0 and bid.array_id in placements:
+                    owner = placements[bid.array_id].owner_index(bid.coords)
+                    scores[owner] = scores.get(owner, 0.0) + w_owner * nb
+                if w_replica > 0:
+                    for holder in replicas.holders(bid):
+                        scores[holder] = scores.get(holder, 0.0) + w_replica * nb
+            if scores:
+                preferred.append(min(scores, key=lambda w: (-scores[w], w)))
+            else:
+                preferred.append(n % workers)
+        return preferred
 
     def _collect(self, payload: CollectiveContribution, source: int) -> None:
         if self.rt.resilient:
@@ -207,10 +324,7 @@ class MasterProcess:
         ] = source
         pending.append(payload)
         if len(pending) == self.config.workers:
-            # deterministic order: sum by worker index
-            total = sum(
-                p.value for p in sorted(pending, key=lambda p: p.worker_index)
-            )
+            total = self._reduce(pending)
             sources = self.collective_sources.pop(payload.seq)
             for p in pending:
                 self.comm.isend(
@@ -221,3 +335,29 @@ class MasterProcess:
             del self.collectives[payload.seq]
             if self.rt.resilient:
                 self._collective_results[payload.seq] = total
+
+    @staticmethod
+    def _reduce(pending: list[CollectiveContribution]) -> float:
+        """Sum contributions in an assignment-independent order.
+
+        When every worker decomposed its scalar into a base plus
+        per-iteration deltas, the sum folds bases in worker order and
+        then deltas sorted by their canonical iteration key -- the same
+        additions in the same order no matter which worker ran which
+        iteration, so collectives are bitwise identical across
+        scheduling policies.  Poisoned or legacy contributions fall back
+        to the historical worker-order sum of full values.
+        """
+        ordered = sorted(pending, key=lambda p: p.worker_index)
+        if any(p.deltas is None or p.poisoned for p in ordered):
+            return sum(p.value for p in ordered)
+        total = 0.0
+        for p in ordered:
+            total += p.base
+        items: list[tuple[tuple, float]] = []
+        for p in ordered:
+            items.extend(p.deltas)
+        items.sort(key=lambda kv: kv[0])
+        for _key, delta in items:
+            total += delta
+        return total

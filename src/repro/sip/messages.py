@@ -87,13 +87,20 @@ class Ack:
 
 @dataclass(frozen=True)
 class ChunkRequest:
-    """Worker -> master: give me pardo iterations."""
+    """Worker -> master: give me pardo iterations.
+
+    ``scalars`` is the requester's scalar snapshot at pardo entry; it is
+    carried only when the pardo's where clauses reference scalars (legal
+    only in hand-built bytecode), so the master enumerates the iteration
+    space against the worker's values instead of its own stale copy.
+    """
 
     pardo_pc: int
     activation: int
     worker_index: int
     reply_tag: int
     seq: int = -1  # resilient protocol: replay key for the master's reply cache
+    scalars: Optional[tuple[float, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -103,12 +110,25 @@ class ChunkReply:
 
 @dataclass(frozen=True)
 class CollectiveContribution:
-    """Worker -> master: my term of an allreduce-sum."""
+    """Worker -> master: my term of an allreduce-sum.
+
+    ``value`` is the worker's full scalar (the legacy wire field);
+    ``base`` and ``deltas`` decompose it into the non-pardo part plus
+    per-iteration increments keyed ``(pardo_id, activation, iteration)``
+    so the master can reduce in canonical iteration order -- making the
+    sum bitwise independent of which worker ran which iteration.
+    ``poisoned`` marks a scalar whose pardo-side updates were not plain
+    accumulations; the master then falls back to the legacy
+    worker-order sum.  ``deltas is None`` means a legacy sender.
+    """
 
     seq: int
     worker_index: int
     value: float
     reply_tag: int
+    base: float = 0.0
+    deltas: Optional[tuple[tuple[tuple, float], ...]] = None
+    poisoned: bool = False
 
 
 @dataclass(frozen=True)

@@ -77,6 +77,8 @@ class RunProfile:
     # per-rank budget it was measured against
     memory: Optional[Any] = None
     memory_budget: float = 0.0
+    # pardo dole-out observability: the master's SchedStats
+    scheduling: Optional[Any] = None
 
     @property
     def total_busy(self) -> float:
@@ -191,6 +193,19 @@ class RunProfile:
                 f"{c.cow_copies} copy-on-write copies "
                 f"({c.cow_bytes_copied} bytes)"
             )
+        s = self.scheduling
+        if s is not None and s.chunks:
+            line = (
+                f"scheduling ({s.policy}): {s.chunks} chunks, "
+                f"{s.iterations} iterations"
+            )
+            if s.policy == "locality":
+                line += (
+                    f", {s.locality_hits} locality hits "
+                    f"({100.0 * s.locality_rate:.1f} %), "
+                    f"{s.steals} steals ({s.stolen_iterations} iterations)"
+                )
+            lines.append(line)
         m = self.memory
         if m is not None and (m.cascades or m.spills or m.pressure_evictions):
             lines.append(

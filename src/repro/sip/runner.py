@@ -179,6 +179,7 @@ def _execute(
         cow=rt.cow if rt.cow_enabled else None,
         memory=memory,
         memory_budget=config.memory_budget,
+        scheduling=master.sched_stats,
     )
     scalars = {
         name.lower(): workers[0].scalars[i]
@@ -210,6 +211,18 @@ def _execute(
                 f"peak {memory.peak_bytes} B of "
                 f"{config.memory_budget:.0f} B budget",
             )
+        sched = master.sched_stats
+        if sched.chunks:
+            text = (
+                f"{sched.policy}: {sched.chunks} chunks, "
+                f"{sched.iterations} iterations"
+            )
+            if sched.policy == "locality":
+                text += (
+                    f", {sched.locality_hits} locality hits, "
+                    f"{sched.steals} steals"
+                )
+            tracer.annotate("scheduling", text)
     fault_report = None
     if config.faults is not None:
         fault_report = FaultReport(
@@ -350,6 +363,13 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
             for w in workers
         ),
         "chunks_served": master.chunks_served,
+        "sched_policy": master.sched_stats.policy,
+        "sched_chunks": master.sched_stats.chunks,
+        "sched_iterations": master.sched_stats.iterations,
+        "sched_locality_hits": master.sched_stats.locality_hits,
+        "sched_locality_misses": master.sched_stats.locality_misses,
+        "sched_steals": master.sched_stats.steals,
+        "sched_stolen_iterations": master.sched_stats.stolen_iterations,
         "server_cache_hits": sum(s.cache.stats.hits for s in servers),
         "server_cache_misses": sum(s.cache.stats.misses for s in servers),
         "disk_reads": sum(s.disk.stats.reads for s in servers),

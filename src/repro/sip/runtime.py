@@ -27,7 +27,7 @@ from .backend import make_backend
 from .blocks import Block, BlockId, CowStats, ResolvedIndexTable, block_shape
 from .config import SIPConfig, SIPError
 from .decode import decode_program
-from .distributed import Placement
+from .distributed import Placement, ReplicaMap
 from .plans import KernelPlanCache
 from .registry import GLOBAL_REGISTRY, SuperInstructionRegistry
 from .sanitizer import Sanitizer
@@ -77,6 +77,10 @@ class SharedRuntime:
         self.cow_enabled = config.fastpath
         self._owner_rank_cache: dict[BlockId, int] = {}
         self._server_rank_cache: dict[BlockId, int] = {}
+
+        # recent cached replicas of remote blocks; pure scheduling hint
+        # read by the locality policy, never consulted for correctness
+        self.replicas = ReplicaMap(config.affinity_replica_history)
 
         # placements for distributed and served arrays
         self.placements: dict[int, Placement] = {}

@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..sial.bytecode import Op
 
-__all__ = ["TraceEvent", "FaultTraceEvent", "TraceRecorder"]
+__all__ = ["TraceEvent", "FaultTraceEvent", "SchedTraceEvent", "TraceRecorder"]
 
 # timeline glyphs by opcode family
 _GLYPHS = {
@@ -87,6 +87,18 @@ class MemTraceEvent:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class SchedTraceEvent:
+    """One pardo chunk served by the master."""
+
+    time: float
+    worker: int
+    pardo_pc: int
+    size: int  # iterations in the chunk
+    locality_hits: int  # iterations served to their preferred worker
+    stolen: int  # iterations moved between affinity queues to fill it
+
+
 @dataclass
 class TraceRecorder:
     """Collects instruction events; query or render after the run."""
@@ -94,6 +106,7 @@ class TraceRecorder:
     events: list[TraceEvent] = field(default_factory=list)
     fault_events: list[FaultTraceEvent] = field(default_factory=list)
     mem_events: list[MemTraceEvent] = field(default_factory=list)
+    sched_events: list[SchedTraceEvent] = field(default_factory=list)
     # run-level annotations (plan-cache hit rates, zero-copy savings, ...)
     summary: dict = field(default_factory=dict)
 
@@ -120,6 +133,19 @@ class TraceRecorder:
         self, time: float, rank: int, kind: str, block: str, nbytes: int
     ) -> None:
         self.mem_events.append(MemTraceEvent(time, rank, kind, block, nbytes))
+
+    def record_sched(
+        self,
+        time: float,
+        worker: int,
+        pardo_pc: int,
+        size: int,
+        locality_hits: int,
+        stolen: int,
+    ) -> None:
+        self.sched_events.append(
+            SchedTraceEvent(time, worker, pardo_pc, size, locality_hits, stolen)
+        )
 
     # -- queries -----------------------------------------------------------
     def for_worker(self, worker: int) -> list[TraceEvent]:
@@ -186,6 +212,15 @@ class TraceRecorder:
             for kind, n in Counter(e.kind for e in self.mem_events).most_common():
                 total = sum(e.nbytes for e in self.mem_events if e.kind == kind)
                 lines.append(f"  {kind:<18s} {n}  ({total} B)")
+        if self.sched_events:
+            iters = sum(e.size for e in self.sched_events)
+            hits = sum(e.locality_hits for e in self.sched_events)
+            stolen = sum(e.stolen for e in self.sched_events)
+            lines.append(
+                f"chunk scheduling: {len(self.sched_events)} chunks, "
+                f"{iters} iterations, {hits} locality hits, "
+                f"{stolen} stolen"
+            )
         if self.summary:
             lines.append("run annotations:")
             for key in sorted(self.summary):

@@ -59,6 +59,7 @@ from .messages import (
 )
 from .profiling import WorkerProfile
 from .runtime import SharedRuntime
+from .scheduler import conditions_read_scalars
 
 __all__ = ["WorkerProcess", "ResolvedOperand"]
 
@@ -131,6 +132,19 @@ class WorkerProcess:
         # outside pardo; only maintained when the sanitizer is on
         self.sanitizer = rt.sanitizer
         self.current_iteration: Optional[tuple] = None
+        # collective ledger: each scalar's value decomposed into a
+        # non-pardo base plus per-iteration deltas keyed
+        # (pardo_id, activation, iteration), so the master can reduce
+        # collectives in canonical iteration order (bitwise identical
+        # results no matter which worker ran which iteration)
+        n_scalars = len(rt.program.scalar_table)
+        self._scalar_base: list[float] = [0.0] * n_scalars
+        self._scalar_deltas: list[dict[tuple, float]] = [
+            {} for _ in range(n_scalars)
+        ]
+        self._scalar_poisoned: list[bool] = [False] * n_scalars
+        self._iter_key: Optional[tuple] = None  # identity of the running iteration
+        self._cond_scalar_need: dict[int, bool] = {}  # per pardo pc
 
         # communication bookkeeping ------------------------------------------
         self._tag_counter = REPLY_TAG_BASE
@@ -597,6 +611,7 @@ class WorkerProcess:
         send()
         self._spawn_retry_monitor(arrival, send, "fetch_retries", "get")
         self.ever_fetched.add(bid)
+        self.rt.replicas.note(bid, self.worker_index)
         return entry
 
     def _issue_request(self, bid: BlockId):
@@ -620,6 +635,7 @@ class WorkerProcess:
         send()
         self._spawn_retry_monitor(arrival, send, "fetch_retries", "request")
         self.ever_fetched.add(bid)
+        self.rt.replicas.note(bid, self.worker_index)
         return entry
 
     # -- write targets ----------------------------------------------------------
@@ -837,6 +853,7 @@ class WorkerProcess:
             self.memman.free(bid, self.owned.pop(bid))
         for bid in [b for b, e in list(self.cache.items()) if b.array_id == array_id]:
             self.cache.remove(bid)
+            self.rt.replicas.discard(bid, self.worker_index)
         return pc + 1
 
     def op_allocate(self, instr, pc: int) -> int:
@@ -856,6 +873,11 @@ class WorkerProcess:
     def op_scalar_assign(self, instr, pc: int) -> int:
         scalar_id, op, rpn = instr.args
         value = self.eval_rpn(rpn)
+        self._apply_scalar(scalar_id, op, value, rpn)
+        return pc + 1
+
+    def _apply_scalar(self, scalar_id: int, op: str, value: float, rpn=()) -> None:
+        """Apply a scalar update and maintain the collective ledger."""
         if op == "=":
             self.scalars[scalar_id] = value
         elif op == "+=":
@@ -864,7 +886,42 @@ class WorkerProcess:
             self.scalars[scalar_id] -= value
         else:  # '*='
             self.scalars[scalar_id] *= value
-        return pc + 1
+        if self._iter_key is None:
+            base = self._scalar_base
+            if op == "=":
+                base[scalar_id] = value
+                self._scalar_deltas[scalar_id].clear()
+                self._scalar_poisoned[scalar_id] = False
+            elif op == "+=":
+                base[scalar_id] += value
+            elif op == "-=":
+                base[scalar_id] -= value
+            else:
+                # scaling distributes over the base but not over pending
+                # deltas; with deltas outstanding the decomposition no
+                # longer holds
+                if self._scalar_deltas[scalar_id]:
+                    self._scalar_poisoned[scalar_id] = True
+                base[scalar_id] *= value
+        elif op in ("+=", "-=") and not self._rpn_order_dependent(rpn):
+            deltas = self._scalar_deltas[scalar_id]
+            signed = value if op == "+=" else -value
+            key = self._iter_key
+            deltas[key] = deltas.get(key, 0.0) + signed
+        else:
+            # a non-additive update inside a pardo iteration (or an
+            # increment computed from another accumulating scalar) makes
+            # the per-iteration decomposition assignment-dependent
+            self._scalar_poisoned[scalar_id] = True
+
+    def _rpn_order_dependent(self, rpn) -> bool:
+        """Whether an expression reads a scalar still mid-accumulation."""
+        for item in rpn:
+            if item[0] == "scalar":
+                sid = item[1]
+                if self._scalar_deltas[sid] or self._scalar_poisoned[sid]:
+                    return True
+        return False
 
     # ======================================================================
     # prefetch
@@ -968,6 +1025,7 @@ class WorkerProcess:
                 state.pos += 1
                 for i, v in zip(index_ids, combo):
                     self.index_values[i] = v
+                self._iter_key = (pardo_id, state.activation, combo)
                 if self.sanitizer is not None:
                     self.current_iteration = (
                         "iter", pardo_id, state.activation, combo
@@ -985,8 +1043,17 @@ class WorkerProcess:
             if self.rt.resilient:
                 seq = self._chunk_seq
                 self._chunk_seq += 1
+            # where clauses referencing scalars (hand-built bytecode
+            # only) depend on worker-side state the master cannot see:
+            # ship a snapshot for it to enumerate against
+            need_scalars = self._cond_scalar_need.get(pc)
+            if need_scalars is None:
+                need_scalars = self._cond_scalar_need[pc] = (
+                    conditions_read_scalars(conditions)
+                )
+            snapshot = tuple(self.scalars) if need_scalars else None
             payload = ChunkRequest(
-                pc, state.activation, self.worker_index, reply_tag, seq
+                pc, state.activation, self.worker_index, reply_tag, seq, snapshot
             )
 
             def send() -> None:
@@ -1008,6 +1075,7 @@ class WorkerProcess:
                 stats.elapsed += self.sim.now - state.entry_time
                 self.current_pardo = None
                 self.current_iteration = None
+                self._iter_key = None
                 return exit_pc
             state.chunk = iterations
             state.pos = 0
@@ -1135,12 +1203,7 @@ class WorkerProcess:
             self.kernel_operand(b_r, b_block),
         )
         yield Timeout(cost)
-        if op == "=":
-            self.scalars[scalar_id] = value
-        elif op == "+=":
-            self.scalars[scalar_id] += value
-        else:
-            self.scalars[scalar_id] -= value
+        self._apply_scalar(scalar_id, op, value)
         return pc + 1
 
     def op_compute_integrals(self, instr, pc: int) -> Generator:
@@ -1311,6 +1374,7 @@ class WorkerProcess:
         ]
         for bid in drop:
             self.cache.remove(bid)
+            self.rt.replicas.discard(bid, self.worker_index)
 
     def op_collective(self, instr, pc: int) -> Generator:
         scalar_id = instr.args[0]
@@ -1319,7 +1383,13 @@ class WorkerProcess:
         reply_tag = self.next_tag()
         req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
         payload = CollectiveContribution(
-            seq, self.worker_index, self.scalars[scalar_id], reply_tag
+            seq,
+            self.worker_index,
+            self.scalars[scalar_id],
+            reply_tag,
+            base=self._scalar_base[scalar_id],
+            deltas=tuple(sorted(self._scalar_deltas[scalar_id].items())),
+            poisoned=self._scalar_poisoned[scalar_id],
         )
 
         def send() -> None:
@@ -1329,7 +1399,12 @@ class WorkerProcess:
         msg = yield from self._reliable_wait(
             req.event, send, "collective_retries", "collective"
         )
-        self.scalars[scalar_id] = msg.payload.value
+        total = msg.payload.value
+        self.scalars[scalar_id] = total
+        # the reduced value becomes the scalar's new base everywhere
+        self._scalar_base[scalar_id] = total
+        self._scalar_deltas[scalar_id].clear()
+        self._scalar_poisoned[scalar_id] = False
         return pc + 1
 
     # -- serialization & checkpoint -------------------------------------------

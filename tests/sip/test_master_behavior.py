@@ -1,9 +1,13 @@
 """Master-protocol behaviors: pardo activations, collectives, scheduling."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
-from repro.sip import SIPConfig, run_source
+from repro.sial.bytecode import CompiledCondition
+from repro.sial.compiler import compile_source
+from repro.sip import FaultPlan, SIPConfig, run_program, run_source
 
 
 def wrap(decls, body):
@@ -139,6 +143,216 @@ endpardo M, N
     assert np.all(res.array("D") == 7.0)
     # static: one work chunk + one empty reply per worker
     assert res.stats["chunks_served"] <= 6
+
+
+_LOCALITY_SRC = wrap(
+    """
+symbolic nb
+aoindex M = 1, nb
+aoindex N = 1, nb
+distributed D(M, N)
+distributed E(M, N)
+temp T(M, N)
+temp S(M, N)
+scalar acc
+""",
+    """
+pardo M, N
+  T(M, N) = 1.5
+  put D(M, N) = T(M, N)
+endpardo M, N
+sip_barrier
+pardo M, N where M < N
+  get D(M, N)
+  S(M, N) = D(M, N) * 2.0
+  put E(M, N) = S(M, N)
+  acc += S(M, N) * D(M, N)
+endpardo M, N
+collective acc
+""",
+)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_locality_bitwise_identical_to_guided(workers):
+    """The acceptance bar: same bits out of every policy."""
+    results = {}
+    for policy in ("guided", "static", "locality"):
+        res = run_source(
+            _LOCALITY_SRC,
+            SIPConfig(
+                workers=workers, io_servers=1, segment_size=2, scheduling=policy
+            ),
+            {"nb": 8},
+        )
+        results[policy] = (res.scalar("acc"), res.array("E").tobytes())
+    assert results["locality"] == results["guided"] == results["static"]
+
+
+def test_locality_end_to_end_stats_and_fewer_remote_bytes():
+    runs = {}
+    for policy in ("guided", "locality"):
+        runs[policy] = run_source(
+            _LOCALITY_SRC,
+            SIPConfig(
+                workers=4, io_servers=1, segment_size=2, scheduling=policy
+            ),
+            {"nb": 12},
+        )
+    loc = runs["locality"].stats
+    assert loc["sched_policy"] == "locality"
+    assert loc["sched_locality_hits"] > 0
+    assert loc["sched_locality_hits"] + loc["sched_locality_misses"] == loc[
+        "sched_iterations"
+    ]
+    # aligning iterations with the owners of the blocks they get must
+    # move strictly fewer remote bytes than placement-blind guided
+    assert loc["remote_bytes"] < runs["guided"].stats["remote_bytes"]
+    g = runs["guided"].stats
+    assert g["sched_policy"] == "guided"
+    assert g["sched_locality_hits"] == 0 and g["sched_steals"] == 0
+
+
+def test_locality_profile_and_trace_surface_counters():
+    from repro.sip import TraceRecorder
+
+    tracer = TraceRecorder()
+    res = run_source(
+        _LOCALITY_SRC,
+        SIPConfig(
+            workers=3,
+            io_servers=1,
+            segment_size=2,
+            scheduling="locality",
+            tracer=tracer,
+        ),
+        {"nb": 8},
+    )
+    sched = res.profile.scheduling
+    assert sched is not None and sched.policy == "locality"
+    assert sched.chunks == res.stats["sched_chunks"]
+    assert "scheduling (locality)" in res.profile.report()
+    assert tracer.sched_events
+    assert sum(e.size for e in tracer.sched_events) == sched.iterations
+    assert "chunk scheduling:" in tracer.report()
+    assert "scheduling" in tracer.summary
+
+
+def test_collective_bitwise_across_worker_counts():
+    """The canonical per-iteration reduction makes collectives exactly
+    reproducible across worker counts, not just to 1e-12.  (The scalar
+    must start at zero: a nonzero base assigned in serial code runs
+    redundantly on every worker and is summed once per worker, by the
+    collective's long-standing semantics.)"""
+    decls = "symbolic nb\naoindex M = 1, nb\ntemp T(M, M)\nscalar s\n"
+    body = """
+pardo M
+  T(M, M) = 0.1
+  s += T(M, M) * T(M, M)
+endpardo M
+collective s
+"""
+    values = {
+        run_source(
+            wrap(decls, body),
+            SIPConfig(workers=w, io_servers=1, segment_size=1),
+            {"nb": 13},
+        ).scalar("s")
+        for w in (1, 2, 3, 7)
+    }
+    assert len(values) == 1
+
+
+def test_pardo_where_clause_reading_scalar_uses_worker_snapshot():
+    """Regression: the master used to enumerate where clauses against
+    its own (stale, in fact never-populated) scalar state.  The
+    analyzer rejects scalars in where clauses, so build the condition
+    by patching the compiled bytecode, the way hand-built programs
+    can."""
+    src = wrap(
+        """
+symbolic nb
+aoindex M = 1, nb
+distributed D(M, M)
+temp T(M, M)
+scalar thresh
+""",
+        """
+thresh = 2.0
+pardo M where M < nb
+  T(M, M) = 1.0
+  put D(M, M) = T(M, M)
+endpardo M
+""",
+    )
+    prog = compile_source(src)
+    thresh_id = prog.scalar_table.index("thresh")
+    pc, start = next(
+        (pc, i)
+        for pc, i in enumerate(prog.instructions)
+        if i.op == "PARDO_START"
+    )
+    cond = start.args[2][0]
+    # rewrite `M < nb` into `M < thresh`
+    patched = (
+        CompiledCondition(cond.op, cond.left_rpn, (("scalar", thresh_id),)),
+    )
+    args = start.args[:2] + (patched,) + start.args[3:]
+    prog.instructions[pc] = dataclasses.replace(start, args=args)
+    res = run_program(
+        prog,
+        SIPConfig(workers=2, io_servers=1, segment_size=2),
+        {"nb": 8},
+    )
+    d = res.array("D")
+    # thresh = 2.0 at pardo entry: only segment M=1 qualifies
+    assert np.all(np.diag(d)[:2] == 1.0)
+    assert np.all(np.diag(d)[2:] == 0.0)
+
+
+def test_chunk_replay_keyed_per_activation_under_faults():
+    """Regression for the replay-cache collision: with injected delays
+    and drops, retried chunk requests from several activations of the
+    same pardo pc must never be answered with another activation's
+    cached chunk."""
+    decls = """
+symbolic nb
+symbolic niter
+aoindex M = 1, nb
+index it = 1, niter
+distributed D(M, M)
+temp T(M, M)
+"""
+    body = """
+do it
+  pardo M
+    T(M, M) = 1.0
+    put D(M, M) += T(M, M)
+  endpardo M
+  sip_barrier
+enddo it
+"""
+    plan = FaultPlan(
+        seed=11,
+        message_drop_rate=0.04,
+        message_delay_rate=0.3,
+        message_delay=0.02,
+        max_message_drops=40,
+    )
+    res = run_source(
+        wrap(decls, body),
+        SIPConfig(
+            workers=3,
+            io_servers=1,
+            segment_size=2,
+            faults=plan,
+            retry_timeout=0.05,
+        ),
+        {"nb": 6, "niter": 5},
+    )
+    assert np.all(np.diag(res.array("D")) == 5.0)
+    totals = res.profile.pardo_totals()
+    assert totals[0].iterations == 5 * 3
 
 
 def test_empty_pardo_iteration_space():

@@ -6,6 +6,8 @@ from repro.sial.compiler import compile_source
 from repro.sip.blocks import ResolvedIndexTable
 from repro.sip.scheduler import (
     GuidedScheduler,
+    LocalityScheduler,
+    SchedStats,
     StaticScheduler,
     enumerate_pardo,
     make_scheduler,
@@ -102,5 +104,106 @@ def test_static_scheduler_uneven():
 def test_make_scheduler_dispatch():
     assert isinstance(make_scheduler("guided", [], 2, 2), GuidedScheduler)
     assert isinstance(make_scheduler("static", [], 2, 2), StaticScheduler)
+    assert isinstance(make_scheduler("locality", [], 2, 2), LocalityScheduler)
     with pytest.raises(ValueError):
         make_scheduler("magic", [], 2, 2)
+
+
+def test_make_scheduler_passes_min_chunk_through():
+    # regression: min_chunk used to be silently dropped on the way from
+    # the config to the scheduler
+    iters = [(i,) for i in range(100)]
+    sched = make_scheduler("guided", iters, workers=4, chunk_factor=2, min_chunk=25)
+    assert sched.min_chunk == 25
+    assert len(sched.next_chunk()) == 25  # guided size would be 13
+    loc = make_scheduler("locality", iters, workers=4, chunk_factor=2, min_chunk=25)
+    assert loc.min_chunk == 25
+    assert len(loc.next_chunk_for(0)) == 25
+
+
+def test_make_scheduler_shares_stats_object():
+    stats = SchedStats(policy="guided")
+    sched = make_scheduler("guided", [(i,) for i in range(10)], 2, 2, stats=stats)
+    sched.next_chunk()
+    assert stats.chunks == 1 and stats.iterations > 0
+
+
+def test_guided_min_chunk_bounds_tail():
+    sched = GuidedScheduler([(i,) for i in range(20)], workers=2, min_chunk=4)
+    sizes = []
+    while not sched.done:
+        sizes.append(len(sched.next_chunk()))
+    assert sum(sizes) == 20
+    # every chunk but the ragged last one respects the floor
+    assert all(s >= 4 for s in sizes[:-1])
+
+
+def test_locality_serves_own_queue_first():
+    iters = [(i,) for i in range(8)]
+    preferred = [0, 0, 0, 0, 1, 1, 1, 1]
+    sched = LocalityScheduler(iters, workers=2, preferred=preferred)
+    c0 = sched.next_chunk_for(0)
+    c1 = sched.next_chunk_for(1)
+    assert all(i < (4,) for i in c0)
+    assert all(i >= (4,) for i in c1)
+    assert sched.stats.locality_hits == len(c0) + len(c1)
+    assert sched.stats.locality_misses == 0
+    assert sched.stats.steals == 0
+
+
+def test_locality_covers_everything_once_despite_skew():
+    # all iterations prefer worker 0; workers 1/2 must steal
+    iters = [(i,) for i in range(60)]
+    sched = LocalityScheduler(iters, workers=3, preferred=[0] * 60)
+    served = []
+    active = {0, 1, 2}
+    order = [1, 2, 0]  # thieves ask first
+    while active:
+        for w in list(order):
+            if w not in active:
+                continue
+            chunk = sched.next_chunk_for(w)
+            if not chunk:
+                active.discard(w)
+            else:
+                served.extend(chunk)
+    assert sorted(served) == iters
+    assert sched.stats.steals > 0
+    assert sched.stats.stolen_iterations > 0
+    assert sched.stats.locality_hits + sched.stats.locality_misses == 60
+
+
+def test_locality_steals_tail_of_largest_queue():
+    iters = [(i,) for i in range(10)]
+    # worker 0 owns everything, worker 1 owns nothing
+    sched = LocalityScheduler(
+        iters, workers=2, preferred=[0] * 10, chunk_factor=5, min_chunk=1
+    )
+    chunk = sched.next_chunk_for(1)
+    # the thief takes half of worker 0's queue, coldest (tail) first,
+    # but receives it in enumeration order
+    assert chunk == [(5,), (6,), (7,), (8,), (9,)][: len(chunk)]
+    assert chunk[0] == (5,)
+    assert sched.stats.steals == 1
+    # worker 0 still gets its warm head
+    assert sched.next_chunk_for(0)[0] == (0,)
+
+
+def test_locality_round_robins_without_preferences():
+    iters = [(i,) for i in range(6)]
+    sched = LocalityScheduler(iters, workers=3)
+    assert sched._home == [0, 1, 2, 0, 1, 2]
+
+
+def test_locality_rejects_bad_preference_map():
+    with pytest.raises(ValueError):
+        LocalityScheduler([(0,), (1,)], workers=2, preferred=[0])
+    with pytest.raises(ValueError):
+        LocalityScheduler([(0,), (1,)], workers=2, preferred=[0, 5])
+
+
+def test_locality_empty_iteration_space():
+    sched = LocalityScheduler([], workers=2)
+    assert sched.done
+    assert sched.next_chunk_for(0) == []
+    assert sched.next_chunk_for(1) == []
