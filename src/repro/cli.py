@@ -59,11 +59,15 @@ def _config(args: argparse.Namespace) -> SIPConfig:
     kwargs = {}
     if args.memory_mb is not None:
         kwargs["memory_per_worker"] = args.memory_mb * 1e6
+    execution = getattr(args, "backend", "sim")
+    # the multiprocess backend exists for real wallclock, so it pairs
+    # with real kernels; the simulator defaults to the coarse model
     return SIPConfig(
         workers=args.workers,
         io_servers=args.io_servers,
         segment_size=args.segment,
-        backend="model",
+        backend="real" if execution == "mp" else "model",
+        execution=execution,
         machine=get_machine(args.machine),
         prefetch_depth=args.prefetch,
         spill=args.spill,
@@ -139,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="record block accesses and report runtime conflicts",
+    )
+    p.add_argument(
+        "--backend",
+        default="sim",
+        choices=("sim", "mp"),
+        help="execution backend: the deterministic simulator (default) "
+        "or real multiprocess workers over pipes + shared memory",
     )
     _add_runtime_options(p)
 
@@ -244,7 +255,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.sanitize:
             config.sanitize = True
         result = run_program(compiled, config, symbolics)
-        print(f"simulated time: {result.elapsed:.6f} s on {config.workers} workers")
+        if config.execution == "mp":
+            print(
+                f"wallclock time: {result.stats['wallclock_seconds']:.6f} s "
+                f"on {config.workers} worker processes"
+            )
+        else:
+            print(
+                f"simulated time: {result.elapsed:.6f} s on {config.workers} workers"
+            )
         print(f"wait fraction : {100 * result.profile.wait_fraction:.2f} %")
         for name, value in sorted(result.scalars.items()):
             print(f"scalar {name} = {value!r}")

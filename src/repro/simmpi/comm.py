@@ -128,6 +128,16 @@ class World:
             raise ValueError(f"rank {rank} outside world of size {self.size}")
         return SimComm(self, rank)
 
+    def barrier(self, group: Iterable[int], name: str = "barrier") -> "Barrier":
+        """Create a reusable barrier over ``group``.
+
+        Part of the transport interface (see
+        :mod:`repro.sip.transport`): the multiprocess world returns a
+        message-based barrier here, while the simulated one can simply
+        count arrivals in shared memory.
+        """
+        return Barrier(self, group, name=name)
+
 
 @dataclass
 class WorldStats:

@@ -42,10 +42,14 @@ from .scheduler import (
     make_scheduler,
 )
 from .tracing import SchedTraceEvent, TraceRecorder
+from .transport import BarrierHandle, CommEndpoint, TransportWorld
 
 __all__ = [
     "AccessPoint",
+    "BarrierHandle",
     "BarrierViolation",
+    "CommEndpoint",
+    "TransportWorld",
     "Block",
     "BlockCache",
     "BlockId",

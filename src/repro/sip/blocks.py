@@ -244,6 +244,11 @@ class BlockId:
             return self.array_id == other.array_id and self.coords == other.coords
         return NotImplemented
 
+    def __reduce__(self):
+        # __slots__ classes need explicit pickle support; the hash is
+        # recomputed on the receiving side by __init__.
+        return (BlockId, (self.array_id, self.coords))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BlockId(array_id={self.array_id}, coords={self.coords})"
 
@@ -337,6 +342,16 @@ class Block:
         self._shared = None
         cell[0] -= 1
         return cell[0] <= 0
+
+    def __getstate__(self):
+        # The copy-on-write cell is process-local bookkeeping: a twin on
+        # the other side of a pipe cannot share our buffer, so it
+        # crosses as a plain exclusive block.
+        return (self.shape, self.data, self.dtype)
+
+    def __setstate__(self, state):
+        self.shape, self.data, self.dtype = state
+        self._shared = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "real" if self.data is not None else "model"

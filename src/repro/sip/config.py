@@ -74,6 +74,23 @@ class SIPConfig:
     backend:
         ``"real"`` executes numpy kernels (correctness); ``"model"``
         charges only modeled time (scaling studies).
+    execution:
+        Which execution backend carries the ranks: ``"sim"`` (default)
+        runs every rank cooperatively inside the deterministic
+        :mod:`repro.simmpi` discrete-event simulator; ``"mp"`` runs
+        each rank as a real OS process (``multiprocessing`` fork) with
+        pickled control messages over duplex pipes and block payloads
+        in POSIX shared memory (see :mod:`repro.sip.mptransport`).
+        Results are bitwise identical between the two; the simulator
+        stays the reference oracle while ``"mp"`` uses all cores.
+    mp_payload_shm_min:
+        Smallest block payload, in bytes, shipped through a shared
+        memory segment rather than pickled inline on the pipe
+        (``execution="mp"`` only).
+    mp_timeout:
+        Watchdog, in seconds, for the multiprocess backend: a rank that
+        makes no progress and receives no message for this long aborts
+        the run, and the parent reports which rank stalled.
     fastpath:
         Enable the execution fast path: compiled kernel plans (cached
         GEMM lowering / einsum paths), memoized operand resolution, and
@@ -165,6 +182,9 @@ class SIPConfig:
     affinity_replica_weight: float = 1.0
     affinity_replica_history: int = 2
     backend: str = "real"
+    execution: str = "sim"
+    mp_payload_shm_min: int = 1 << 14
+    mp_timeout: float = 120.0
     fastpath: bool = True
     kernel_wallclock: bool = False
     machine: Machine = LAPTOP
@@ -197,6 +217,22 @@ class SIPConfig:
             raise ValueError("segment_size must be >= 1")
         if self.backend not in ("real", "model"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.execution not in ("sim", "mp"):
+            raise ValueError(f"unknown execution backend {self.execution!r}")
+        if self.execution == "mp":
+            if self.faults is not None:
+                raise ValueError(
+                    "fault injection needs virtual time; use execution='sim'"
+                )
+            if self.resilient:
+                raise ValueError(
+                    "the resilient protocol's timeout races need virtual "
+                    "time; use execution='sim'"
+                )
+            if self.mp_payload_shm_min < 0:
+                raise ValueError("mp_payload_shm_min must be >= 0")
+            if self.mp_timeout <= 0:
+                raise ValueError("mp_timeout must be positive")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
         if self.scheduling not in ("guided", "static", "locality"):

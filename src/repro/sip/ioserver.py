@@ -86,6 +86,11 @@ class IOServerProcess:
         # so a retried prepare is applied exactly once but still acked
         self._prepare_state: dict[tuple[int, int], str] = {}
         self.resilience = ResilienceStats()
+        # canonical accumulation: '+=' prepares carrying an accum_key
+        # are acknowledged immediately and buffered here, then folded
+        # in key order at the first request (or at run end) -- see
+        # WorkerProcess._pending_accums for the rationale
+        self._pending_accums: dict[BlockId, list[tuple[tuple, Block]]] = {}
 
     def tracker(self, epoch: int) -> ConflictTracker:
         t = self.trackers.get(epoch)
@@ -136,6 +141,15 @@ class IOServerProcess:
             self._prepare_state[(source, p.seq)] = "pending"
         self.tracker(p.epoch).record_write(p.worker_index, p.block_id, p.op)
         bid = p.block_id
+        if p.op != "=" and p.accum_key is not None:
+            self._pending_accums.setdefault(bid, []).append(
+                (p.accum_key, p.block)
+            )
+            self._finish_prepare(p, source)
+            return
+        if p.op == "=":
+            # an overwrite supersedes any buffered contributions
+            self._pending_accums.pop(bid, None)
         entry = self.cache.lookup(bid)
         if entry is not None and not entry.pending:
             self._apply(entry.block, p)
@@ -239,6 +253,7 @@ class IOServerProcess:
         entry = self.cache.lookup(p.block_id)
         if entry is not None and not entry.pending:
             self.cache.record_use(p.block_id, hit=True)
+            self._fold_pending(p.block_id)
             self._reply(p, source, entry.block)
             return
         self.cache.record_use(p.block_id, hit=False)
@@ -248,8 +263,33 @@ class IOServerProcess:
         )
 
     def _request_later(self, p: RequestBlock, source: int) -> Generator:
-        entry = yield from self._ensure_cached(p.block_id, allow_missing=False)
+        # a block that only ever received buffered '+=' contributions
+        # has no disk image yet: fold onto zeros
+        allow_missing = p.block_id in self._pending_accums
+        entry = yield from self._ensure_cached(
+            p.block_id, allow_missing=allow_missing
+        )
+        self._fold_pending(p.block_id)
         self._reply(p, source, entry.block)
+
+    def _fold_pending(self, bid: BlockId) -> None:
+        """Fold buffered '+=' contributions into the (ready) cache entry."""
+        pending = self._pending_accums.pop(bid, None)
+        if not pending:
+            return
+        entry = self.cache.lookup(bid, touch=False)
+        block = entry.block
+        copied = block.ensure_writable()
+        if copied:
+            self.rt.cow.cow_copies += 1
+            self.rt.cow.cow_bytes_copied += copied
+        pending.sort(key=lambda kv: kv[0])
+        if block.data is not None:
+            for _key, inc in pending:
+                if inc.data is not None:
+                    block.data[...] += inc.data
+        entry.dirty = True
+        self._start_writeback(bid)
 
     def _ensure_cached(self, bid: BlockId, allow_missing: bool) -> Generator:
         """Get a ready cache entry, loading from disk if necessary.
@@ -344,6 +384,47 @@ class IOServerProcess:
         )
 
     # -- post-run access (outside simulated time) -------------------------------
+    def flush_pending(self) -> None:
+        """Fold never-read buffered '+=' contributions into the disk image.
+
+        Called after the run (outside simulated time) so result
+        gathering through :meth:`current_blocks` sees every
+        contribution; canonical key order keeps the result identical to
+        what an in-run fold would have produced.
+        """
+        for bid in list(self._pending_accums):
+            pending = self._pending_accums.pop(bid)
+            pending.sort(key=lambda kv: kv[0])
+            entry = self.cache.lookup(bid, touch=False)
+            if entry is not None and not entry.pending and entry.block is not None:
+                base = entry.block
+                copied = base.ensure_writable()
+                if copied:
+                    self.rt.cow.cow_copies += 1
+                    self.rt.cow.cow_bytes_copied += copied
+                if base.data is not None:
+                    for _key, inc in pending:
+                        if inc.data is not None:
+                            base.data[...] += inc.data
+                    self.disk_data[bid] = base.data.copy()
+                else:
+                    self.disk_data[bid] = base.shape
+                continue
+            stored = self.disk_data.get(bid)
+            shape = self.rt.block_shape(bid)
+            if self.rt.real:
+                data = (
+                    stored.copy()
+                    if isinstance(stored, np.ndarray)
+                    else np.zeros(shape, dtype=self.rt.dtype)
+                )
+                for _key, inc in pending:
+                    if inc.data is not None:
+                        data += inc.data
+                self.disk_data[bid] = data
+            else:
+                self.disk_data[bid] = shape
+
     def current_blocks(self, array_id: int) -> dict[tuple[int, ...], Block]:
         """Freshest contents of one array's blocks on this server."""
         out: dict[tuple[int, ...], Block] = {}

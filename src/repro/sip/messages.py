@@ -33,6 +33,10 @@ __all__ = [
     "PrepareBlock",
     "WorkerDone",
     "Shutdown",
+    "BarrierArrive",
+    "BarrierRelease",
+    "BARRIER_TAG",
+    "BARRIER_RELEASE_TAG",
     "message_nbytes",
     "snapshot_for_transport",
 ]
@@ -40,6 +44,12 @@ __all__ = [
 SERVICE_TAG = 1
 MASTER_TAG = 2
 SERVER_TAG = 3
+#: Barrier coordination (multiprocess backend): arrivals go to the
+#: coordinator's BARRIER_TAG mailbox, releases come back on each
+#: member's BARRIER_RELEASE_TAG.  A rank waits on at most one barrier
+#: at a time, so one release tag per rank suffices.
+BARRIER_TAG = 4
+BARRIER_RELEASE_TAG = 5
 REPLY_TAG_BASE = 1000
 
 #: Envelope overhead charged per message on top of block payloads.
@@ -62,7 +72,12 @@ class PutBlock:
 
     ``seq`` is a sender-unique sequence number used by the resilient
     protocol to apply a retried put exactly once; -1 when resilience is
-    off.
+    off.  ``accum_key`` orders '+=' contributions canonically at the
+    owner: ``(0, pardo_id, activation, iteration, n)`` inside a pardo,
+    ``(1, worker_index, n)`` outside one, so the fold order -- and the
+    floating-point result -- is independent of arrival order and
+    identical across execution backends.  None (legacy senders) applies
+    immediately in arrival order.
     """
 
     block_id: BlockId
@@ -72,6 +87,7 @@ class PutBlock:
     epoch: int
     ack_tag: int
     seq: int = -1
+    accum_key: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -152,7 +168,8 @@ class PrepareBlock:
 
     ``seq`` is a sender-unique sequence number used by the resilient
     protocol to apply a retried prepare exactly once; -1 when
-    resilience is off.
+    resilience is off.  ``accum_key`` is the same canonical '+='
+    ordering key as :class:`PutBlock`.
     """
 
     block_id: BlockId
@@ -162,6 +179,7 @@ class PrepareBlock:
     epoch: int
     ack_tag: int
     seq: int = -1
+    accum_key: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -173,6 +191,23 @@ class WorkerDone:
 @dataclass(frozen=True)
 class Shutdown:
     ack_tag: int = -1  # resilient protocol: receiver acks on this tag
+
+
+@dataclass(frozen=True)
+class BarrierArrive:
+    """Member -> barrier coordinator: I reached this barrier generation."""
+
+    name: str
+    generation: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class BarrierRelease:
+    """Barrier coordinator -> member: everyone arrived, proceed."""
+
+    name: str
+    generation: int
 
 
 def message_nbytes(msg: Any) -> Optional[int]:

@@ -1,0 +1,478 @@
+"""Real multiprocess transport for the SIP: pipes + shared memory.
+
+The ``execution="mp"`` backend runs every SIP rank as a forked OS
+process.  Each child keeps its *own* discrete-event :class:`Simulator`
+hosting only that rank's coroutines (a worker's interpreter and service
+pump, a server's message loop, the master), and an :class:`MPEngine`
+drains the local event queue, blocking on the real pipe mesh whenever
+the rank is purely waiting on a message.  This reuses the entire
+runtime unchanged -- decoded instruction stream, KernelPlanCache,
+MemoryManager, scheduler -- because those only ever talk to the narrow
+transport surface of :mod:`repro.sip.transport`:
+
+* :class:`MPComm` implements the endpoint: ``isend`` pickles control
+  messages over a duplex :class:`multiprocessing.connection.Connection`
+  per peer pair, detouring block payloads at or above
+  ``SIPConfig.mp_payload_shm_min`` bytes through named POSIX shared
+  memory segments (created by the sender, copied out and unlinked by
+  the receiver); ``irecv`` posts to the rank's local tag-matched
+  mailbox, reused verbatim from the simulator.
+* :class:`MPBarrier` replaces the simulator's shared-counter barrier
+  with an arrive/release message protocol coordinated by a daemon
+  coroutine on the master rank (:func:`mp_barrier_service`).
+
+Simulated time still advances inside each child (``compute`` /
+``Timeout`` effects pile onto the local virtual clock), but it no
+longer means anything across ranks -- wallclock is what the backend is
+for.  Determinism therefore cannot come from timing: it comes from the
+canonical fold order of every reduction (collective ledger, '+=' put
+buffering), which is what makes mp output bitwise identical to the
+simulator's.
+
+Shared-memory lifecycle: segment names are ``rmp<run>r<rank>n<seq>``;
+the sender copies the payload in and closes; the receiver attaches,
+copies out, closes and unlinks.  Segments bypass the stdlib resource
+tracker entirely (see :func:`_untracked_shm`) -- lifecycle is managed
+explicitly, and if a rank dies between send and receive the parent
+sweeps ``/dev/shm/rmp<run>*`` after the run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import heapq
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mpconn
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Generator, Iterable, Optional
+
+import numpy as np
+
+from ..simmpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Request,
+    WorldStats,
+    _Mailbox,
+    _PostedRecv,
+)
+from ..simmpi.network import payload_nbytes
+from ..simmpi.simulator import SimulationError, Simulator, Timeout
+from .config import SIPError
+from .blocks import Block
+from .messages import (
+    BARRIER_RELEASE_TAG,
+    BARRIER_TAG,
+    BarrierArrive,
+    BarrierRelease,
+)
+
+__all__ = [
+    "MPWorld",
+    "MPComm",
+    "MPBarrier",
+    "MPEngine",
+    "ShmStats",
+    "mp_barrier_service",
+    "pack_payload",
+    "unpack_payload",
+]
+
+
+@dataclass
+class ShmStats:
+    """Shared-memory traffic of one rank (sender + receiver sides)."""
+
+    segments_created: int = 0
+    segments_unlinked: int = 0
+    bytes_shared: int = 0
+
+
+@dataclass(frozen=True)
+class _ShmRef:
+    """Placeholder for a Block payload travelling via shared memory."""
+
+    name: str
+    data_shape: tuple
+    dtype_str: str
+    block_shape: tuple
+
+
+@contextlib.contextmanager
+def _untracked_shm():
+    """Open a SharedMemory without resource-tracker registration.
+
+    Segment lifecycle is managed explicitly here (the receiver unlinks,
+    the parent sweeps after a crash).  Python < 3.13 has no
+    ``track=False`` and registers on *attach* as well as create, so
+    with a forked (shared) tracker the sender's unregister can race the
+    receiver's attach/unlink pair and corrupt the tracker's cache.
+    Suppressing registration around the constructor avoids the race;
+    the engine is single-threaded, so the swap is safe.
+    """
+    orig_reg = resource_tracker.register
+    orig_unreg = resource_tracker.unregister
+    resource_tracker.register = lambda name, rtype: None
+    resource_tracker.unregister = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = orig_reg
+        resource_tracker.unregister = orig_unreg
+
+
+def pack_payload(payload: Any, shm_min: int, namer, stats: ShmStats) -> Any:
+    """Detach a large Block payload into a shared-memory segment."""
+    block = getattr(payload, "block", None)
+    if (
+        not isinstance(block, Block)
+        or block.data is None
+        or block.data.nbytes < shm_min
+    ):
+        return payload
+    data = block.data
+    name = namer()
+    with _untracked_shm():
+        seg = shared_memory.SharedMemory(name=name, create=True, size=data.nbytes)
+    view = np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)
+    np.copyto(view, data)
+    del view
+    seg.close()
+    stats.segments_created += 1
+    stats.bytes_shared += data.nbytes
+    ref = _ShmRef(name, tuple(data.shape), str(data.dtype), tuple(block.shape))
+    return dataclasses.replace(payload, block=ref)
+
+
+def unpack_payload(payload: Any, stats: ShmStats) -> Any:
+    """Reattach a shared-memory Block payload (copy out, then unlink)."""
+    ref = getattr(payload, "block", None)
+    if not isinstance(ref, _ShmRef):
+        return payload
+    with _untracked_shm():
+        seg = shared_memory.SharedMemory(name=ref.name)
+        view = np.ndarray(
+            ref.data_shape, dtype=np.dtype(ref.dtype_str), buffer=seg.buf
+        )
+        data = view.copy()
+        del view
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - double delivery guard
+            pass
+    stats.segments_unlinked += 1
+    return dataclasses.replace(payload, block=Block(ref.block_shape, data))
+
+
+class MPWorld:
+    """One rank's view of the process mesh (transport-world surface).
+
+    Unlike the simulated :class:`~repro.simmpi.comm.World`, which holds
+    every rank's mailbox, an ``MPWorld`` lives inside a single child
+    process: it owns that rank's mailbox, its pipe connections to every
+    peer, and the local traffic stats (merged by the parent afterwards).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        size: int,
+        rank: int,
+        conns: dict[int, Any],
+        run_id: str,
+        shm_min: int = 1 << 14,
+        timeout: float = 120.0,
+        coordinator: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.size = size
+        self.rank = rank
+        self.stats = WorldStats()
+        self.shm_stats = ShmStats()
+        self._mailbox = _Mailbox()
+        self._conns = dict(conns)
+        self._live = dict(self._conns)
+        self._run_id = run_id
+        self._shm_min = shm_min
+        self._timeout = timeout
+        self._coordinator = coordinator
+        self._barrier_groups: dict[str, list[int]] = {}
+        self._shm_counter = 0
+
+    # -- transport-world surface -----------------------------------------
+    def comm(self, rank: int) -> "MPComm":
+        if rank != self.rank:
+            raise SIPError(
+                f"rank {self.rank} cannot build an endpoint for rank {rank}; "
+                "each mp child holds exactly one rank"
+            )
+        return MPComm(self)
+
+    def barrier(self, group: Iterable[int], name: str = "barrier") -> "MPBarrier":
+        members = sorted(set(group))
+        if not members:
+            raise ValueError("barrier group must be non-empty")
+        # the coordinator's service looks groups up by name
+        self._barrier_groups[name] = members
+        return MPBarrier(self, members, name)
+
+    # -- shared memory -----------------------------------------------------
+    def _shm_name(self) -> str:
+        self._shm_counter += 1
+        return f"rmp{self._run_id}r{self.rank}n{self._shm_counter}"
+
+    # -- real message intake ----------------------------------------------
+    def _deliver_raw(self, raw: tuple) -> None:
+        source, tag, nbytes, packed = raw
+        payload = unpack_payload(packed, self.shm_stats)
+        self._mailbox.deliver(
+            Message(payload=payload, source=source, tag=tag, nbytes=nbytes)
+        )
+
+    def _drain_conn(self, rank: int, conn: Any) -> int:
+        delivered = 0
+        while True:
+            try:
+                if not conn.poll(0):
+                    break
+                raw = conn.recv()
+            except (EOFError, OSError):
+                # a finished peer closing its end is normal shutdown
+                # skew; a *needed* peer's death surfaces as a timeout
+                # (or an all-peers-gone error) on the next wait
+                self._live.pop(rank, None)
+                break
+            self._deliver_raw(raw)
+            delivered += 1
+        return delivered
+
+    def poll(self) -> int:
+        """Drain every readable connection without blocking."""
+        delivered = 0
+        for rank, conn in list(self._live.items()):
+            delivered += self._drain_conn(rank, conn)
+        return delivered
+
+    def wait_for_message(self) -> int:
+        """Block until at least one message arrives; deliver it.
+
+        Raises :class:`SIPError` when no peer can still send (all pipes
+        closed) or nothing arrives within the configured watchdog
+        window -- both mean a stalled or crashed peer.
+        """
+        deadline = time.monotonic() + self._timeout
+        while True:
+            if not self._live:
+                raise SIPError(
+                    f"rank {self.rank}: all peers disconnected while "
+                    "work is still pending"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise SIPError(
+                    f"rank {self.rank}: no message in {self._timeout:g}s "
+                    "while work is still pending (a peer stalled or died)"
+                )
+            by_conn = {conn: rank for rank, conn in self._live.items()}
+            ready = mpconn.wait(list(by_conn), timeout=remaining)
+            delivered = 0
+            for conn in ready:
+                delivered += self._drain_conn(by_conn[conn], conn)
+            if delivered:
+                return delivered
+
+
+class MPComm:
+    """A single rank's endpoint onto the process mesh."""
+
+    __slots__ = ("world", "rank")
+
+    def __init__(self, world: MPWorld) -> None:
+        self.world = world
+        self.rank = world.rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    # -- point to point ---------------------------------------------------
+    def isend(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int,
+        nbytes: Optional[int] = None,
+    ) -> Request:
+        """Non-blocking send: written to the peer's pipe immediately.
+
+        The returned request is already complete -- a real transport
+        has no injection time to model, and delivery latency is the
+        pipe's problem.
+        """
+        world = self.world
+        if not (0 <= dest < world.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        size = payload_nbytes(payload, nbytes)
+        world.stats.messages_sent += 1
+        world.stats.bytes_sent += size
+        if dest == self.rank:
+            world._mailbox.deliver(
+                Message(payload=payload, source=self.rank, tag=tag, nbytes=size)
+            )
+        else:
+            world.stats.remote_bytes += size
+            packed = pack_payload(
+                payload, world._shm_min, world._shm_name, world.shm_stats
+            )
+            conn = world._conns.get(dest)
+            if conn is None:
+                raise SIPError(f"rank {self.rank} has no connection to {dest}")
+            try:
+                conn.send((self.rank, tag, size, packed))
+            except (BrokenPipeError, OSError) as err:
+                raise SIPError(
+                    f"rank {self.rank}: send to rank {dest} failed; "
+                    f"the peer process is gone ({err})"
+                ) from err
+        done = world.sim.event(name=f"mpsend {self.rank}->{dest} tag={tag}")
+        done.succeed(None)
+        return Request(done, "send")
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        ev = self.sim.event(name=f"mpirecv rank={self.rank} src={source} tag={tag}")
+        self.world._mailbox.post(_PostedRecv(source, tag, ev))
+        return Request(ev, "recv")
+
+    def send(
+        self, payload: Any, dest: int, tag: int, nbytes: Optional[int] = None
+    ) -> Generator[Any, Any, None]:
+        req = self.isend(payload, dest, tag, nbytes=nbytes)
+        yield req.event
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Generator[Any, Any, Message]:
+        req = self.irecv(source, tag)
+        msg = yield req.event
+        return msg
+
+    def compute(self, seconds: float) -> Timeout:
+        """Local work: advances this rank's (now meaningless) virtual
+        clock; the actual CPU time was already spent by the kernel."""
+        return Timeout(seconds)
+
+
+
+class MPBarrier:
+    """Message-based barrier: arrive at the coordinator, await release."""
+
+    def __init__(self, world: MPWorld, group: list[int], name: str) -> None:
+        self.world = world
+        self.group = group
+        self.name = name
+        self._member_generation: dict[int, int] = {r: 0 for r in group}
+
+    def wait(self, comm: MPComm) -> Generator[Any, Any, None]:
+        rank = comm.rank
+        if rank not in self._member_generation:
+            raise ValueError(
+                f"rank {rank} is not a member of barrier {self.name!r}"
+            )
+        gen = self._member_generation[rank]
+        self._member_generation[rank] = gen + 1
+        coordinator = self.world._coordinator
+        # post the release receive before announcing arrival, so the
+        # coordinator's (possibly instant) answer cannot be missed
+        req = comm.irecv(source=coordinator, tag=BARRIER_RELEASE_TAG)
+        comm.isend(
+            BarrierArrive(self.name, gen, rank), dest=coordinator, tag=BARRIER_TAG
+        )
+        msg = yield req.event
+        release = msg.payload
+        if (
+            not isinstance(release, BarrierRelease)
+            or release.name != self.name
+            or release.generation != gen
+        ):
+            raise SIPError(
+                f"rank {rank}: barrier protocol violation: waiting on "
+                f"{self.name!r} gen {gen}, got {release!r}"
+            )
+
+
+def mp_barrier_service(comm: MPComm, world: MPWorld) -> Generator:
+    """Coordinator daemon (runs on the master rank's engine).
+
+    Counts :class:`BarrierArrive` messages per (name, generation) and
+    broadcasts :class:`BarrierRelease` when the whole group arrived.
+    Ranks progress through generations at their own pace, so distinct
+    generations of the same barrier can be pending at once.
+    """
+    counts: dict[tuple[str, int], list[int]] = {}
+    while True:
+        msg = yield from comm.recv(tag=BARRIER_TAG)
+        arrive = msg.payload
+        if not isinstance(arrive, BarrierArrive):
+            raise SIPError(f"barrier service got unexpected message {arrive!r}")
+        group = world._barrier_groups.get(arrive.name)
+        if group is None:
+            raise SIPError(f"barrier service knows no barrier {arrive.name!r}")
+        key = (arrive.name, arrive.generation)
+        arrived = counts.setdefault(key, [])
+        arrived.append(msg.source)
+        if len(arrived) == len(group):
+            del counts[key]
+            for member in sorted(arrived):
+                comm.isend(
+                    BarrierRelease(arrive.name, arrive.generation),
+                    dest=member,
+                    tag=BARRIER_RELEASE_TAG,
+                )
+
+
+class MPEngine:
+    """Drive one rank's local simulator against the real pipe mesh.
+
+    The loop mirrors :meth:`Simulator.run` step for step, with two
+    additions: every few events it opportunistically drains readable
+    pipes (so the service pump stays responsive while local work is
+    queued), and when the local queue runs dry with coroutines still
+    active it *blocks* on the mesh instead of declaring deadlock --
+    the awaited event will be triggered by an incoming message.
+    """
+
+    #: how many local events to run between non-blocking pipe polls
+    POLL_INTERVAL = 32
+
+    def __init__(self, sim: Simulator, world: MPWorld) -> None:
+        self.sim = sim
+        self.world = world
+
+    def run(self) -> None:
+        sim = self.sim
+        world = self.world
+        queue = sim._queue
+        steps = 0
+        while True:
+            while queue:
+                call = heapq.heappop(queue)
+                if call.time < sim.now - 1e-12:
+                    raise SimulationError("time went backwards")
+                sim.now = call.time
+                call.fn(*call.args)
+                if sim._errors:
+                    raise sim._errors[0]
+                steps += 1
+                if steps % self.POLL_INTERVAL == 0:
+                    world.poll()
+            if sim._active == 0:
+                return
+            world.wait_for_message()

@@ -9,6 +9,7 @@ profile, scalar values, and (in real mode) array contents.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -127,6 +128,12 @@ def _execute(
     retries: ResilienceStats,
     restarts: int,
 ) -> RunResult:
+    if config.execution == "mp":
+        from .mprunner import execute_mp
+
+        return execute_mp(program, config, symbolics, retries, restarts)
+
+    wall_start = time.perf_counter()
     sim = Simulator()
     world = World(sim, config.world_size, config.machine.network(), config.faults)
     rt = SharedRuntime(program, config, symbolics, sim, world)
@@ -168,7 +175,47 @@ def _execute(
         # external store) sees every block's data
         for w in workers:
             w.memman.restore_all()
+        # fold any never-read buffered '+=' contributions so gathered
+        # arrays see them (canonical key order keeps results identical
+        # to an in-run fold)
+        for w in workers:
+            w.fold_pending_accums()
+        for s in servers:
+            s.flush_pending()
 
+    return _finalize(
+        program,
+        config,
+        rt,
+        report,
+        workers,
+        servers,
+        master,
+        retries,
+        restarts,
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+
+
+def _finalize(
+    program: CompiledProgram,
+    config: SIPConfig,
+    rt: SharedRuntime,
+    report: DryRunReport,
+    workers: list,
+    servers: list,
+    master,
+    retries: ResilienceStats,
+    restarts: int,
+    wall_seconds: float = 0.0,
+) -> RunResult:
+    """Assemble a :class:`RunResult` from finished rank objects.
+
+    Shared by both execution backends: the simulator passes its live
+    ``WorkerProcess``/``IOServerProcess``/``MasterProcess`` objects, the
+    multiprocess runner passes gathered per-rank stand-ins exposing the
+    same attributes (see :mod:`repro.sip.mprunner`).
+    """
     elapsed = max((w.profile.elapsed for w in workers), default=0.0)
     memory = _aggregate_mem(workers, servers)
     profile = RunProfile(
@@ -186,6 +233,8 @@ def _execute(
         for i, name in enumerate(program.scalar_table)
     }
     stats = _collect_stats(rt, workers, servers, master)
+    stats["execution"] = config.execution
+    stats["wallclock_seconds"] = wall_seconds
     tracer = config.tracer
     if tracer is not None and hasattr(tracer, "annotate"):
         if rt.plan_cache is not None:
@@ -298,6 +347,61 @@ def _scatter_inputs(
                 f"cannot provide input for {desc.kind} array {name!r}; "
                 "only static, distributed, and served arrays take inputs"
             )
+
+
+def scatter_worker_inputs(rt: SharedRuntime, worker) -> None:
+    """Pre-load one worker's share of the initial array contents.
+
+    The multiprocess backend calls this in each worker child, which
+    holds exactly one :class:`WorkerProcess`; static arrays are fully
+    replicated, distributed arrays filtered to the worker's owned
+    coordinates.
+    """
+    for name, value in rt.config.inputs.items():
+        try:
+            array_id = rt.array_id_by_name(name)
+        except KeyError:
+            raise SIPError(f"input provided for undeclared array {name!r}") from None
+        desc = rt.array_desc(array_id)
+        if desc.kind == "static":
+            for coords, block in rt.blocks_from_input(array_id, value).items():
+                bid = BlockId(array_id, coords)
+                worker.local_blocks[bid] = block
+                worker.memman.adopt(bid, block, "static")
+        elif desc.kind == "distributed":
+            placement = rt.placements[array_id]
+            for coords, block in rt.blocks_from_input(array_id, value).items():
+                if placement.owner_index(coords) != worker.worker_index:
+                    continue
+                bid = BlockId(array_id, coords)
+                worker.owned[bid] = block
+                worker.memman.adopt(bid, block, "distributed")
+        elif desc.kind in ("temp", "local"):
+            raise SIPError(
+                f"cannot provide input for {desc.kind} array {name!r}; "
+                "only static, distributed, and served arrays take inputs"
+            )
+
+
+def scatter_server_inputs(rt: SharedRuntime, server) -> None:
+    """Pre-load one I/O server's share of the served array contents."""
+    for name, value in rt.config.inputs.items():
+        try:
+            array_id = rt.array_id_by_name(name)
+        except KeyError:
+            raise SIPError(f"input provided for undeclared array {name!r}") from None
+        desc = rt.array_desc(array_id)
+        if desc.kind != "served":
+            continue
+        placement = rt.served_placements[array_id]
+        for coords, block in rt.blocks_from_input(array_id, value).items():
+            if placement.owner_index(coords) != server.server_index:
+                continue
+            bid = BlockId(array_id, coords)
+            if block.data is not None:
+                server.disk_data[bid] = block.data
+            else:
+                server.disk_data[bid] = block.shape
 
 
 def _aggregate_mem(workers, servers):

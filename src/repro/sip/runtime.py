@@ -22,7 +22,7 @@ import numpy as np
 
 from ..costmodel import CostModel
 from ..sial.bytecode import ArrayDesc, CompiledProgram
-from ..simmpi import Barrier, Simulator, World
+from ..simmpi import Simulator, World
 from .backend import make_backend
 from .blocks import Block, BlockId, CowStats, ResolvedIndexTable, block_shape
 from .config import SIPConfig, SIPError
@@ -100,11 +100,13 @@ class SharedRuntime:
                     self.table, array_id, config.io_servers
                 )
 
-        self.worker_barrier = Barrier(
-            world, config.worker_ranks, name="sip_barrier"
+        # Barriers come from the world (transport) so the multiprocess
+        # backend can substitute a message-based implementation.
+        self.worker_barrier = world.barrier(
+            config.worker_ranks, name="sip_barrier"
         )
-        self.server_barrier_obj = Barrier(
-            world, config.worker_ranks, name="server_barrier"
+        self.server_barrier_obj = world.barrier(
+            config.worker_ranks, name="server_barrier"
         )
 
     # -- helpers ------------------------------------------------------------

@@ -200,6 +200,53 @@ class Sanitizer:
                     )
                 )
 
+    def absorb(
+        self,
+        records: dict[tuple[str, int, BlockId], _BlockEpochRecord],
+        report: SanitizerReport,
+    ) -> None:
+        """Merge one rank's recorder state (multiprocess gather).
+
+        Conflicts the child rank already found internally are carried
+        over as-is (deduplicated against what earlier ranks reported);
+        cross-rank conflicts are discovered here by colliding each
+        incoming first-access point against the records other ranks
+        contributed for the same (class, epoch, block).
+        """
+        self.report_data.accesses_recorded += report.accesses_recorded
+        self.report_data.total_conflicts += report.total_conflicts
+        for msg in report.owner_violations:
+            self.note_owner_violation(msg)
+        for c in report.conflicts:
+            key = (c.kind, self.program.array_id(c.array), c.first.pc, c.second.pc)
+            if key in self._seen_conflicts:
+                continue
+            self._seen_conflicts.add(key)
+            if len(self.report_data.conflicts) < MAX_CONFLICTS:
+                self.report_data.conflicts.append(c)
+        for rkey, rec in records.items():
+            mine = self._records.get(rkey)
+            if mine is None:
+                # first rank to touch this block/epoch: adopt wholesale
+                # (its internal conflicts were counted by the child)
+                self._records[rkey] = rec
+                self.report_data.blocks_tracked += 1
+                continue
+            _cls, epoch, bid = rkey
+            for point in rec.readers.values():
+                self._collide(mine.overwriters, point, bid, epoch, "read-write")
+                self._collide(mine.accumulators, point, bid, epoch, "read-write")
+                mine.readers.setdefault(point.iteration, point)
+            for point in rec.overwriters.values():
+                self._collide(mine.readers, point, bid, epoch, "read-write")
+                self._collide(mine.overwriters, point, bid, epoch, "write-write")
+                self._collide(mine.accumulators, point, bid, epoch, "write-write")
+                mine.overwriters.setdefault(point.iteration, point)
+            for point in rec.accumulators.values():
+                self._collide(mine.readers, point, bid, epoch, "read-write")
+                self._collide(mine.overwriters, point, bid, epoch, "write-write")
+                mine.accumulators.setdefault(point.iteration, point)
+
     def note_owner_violation(self, message: str) -> None:
         """Sink for :class:`~.distributed.ConflictTracker` violations."""
         if message not in self.report_data.owner_violations:

@@ -147,6 +147,14 @@ class TraceRecorder:
             SchedTraceEvent(time, worker, pardo_pc, size, locality_hits, stolen)
         )
 
+    def absorb(self, other: "TraceRecorder") -> None:
+        """Merge a child rank's recorder (multiprocess gather)."""
+        self.events.extend(other.events)
+        self.fault_events.extend(other.fault_events)
+        self.mem_events.extend(other.mem_events)
+        self.sched_events.extend(other.sched_events)
+        self.summary.update(other.summary)
+
     # -- queries -----------------------------------------------------------
     def for_worker(self, worker: int) -> list[TraceEvent]:
         return [e for e in self.events if e.worker == worker]

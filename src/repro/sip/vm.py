@@ -145,6 +145,15 @@ class WorkerProcess:
         self._scalar_poisoned: list[bool] = [False] * n_scalars
         self._iter_key: Optional[tuple] = None  # identity of the running iteration
         self._cond_scalar_need: dict[int, bool] = {}  # per pardo pc
+        # canonical accumulate-put ledger: '+=' contributions to owned
+        # distributed blocks are buffered with their sender-side order
+        # key and folded sorted by key at the first read (or at run
+        # end), so the floating-point sum is independent of message
+        # arrival order -- the block analogue of the collective ledger
+        # above, and what makes the multiprocess backend bitwise
+        # identical to the simulator
+        self._pending_accums: dict[BlockId, list[tuple[tuple, Block]]] = {}
+        self._accum_seq = 0
 
         # communication bookkeeping ------------------------------------------
         self._tag_counter = REPLY_TAG_BASE
@@ -321,6 +330,7 @@ class WorkerProcess:
                         f"(array "
                         f"{self.rt.array_desc(payload.block_id.array_id).name!r})"
                     )
+                self._fold_accums(payload.block_id)
                 self.memman.touch(payload.block_id)
                 self.tracker(payload.epoch).record_read(
                     payload.worker_index, payload.block_id
@@ -355,6 +365,7 @@ class WorkerProcess:
                         payload.block,
                         payload.worker_index,
                         payload.epoch,
+                        accum_key=payload.accum_key,
                     )
                 self.comm.isend(Ack(payload.ack_tag), dest=msg.source, tag=payload.ack_tag)
             else:
@@ -533,6 +544,7 @@ class WorkerProcess:
                     raise SIPError(
                         f"get of unwritten distributed block {r.block_id}"
                     )
+                self._fold_accums(r.block_id)
                 self.memman.touch(r.block_id)
                 self.memman.pin_instr(r.block_id)
                 self.tracker(self.epoch).record_read(self.worker_index, r.block_id)
@@ -724,6 +736,7 @@ class WorkerProcess:
         incoming: Block,
         writer_index: int,
         epoch: int,
+        accum_key: Optional[tuple] = None,
     ) -> None:
         self.tracker(epoch).record_write(writer_index, bid, op)
         block = self.owned.get(bid)
@@ -732,12 +745,55 @@ class WorkerProcess:
             self.owned[bid] = block
         else:
             self.memman.touch(bid)
-            self._writable(block)
-        if block.data is not None and incoming.data is not None:
-            if op == "=":
+        if op != "=" and accum_key is not None:
+            # canonical accumulation: buffer the contribution and fold
+            # at the first read, sorted by sender-side order key
+            self._pending_accums.setdefault(bid, []).append((accum_key, incoming))
+            return
+        self._writable(block)
+        if op == "=":
+            # an overwrite supersedes any buffered contributions
+            self._pending_accums.pop(bid, None)
+            if block.data is not None and incoming.data is not None:
                 block.data[...] = incoming.data
-            else:
-                block.data[...] += incoming.data
+        elif block.data is not None and incoming.data is not None:
+            # keyless legacy path (direct callers): apply immediately
+            block.data[...] += incoming.data
+
+    def _next_accum_key(self) -> tuple:
+        """Canonical ordering key for a '+=' put/prepare contribution.
+
+        Inside a pardo the key leads with the iteration identity, so the
+        fold order matches the iteration space no matter which worker ran
+        which iteration; outside one it leads with the worker index (all
+        workers execute the same SPMD statement).  The trailing per-sender
+        counter only breaks ties *within* one iteration, where it follows
+        program order on a single worker in every backend.
+        """
+        self._accum_seq += 1
+        if self._iter_key is not None:
+            pardo_id, activation, combo = self._iter_key
+            return (0, pardo_id, activation, combo, self._accum_seq)
+        return (1, self.worker_index, self._accum_seq)
+
+    def _fold_accums(self, bid: BlockId) -> None:
+        """Apply buffered '+=' contributions to ``bid`` in key order."""
+        pending = self._pending_accums.pop(bid, None)
+        if not pending:
+            return
+        block = self.owned[bid]
+        self.memman.touch(bid)
+        self._writable(block)
+        pending.sort(key=lambda kv: kv[0])
+        if block.data is not None:
+            for _key, inc in pending:
+                if inc.data is not None:
+                    block.data[...] += inc.data
+
+    def fold_pending_accums(self) -> None:
+        """Fold every buffered contribution (result gathering, run end)."""
+        for bid in list(self._pending_accums):
+            self._fold_accums(bid)
 
     # ======================================================================
     # fast opcode handlers (no simulated time passes)
@@ -850,6 +906,7 @@ class WorkerProcess:
     def op_delete(self, instr, pc: int) -> int:
         array_id = instr.args[0]
         for bid in [b for b in self.owned if b.array_id == array_id]:
+            self._pending_accums.pop(bid, None)
             self.memman.free(bid, self.owned.pop(bid))
         for bid in [b for b, e in list(self.cache.items()) if b.array_id == array_id]:
             self.cache.remove(bid)
@@ -1278,8 +1335,21 @@ class WorkerProcess:
         bid = dst_r.block_id
         self._sanitize("distributed", self.epoch, bid, op, instr, pc)
         owner = self.rt.owner_rank(bid)
+        accum_key = None if op == "=" else self._next_accum_key()
         if owner == self.rank:
-            self.apply_put(bid, op, src_block, self.worker_index, self.epoch)
+            # a buffered '+=' holds the payload past this instruction,
+            # so the owner-local fast path snapshots just like a send
+            snapshot = (
+                src_block
+                if accum_key is None
+                else snapshot_for_transport(
+                    src_block, self.rt.cow_enabled, self.rt.cow
+                )
+            )
+            self.apply_put(
+                bid, op, snapshot, self.worker_index, self.epoch,
+                accum_key=accum_key,
+            )
             cost = self.rt.cost.elementwise_time(src_block.nbytes)
             yield Timeout(cost)
             return pc + 1
@@ -1294,6 +1364,7 @@ class WorkerProcess:
             self.epoch,
             ack_tag,
             self._next_msg_seq(),
+            accum_key,
         )
 
         def send() -> None:
@@ -1329,6 +1400,7 @@ class WorkerProcess:
             self.served_epoch,
             ack_tag,
             self._next_msg_seq(),
+            None if op == "=" else self._next_accum_key(),
         )
 
         def send() -> None:
@@ -1418,6 +1490,9 @@ class WorkerProcess:
         desc = self.rt.array_desc(array_id)
         store = self.rt.external_store.setdefault(desc.name.lower(), {})
         total = 0
+        for bid in self.owned:
+            if bid.array_id == array_id:
+                self._fold_accums(bid)
         for bid, block in self.owned.items():
             if bid.array_id != array_id:
                 continue
@@ -1447,6 +1522,7 @@ class WorkerProcess:
                 # block absent from the store was never written
                 continue
             bid = BlockId(array_id, coords)
+            self._pending_accums.pop(bid, None)  # restore overwrites
             block = self.owned.get(bid)
             if block is None:
                 block = self._alloc_block(bid, zero=False)

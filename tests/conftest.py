@@ -1,0 +1,43 @@
+"""Shared fixtures: flaky-proofing for multiprocess-backend tests."""
+
+import multiprocessing
+import os
+
+import pytest
+
+
+def _shm_segments() -> set[str]:
+    """Names of this runtime's shared-memory segments currently live."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("rmp")}
+    except OSError:  # non-Linux: no /dev/shm to inspect
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def _mp_teardown(request):
+    """Backstop for tests marked ``mp``: reap strays, assert zero leaks.
+
+    The mp runner tears its fleet down even on error; this fixture
+    keeps one failing test from poisoning the rest of the session
+    (orphaned rank processes holding pipe ends, leaked /dev/shm
+    segments) and turns any leak into a test failure of its own.
+    """
+    if request.node.get_closest_marker("mp") is None:
+        yield
+        return
+    before = _shm_segments()
+    yield
+    for child in multiprocessing.active_children():
+        child.terminate()
+        child.join(timeout=10)
+        if child.is_alive():
+            child.kill()
+            child.join()
+    leaked = sorted(_shm_segments() - before)
+    for name in leaked:
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except OSError:
+            pass
+    assert not leaked, f"mp backend leaked shared memory segments: {leaked}"

@@ -1,0 +1,237 @@
+"""Simulator-vs-real differential conformance suite.
+
+The discrete-event simulator is the reference oracle; the multiprocess
+backend (``execution="mp"``) runs the same programs on real OS
+processes connected by pipes and shared memory, where message arrival
+order is genuinely racy.  Every bundled SIAL program runs on both
+backends at 1, 2 and 4 workers and must produce **bitwise identical**
+scalars and arrays -- the canonical reduction orders (collective
+ledger, '+=' accumulation keys) are what make that possible, and this
+suite is what holds them to it.
+
+Beyond results, each pairing checks the invariant slice of the stats
+(total pardo iterations; traffic counters are legitimately different
+because the mp barrier is message-based and arrival races change cache
+behavior), that the sanitizer stays clean across process boundaries,
+and that every shared-memory segment the run created was unlinked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.programs import (
+    run_ao2mo,
+    run_ccsd,
+    run_ccsd_t,
+    run_checkpoint_demo,
+    run_fock_build,
+    run_lccd,
+    run_lccd_anderson,
+    run_mp2,
+    run_paper_contraction,
+    run_uhf_mp2,
+)
+from repro.sip import SIPConfig, SIPError
+from repro.sip.runner import run_source
+
+WORKER_COUNTS = (1, 2, 4)
+
+DRIVERS = {
+    "paper_contraction": lambda cfg: run_paper_contraction(
+        n_basis=4, n_occ=2, config=cfg
+    ),
+    "mp2_energy": lambda cfg: run_mp2(n_basis=6, n_occ=2, config=cfg),
+    "uhf_mp2_energy": lambda cfg: run_uhf_mp2(
+        n_basis=5, n_alpha=2, n_beta=1, config=cfg
+    ),
+    "ao2mo_transform": lambda cfg: run_ao2mo(n_basis=4, config=cfg),
+    "lccd_iteration": lambda cfg: run_lccd(
+        n_basis=4, n_occ=1, iterations=2, config=cfg
+    ),
+    "lccd_anderson": lambda cfg: run_lccd_anderson(
+        n_basis=4, n_occ=1, iterations=2, config=cfg
+    ),
+    "ccsd": lambda cfg: run_ccsd(n_basis=4, n_occ=1, iterations=2, config=cfg),
+    "ccsd_t": lambda cfg: run_ccsd_t(n_basis=3, n_occ=1, sweeps=1, config=cfg),
+    "fock_build": lambda cfg: run_fock_build(n_basis=5, n_occ=2, config=cfg),
+}
+
+#: the longest-running programs; their off-center worker counts are
+#: deselected from tier-1 (w=2 still runs everywhere)
+HEAVY = {"ccsd", "ccsd_t", "lccd_iteration", "lccd_anderson"}
+
+
+def make_config(workers: int, execution: str, **kw) -> SIPConfig:
+    defaults = dict(
+        workers=workers,
+        io_servers=1,
+        segment_size=2,
+        sanitize=True,
+        execution=execution,
+    )
+    if execution == "mp":
+        # low threshold so small test blocks still exercise the
+        # shared-memory path, not just inline pickling
+        defaults["mp_payload_shm_min"] = 256
+    defaults.update(kw)
+    return SIPConfig(**defaults)
+
+
+def persistent_arrays(result) -> list[str]:
+    """Names of arrays whose final contents a run can be asked for."""
+    program = result._rt.program
+    return [
+        desc.name
+        for desc in program.array_table
+        if desc.kind in ("static", "distributed", "served")
+    ]
+
+
+def assert_bitwise_equal_results(sim, mp) -> None:
+    """Scalars and every gatherable array must match bit for bit."""
+    assert mp.result.scalars.keys() == sim.result.scalars.keys()
+    for name, sim_value in sim.result.scalars.items():
+        mp_value = mp.result.scalars[name]
+        assert mp_value == sim_value, (
+            f"scalar {name}: sim {sim_value!r} != mp {mp_value!r}"
+        )
+    for array in persistent_arrays(sim.result):
+        try:
+            expected = sim.result.array(array)
+        except SIPError:
+            continue  # declared but never materialized on this run
+        actual = mp.result.array(array)
+        assert np.array_equal(expected, actual), (
+            f"array {array!r} differs between backends"
+        )
+
+
+def _params():
+    for name in sorted(DRIVERS):
+        for workers in WORKER_COUNTS:
+            marks = [pytest.mark.mp]
+            if name in HEAVY and workers != 2:
+                marks.append(pytest.mark.slow)
+            yield pytest.param(name, workers, marks=marks)
+
+
+@pytest.mark.parametrize("name,workers", _params())
+def test_mp_backend_is_bitwise_identical_to_simulator(name, workers):
+    driver = DRIVERS[name]
+    sim = driver(make_config(workers, "sim"))
+    mp = driver(make_config(workers, "mp"))
+
+    # both must also agree with the independent numpy reference
+    assert sim.error < 1e-10
+    assert mp.error < 1e-10
+    assert_bitwise_equal_results(sim, mp)
+
+    # invariants that hold regardless of message races
+    assert sim.result.stats["execution"] == "sim"
+    assert mp.result.stats["execution"] == "mp"
+    assert (
+        mp.result.stats["sched_iterations"]
+        == sim.result.stats["sched_iterations"]
+    )
+    assert mp.result.stats["mp_processes"] == make_config(workers, "mp").world_size
+    assert mp.result.stats["wallclock_seconds"] > 0.0
+
+    # runtime sanitizer must stay clean across process boundaries
+    assert sim.result.sanitizer_report.ok
+    assert mp.result.sanitizer_report.ok
+
+    # shared-memory hygiene: everything created was unlinked, in-run
+    assert (
+        mp.result.stats["mp_shm_segments"] == mp.result.stats["mp_shm_unlinked"]
+    )
+    assert mp.result.stats["mp_shm_leaked"] == 0
+
+
+@pytest.mark.mp
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_checkpoint_chaining_matches_simulator(workers):
+    """External-store writes merge back so run chaining works on mp."""
+
+    def factory(execution):
+        def make():
+            return make_config(workers, execution, sanitize=False)
+
+        return make
+
+    sim_first, sim_second = run_checkpoint_demo(
+        n_basis=4, config_factory=factory("sim")
+    )
+    mp_first, mp_second = run_checkpoint_demo(
+        n_basis=4, config_factory=factory("mp")
+    )
+    for sim_out, mp_out in ((sim_first, mp_first), (sim_second, mp_second)):
+        assert np.array_equal(
+            np.asarray(sim_out.value), np.asarray(mp_out.value)
+        )
+
+
+@pytest.mark.mp
+def test_worker_failure_is_surfaced_with_rank_and_traceback():
+    """A rank raising mid-run must become one SIPError in the parent."""
+
+    def explode(call):
+        raise RuntimeError("superinstruction deliberately exploding")
+
+    source = """sial t
+symbolic nb
+aoindex M = 1, nb
+static S(M, M)
+temp T(M, M)
+pardo M
+  T(M, M) = 1.0
+  execute explode T(M, M)
+endpardo
+endsial t
+"""
+    cfg = make_config(
+        2, "mp", sanitize=False, superinstructions={"explode": explode}
+    )
+    with pytest.raises(SIPError) as err:
+        run_source(source, cfg, {"nb": 4})
+    message = str(err.value)
+    assert "mp backend" in message
+    assert "deliberately exploding" in message
+
+
+@pytest.mark.mp
+def test_worker_hard_crash_is_detected():
+    """A rank dying without reporting must not hang the parent."""
+    import os
+
+    def die(call):
+        os._exit(3)
+
+    source = """sial t
+symbolic nb
+aoindex M = 1, nb
+temp T(M, M)
+pardo M
+  T(M, M) = 1.0
+  execute die T(M, M)
+endpardo
+endsial t
+"""
+    cfg = make_config(2, "mp", sanitize=False, superinstructions={"die": die})
+    with pytest.raises(SIPError, match="died|failed|gone|disconnected"):
+        run_source(source, cfg, {"nb": 4})
+
+
+@pytest.mark.mp
+def test_mp_rejects_fault_injection_and_resilience():
+    from repro.sip import FaultPlan
+
+    with pytest.raises(ValueError, match="virtual time"):
+        SIPConfig(execution="mp", faults=FaultPlan(seed=1))
+    with pytest.raises(ValueError, match="virtual time"):
+        SIPConfig(execution="mp", resilient=True)
+
+
+@pytest.mark.mp
+def test_unknown_execution_backend_rejected():
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        SIPConfig(execution="threads")

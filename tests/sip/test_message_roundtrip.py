@@ -1,0 +1,256 @@
+"""Property tests: every wire message survives the mp transport intact.
+
+The multiprocess backend serializes control messages with pickle and
+detours large Block payloads through shared memory
+(:func:`~repro.sip.mptransport.pack_payload` /
+:func:`~repro.sip.mptransport.unpack_payload`).  These properties drive
+randomly generated instances of **every** message type through the full
+wire path -- pack, pickle, unpickle, unpack -- and require field-exact
+identity on the other side, including bitwise-equal block data, NaNs,
+zero-size blocks, non-contiguous (strided) views, and the
+data-``None`` blocks of model mode.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sip.blocks import Block, BlockId
+from repro.sip.messages import (
+    Ack,
+    BarrierArrive,
+    BarrierRelease,
+    BlockReply,
+    ChunkReply,
+    ChunkRequest,
+    CollectiveContribution,
+    CollectiveResult,
+    GetBlock,
+    PrepareBlock,
+    PutBlock,
+    RequestBlock,
+    Shutdown,
+    WorkerDone,
+)
+from repro.sip.mptransport import ShmStats, pack_payload, unpack_payload
+
+# -- strategies --------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+any_floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+coords = st.tuples(*[st.integers(0, 7)] * 2) | st.tuples(*[st.integers(0, 7)] * 4)
+block_ids = st.builds(BlockId, st.integers(0, 9), coords)
+shapes = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+ops = st.sampled_from(["=", "+="])
+accum_keys = st.none() | st.tuples(
+    st.integers(0, 1), st.integers(0, 9), st.integers(0, 9), st.integers(0, 99)
+)
+
+
+@st.composite
+def blocks(draw):
+    shape = draw(shapes)
+    kind = draw(st.sampled_from(["dense", "strided", "model"]))
+    if kind == "model":
+        return Block(shape, None)
+    values = draw(
+        st.lists(
+            any_floats,
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        )
+    )
+    data = np.array(values, dtype=np.float64).reshape(shape)
+    if kind == "strided":
+        # embed in a twice-as-large buffer and keep every other element
+        # along the first axis: a non-contiguous view with same values
+        big = np.zeros((shape[0] * 2,) + shape[1:], dtype=np.float64)
+        big[::2] = data
+        data = big[::2]
+        assert not data.flags["C_CONTIGUOUS"] or shape[0] == 1
+    return Block(shape, data)
+
+
+block_messages = st.one_of(
+    st.builds(
+        PutBlock,
+        block_id=block_ids,
+        op=ops,
+        block=blocks(),
+        worker_index=st.integers(0, 7),
+        epoch=st.integers(0, 99),
+        ack_tag=st.integers(-1, 5000),
+        seq=st.integers(-1, 1000),
+        accum_key=accum_keys,
+    ),
+    st.builds(
+        PrepareBlock,
+        block_id=block_ids,
+        op=ops,
+        block=blocks(),
+        worker_index=st.integers(0, 7),
+        epoch=st.integers(0, 99),
+        ack_tag=st.integers(-1, 5000),
+        seq=st.integers(-1, 1000),
+        accum_key=accum_keys,
+    ),
+    st.builds(BlockReply, block_id=block_ids, block=blocks()),
+)
+
+control_messages = st.one_of(
+    st.builds(
+        GetBlock,
+        block_id=block_ids,
+        reply_tag=st.integers(1000, 9000),
+        worker_index=st.integers(0, 7),
+        epoch=st.integers(0, 99),
+    ),
+    st.builds(
+        RequestBlock,
+        block_id=block_ids,
+        reply_tag=st.integers(1000, 9000),
+        worker_index=st.integers(0, 7),
+        epoch=st.integers(0, 99),
+    ),
+    st.builds(Ack, tag=st.integers(0, 9000)),
+    st.builds(
+        ChunkRequest,
+        pardo_pc=st.integers(0, 500),
+        activation=st.integers(0, 20),
+        worker_index=st.integers(0, 7),
+        reply_tag=st.integers(1000, 9000),
+        seq=st.integers(-1, 1000),
+        scalars=st.none() | st.lists(finite_floats, max_size=4).map(tuple),
+    ),
+    st.builds(
+        ChunkReply,
+        iterations=st.lists(
+            st.tuples(st.integers(1, 8), st.integers(1, 8)), max_size=6
+        ).map(tuple),
+    ),
+    st.builds(
+        CollectiveContribution,
+        seq=st.integers(0, 100),
+        worker_index=st.integers(0, 7),
+        value=finite_floats,
+        reply_tag=st.integers(1000, 9000),
+        base=finite_floats,
+        deltas=st.none()
+        | st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 9), st.integers(0, 9)), finite_floats
+            ),
+            max_size=4,
+        ).map(tuple),
+        poisoned=st.booleans(),
+    ),
+    st.builds(CollectiveResult, value=finite_floats),
+    st.builds(
+        WorkerDone, worker_index=st.integers(0, 7), ack_tag=st.integers(-1, 9000)
+    ),
+    st.builds(Shutdown, ack_tag=st.integers(-1, 9000)),
+    st.builds(
+        BarrierArrive,
+        name=st.sampled_from(["sip_barrier", "server_barrier"]),
+        generation=st.integers(0, 100),
+        rank=st.integers(0, 9),
+    ),
+    st.builds(
+        BarrierRelease,
+        name=st.sampled_from(["sip_barrier", "server_barrier"]),
+        generation=st.integers(0, 100),
+    ),
+)
+
+
+# -- helpers -----------------------------------------------------------------
+
+_counter = [0]
+
+
+def _namer() -> str:
+    _counter[0] += 1
+    return f"rmproundtrip{os.getpid():x}n{_counter[0]}"
+
+
+def wire_roundtrip(payload, shm_min: int):
+    """The exact sender->receiver path of the mp transport."""
+    send_stats, recv_stats = ShmStats(), ShmStats()
+    packed = pack_payload(payload, shm_min, _namer, send_stats)
+    received = pickle.loads(pickle.dumps(packed))
+    out = unpack_payload(received, recv_stats)
+    # whatever the sender parked in shared memory, the receiver freed
+    assert recv_stats.segments_unlinked == send_stats.segments_created
+    return out
+
+
+def assert_blocks_equal(a: Block, b: Block) -> None:
+    assert isinstance(b, Block)
+    assert tuple(a.shape) == tuple(b.shape)
+    if a.data is None:
+        assert b.data is None
+        return
+    assert b.data is not None
+    assert a.data.dtype == b.data.dtype
+    assert np.array_equal(a.data, b.data, equal_nan=True)
+
+
+def assert_messages_equal(sent, received) -> None:
+    assert type(received) is type(sent)
+    block = getattr(sent, "block", None)
+    if block is None:
+        assert received == sent
+        return
+    assert_blocks_equal(block, received.block)
+    for field in sent.__dataclass_fields__:
+        if field == "block":
+            continue
+        assert getattr(received, field) == getattr(sent, field), field
+
+
+# -- properties --------------------------------------------------------------
+
+
+@pytest.mark.mp
+@settings(max_examples=200, deadline=None)
+@given(msg=control_messages)
+def test_control_messages_roundtrip_identically(msg):
+    assert_messages_equal(msg, wire_roundtrip(msg, shm_min=1 << 14))
+
+
+@pytest.mark.mp
+@settings(max_examples=100, deadline=None)
+@given(msg=block_messages)
+def test_block_messages_roundtrip_inline(msg):
+    """Below the threshold, blocks ride the pipe inside the pickle."""
+    assert_messages_equal(msg, wire_roundtrip(msg, shm_min=1 << 30))
+
+
+@pytest.mark.mp
+@settings(max_examples=100, deadline=None)
+@given(msg=block_messages)
+def test_block_messages_roundtrip_via_shared_memory(msg):
+    """At threshold zero, every data-carrying block takes the shm path."""
+    assert_messages_equal(msg, wire_roundtrip(msg, shm_min=0))
+
+
+@pytest.mark.mp
+@settings(max_examples=50, deadline=None)
+@given(block=blocks())
+def test_block_pickle_drops_shared_state(block):
+    """COW share bookkeeping must never leak across a process boundary."""
+    twin = block.share() if block.data is not None else block
+    clone = pickle.loads(pickle.dumps(twin))
+    assert clone._shared is None
+    assert_blocks_equal(twin, clone)
+
+
+@settings(max_examples=50, deadline=None)
+@given(bid=block_ids)
+def test_block_id_roundtrips(bid):
+    assert pickle.loads(pickle.dumps(bid)) == bid
