@@ -302,6 +302,22 @@ class Block:
         data = None if self.data is None else self.data.copy()
         return Block(self.shape, data, dtype=self.dtype)
 
+    @classmethod
+    def mapped(cls, shape: tuple[int, ...], data: np.ndarray) -> "Block":
+        """A block over borrowed, immutable storage.
+
+        Used for views mapped directly over transport arena slots:
+        reads are zero-copy, the first in-place write copies out via
+        :meth:`ensure_writable` (the cell starts with a permanent
+        phantom holder, so the no-copy detach branch can never hand
+        the borrowed buffer to a writer), and :meth:`surrender` never
+        reports the buffer recyclable, so the block pool cannot adopt
+        memory it does not own.
+        """
+        block = cls(shape, data)
+        block._shared = [2]
+        return block
+
     def share(self) -> "Block":
         """A zero-copy snapshot sharing this block's buffer."""
         if self.data is None:

@@ -91,6 +91,28 @@ class SIPConfig:
         Watchdog, in seconds, for the multiprocess backend: a rank that
         makes no progress and receives no message for this long aborts
         the run, and the parent reports which rank stalled.
+    mp_arena:
+        Use the pooled shared-memory slab arena for at-threshold block
+        payloads (``execution="mp"`` only): senders lease size-classed
+        slots from long-lived slabs and receivers map block views
+        directly over them -- zero per-transfer segment creation and
+        zero receive-side copies (see :mod:`repro.sip.arena`).  Off,
+        every detoured payload pays the legacy one-shot
+        create/copy/attach/copy/unlink lifecycle.
+    mp_arena_slab_bytes:
+        Size of one arena slab segment in bytes; also the largest
+        payload the arena serves (bigger blocks overflow to one-shot
+        segments).
+    mp_arena_max_bytes:
+        Cap on a rank's total arena footprint; when all size classes
+        are saturated, further payloads overflow to one-shot segments.
+    mp_batch_max_msgs:
+        Outbox depth at which a peer's queued control messages are
+        flushed as one framed ``send_bytes`` write.  1 disables
+        batching (every message is its own frame).
+    mp_batch_max_bytes:
+        Payload-byte threshold that flushes a peer's outbox early, so
+        a burst of inline block replies does not sit queued.
     fastpath:
         Enable the execution fast path: compiled kernel plans (cached
         GEMM lowering / einsum paths), memoized operand resolution, and
@@ -185,6 +207,11 @@ class SIPConfig:
     execution: str = "sim"
     mp_payload_shm_min: int = 1 << 14
     mp_timeout: float = 120.0
+    mp_arena: bool = True
+    mp_arena_slab_bytes: int = 1 << 22
+    mp_arena_max_bytes: int = 1 << 26
+    mp_batch_max_msgs: int = 128
+    mp_batch_max_bytes: int = 1 << 20
     fastpath: bool = True
     kernel_wallclock: bool = False
     machine: Machine = LAPTOP
@@ -233,6 +260,16 @@ class SIPConfig:
                 raise ValueError("mp_payload_shm_min must be >= 0")
             if self.mp_timeout <= 0:
                 raise ValueError("mp_timeout must be positive")
+            if self.mp_arena_slab_bytes < 4096:
+                raise ValueError("mp_arena_slab_bytes must be >= 4096")
+            if self.mp_arena_max_bytes < self.mp_arena_slab_bytes:
+                raise ValueError(
+                    "mp_arena_max_bytes must be >= mp_arena_slab_bytes"
+                )
+            if self.mp_batch_max_msgs < 1:
+                raise ValueError("mp_batch_max_msgs must be >= 1")
+            if self.mp_batch_max_bytes < 1:
+                raise ValueError("mp_batch_max_bytes must be >= 1")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
         if self.scheduling not in ("guided", "static", "locality"):

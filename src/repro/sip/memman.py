@@ -66,6 +66,7 @@ class MemStats:
     peak_bytes: int = 0  # unified resident peak (pool+cache+adopted-spilled)
     peak_spill_bytes: int = 0  # scratch high-water mark
     oom_refusals: int = 0  # cascades that still ended in OutOfBlockMemory
+    arena_slab_bytes: int = 0  # mp transport slabs charged to this rank
 
     def add(self, other: "MemStats") -> None:
         self.cascades += other.cascades
@@ -79,6 +80,7 @@ class MemStats:
         self.peak_bytes = max(self.peak_bytes, other.peak_bytes)
         self.peak_spill_bytes = max(self.peak_spill_bytes, other.peak_spill_bytes)
         self.oom_refusals += other.oom_refusals
+        self.arena_slab_bytes += other.arena_slab_bytes
 
 
 class MemoryManager:
@@ -86,8 +88,9 @@ class MemoryManager:
 
     Composes the rank's :class:`BlockPool` and :class:`BlockCache` and
     tracks adopted blocks (initial inputs scattered outside the pool),
-    so ``bytes_in_use`` covers pooled blocks, cached bytes, and adopted
-    bytes, minus whatever is currently spilled out to scratch.
+    so ``bytes_in_use`` covers pooled blocks, cached bytes, adopted
+    bytes, and (on the mp backend) the rank's transport arena slabs,
+    minus whatever is currently spilled out to scratch.
 
     Two modes:
 
@@ -157,6 +160,10 @@ class MemoryManager:
         self._adopted: set[BlockId] = set()
         self.adopted_bytes = 0
         self.spilled_out_bytes = 0
+        # mp transport slab arena footprint charged to this rank (the
+        # rank's own send-side slabs; inbound mapped views are charged
+        # through whatever cache/pool home holds them)
+        self.arena_bytes = 0
         # simulated seconds of scratch I/O not yet waited for; the rank's
         # coroutines drain this with a Timeout after each instruction or
         # service message, so pressure costs time instead of being free
@@ -173,8 +180,18 @@ class MemoryManager:
             self.pool.stats.bytes_in_use
             + self.cache.bytes_in_use
             + self.adopted_bytes
+            + self.arena_bytes
             - self.spilled_out_bytes
         )
+
+    def charge_arena(self, nbytes: int) -> None:
+        """Charge a newly created transport arena slab to the budget."""
+        self.arena_bytes += nbytes
+        self.stats.arena_slab_bytes += nbytes
+        self._note_peak()
+
+    def discharge_arena(self, nbytes: int) -> None:
+        self.arena_bytes -= nbytes
 
     @property
     def spilled_blocks(self) -> int:

@@ -211,7 +211,14 @@ class BarrierRelease:
 
 
 def message_nbytes(msg: Any) -> Optional[int]:
-    """Explicit wire size for messages carrying blocks; None = default."""
+    """Explicit wire size for messages carrying blocks; None = default.
+
+    The ``block`` field may hold a real :class:`Block` *or* a transport
+    detour stub (an arena-slot or one-shot shm reference); either way,
+    traffic stats must account the block bytes the message stands for,
+    never the few dozen bytes of a stub, so every stub type exposes the
+    same ``nbytes`` property as a block.
+    """
     block = getattr(msg, "block", None)
     if block is not None:
         return HEADER_BYTES + block.nbytes

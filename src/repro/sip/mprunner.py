@@ -23,6 +23,7 @@ unchanged on both backends.
 from __future__ import annotations
 
 import os
+import re
 import time
 import traceback
 from multiprocessing import connection as mpconn
@@ -122,22 +123,37 @@ def _store_delta(store: dict, baseline: dict) -> dict:
     return delta
 
 
-def _sweep_shm(run_id: str) -> int:
-    """Unlink leftover segments of this run; returns how many leaked."""
-    leaked = 0
+#: an arena slab name after its run/rank prefix: e<epoch>a<class>x<seq>
+_SLAB_SUFFIX = re.compile(r"^r\d+e\d+a\d+x\d+$")
+
+
+def _sweep_shm(run_id: str) -> tuple[int, int]:
+    """Unlink this run's leftover segments: ``(slabs_swept, leaked)``.
+
+    Arena slabs live for the whole run by design -- children never
+    unlink them (a straggler may still be pickling results out of a
+    mapped slot), so finding them here is the expected lifecycle, not
+    a leak.  Anything else under the run prefix (a one-shot segment a
+    crashed rank never unlinked) counts as leaked.
+    """
+    slabs = leaked = 0
     try:
         names = os.listdir("/dev/shm")
     except OSError:
-        return 0
+        return 0, 0
     prefix = f"rmp{run_id}"
     for name in names:
-        if name.startswith(prefix):
-            try:
-                os.unlink(os.path.join("/dev/shm", name))
-                leaked += 1
-            except OSError:
-                pass
-    return leaked
+        if not name.startswith(prefix):
+            continue
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+        except OSError:
+            continue
+        if _SLAB_SUFFIX.match(name[len(prefix):]):
+            slabs += 1
+        else:
+            leaked += 1
+    return slabs, leaked
 
 
 def _child_main(
@@ -163,6 +179,11 @@ def _child_main(
             shm_min=config.mp_payload_shm_min,
             timeout=config.mp_timeout,
             coordinator=config.master_rank,
+            arena=config.mp_arena,
+            arena_slab_bytes=config.mp_arena_slab_bytes,
+            arena_max_bytes=config.mp_arena_max_bytes,
+            batch_max_msgs=config.mp_batch_max_msgs,
+            batch_max_bytes=config.mp_batch_max_bytes,
         )
         rt = SharedRuntime(program, config, symbolics, sim, world)
         baseline = _store_baseline(rt.external_store)
@@ -190,6 +211,10 @@ def _child_main(
                 daemon=True,
             )
 
+        if world.arena is not None and role in ("worker", "server"):
+            # slab footprints count against the rank's memory budget
+            world.arena.ledger = proc.memman
+
         MPEngine(sim, world).run()
 
         res: dict[str, Any] = {
@@ -197,6 +222,8 @@ def _child_main(
             "rank": rank,
             "world_stats": world.stats,
             "shm_stats": world.shm_stats,
+            "arena_stats": world.arena_stats,
+            "batch_stats": world.batch_stats,
         }
         if rt.sanitizer is not None:
             res["sanitizer"] = (rt.sanitizer._records, rt.sanitizer.report_data)
@@ -237,6 +264,10 @@ def _child_main(
             res.update(
                 sched_stats=proc.sched_stats, chunks_served=proc.chunks_served
             )
+        # lease balance right before anything ships: every mapped slot
+        # must be released or still held by a live block; the stats
+        # object inside ``res`` is pickled with the updated fields
+        world.receiver.account_exit()
         result_conn.send(("ok", res))
         result_conn.close()
     except BaseException as exc:  # noqa: BLE001 - ship *any* failure home
@@ -352,7 +383,7 @@ def execute_mp(
         if p.is_alive():
             p.terminate()
             p.join()
-    leaked = _sweep_shm(run_id)
+    slabs_swept, leaked = _sweep_shm(run_id)
 
     return _merge(
         program,
@@ -363,6 +394,7 @@ def execute_mp(
         roles,
         retries,
         restarts,
+        slabs_swept,
         leaked,
         time.perf_counter() - wall_start,
         _finalize,
@@ -422,6 +454,7 @@ def _merge(
     roles: dict[int, tuple[str, int]],
     retries: ResilienceStats,
     restarts: int,
+    slabs_swept: int,
     leaked: int,
     wall_seconds: float,
     _finalize,
@@ -436,8 +469,14 @@ def _merge(
     ]
     master = _MasterStandIn(results[config.master_rank])
 
-    # traffic, shared-memory and fast-path counters, summed over ranks
+    # traffic, shared-memory, arena and fast-path counters, summed over
+    # ranks in rank order
+    from .arena import ArenaStats
+    from .mptransport import BatchStats
+
     shm_created = shm_unlinked = shm_bytes = 0
+    arena = ArenaStats()
+    batches = BatchStats()
     for rank in sorted(results):
         res = results[rank]
         ws = res["world_stats"]
@@ -448,6 +487,14 @@ def _merge(
         shm_created += ss.segments_created
         shm_unlinked += ss.segments_unlinked
         shm_bytes += ss.bytes_shared
+        ar = res.get("arena_stats")
+        if ar is not None:
+            arena.add(ar)
+        bt = res.get("batch_stats")
+        if bt is not None:
+            batches.batches += bt.batches
+            batches.messages += bt.messages
+            batches.frame_bytes += bt.frame_bytes
         san = res.get("sanitizer")
         if san is not None and rt.sanitizer is not None:
             rt.sanitizer.absorb(*san)
@@ -496,4 +543,35 @@ def _merge(
     result.stats["mp_shm_unlinked"] = shm_unlinked
     result.stats["mp_shm_leaked"] = leaked
     result.stats["mp_processes"] = len(results)
+    per_write = batches.messages / batches.batches if batches.batches else 0.0
+    result.stats.update(
+        arena_hits=arena.hits,
+        arena_misses=arena.misses,
+        arena_handoffs=arena.handoffs,
+        arena_slabs=arena.slabs_created,
+        arena_slab_bytes=arena.slab_bytes,
+        arena_refs_leaked=arena.refs_leaked,
+        bytes_zero_copy=arena.bytes_zero_copy,
+        mp_arena_slabs_swept=slabs_swept,
+        mp_batches=batches.batches,
+        batch_msgs_per_write=per_write,
+    )
+    result.profile.transport = {
+        "arena": arena,
+        "batches": batches,
+        "slabs_swept": slabs_swept,
+        "batch_msgs_per_write": per_write,
+    }
+    if config.tracer is not None:
+        config.tracer.annotate(
+            "mp_transport",
+            {
+                "arena_hits": arena.hits,
+                "arena_misses": arena.misses,
+                "arena_handoffs": arena.handoffs,
+                "bytes_zero_copy": arena.bytes_zero_copy,
+                "arena_refs_leaked": arena.refs_leaked,
+                "batch_msgs_per_write": per_write,
+            },
+        )
     return result

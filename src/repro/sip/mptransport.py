@@ -10,16 +10,28 @@ runtime unchanged -- decoded instruction stream, KernelPlanCache,
 MemoryManager, scheduler -- because those only ever talk to the narrow
 transport surface of :mod:`repro.sip.transport`:
 
-* :class:`MPComm` implements the endpoint: ``isend`` pickles control
+* :class:`MPComm` implements the endpoint: ``isend`` frames control
   messages over a duplex :class:`multiprocessing.connection.Connection`
   per peer pair, detouring block payloads at or above
-  ``SIPConfig.mp_payload_shm_min`` bytes through named POSIX shared
-  memory segments (created by the sender, copied out and unlinked by
-  the receiver); ``irecv`` posts to the rank's local tag-matched
-  mailbox, reused verbatim from the simulator.
+  ``SIPConfig.mp_payload_shm_min`` bytes through the pooled
+  shared-memory slab arena of :mod:`repro.sip.arena` (slot leased and
+  filled by the sender, mapped zero-copy by the receiver; a one-shot
+  segment is the overflow path); ``irecv`` posts to the rank's local
+  tag-matched mailbox, reused verbatim from the simulator.
 * :class:`MPBarrier` replaces the simulator's shared-counter barrier
   with an arrive/release message protocol coordinated by a daemon
   coroutine on the master rank (:func:`mp_barrier_service`).
+
+Control-plane framing: sends are queued in a per-destination outbox
+and coalesced -- everything queued in one engine iteration (data
+replies, Acks, barrier traffic alike) leaves as a *single*
+``send_bytes`` frame per peer, pickled once with protocol 5 and
+out-of-band buffers so below-threshold block data crosses the pipe
+without an extra pickle copy.  Outboxes flush when they reach
+``mp_batch_max_msgs`` messages or ``mp_batch_max_bytes`` payload
+bytes, on the engine's periodic poll, and always before the rank
+blocks on the mesh -- a queued message can therefore never deadlock
+its own reply.
 
 Simulated time still advances inside each child (``compute`` /
 ``Timeout`` effects pile onto the local virtual clock), but it no
@@ -29,23 +41,31 @@ canonical fold order of every reduction (collective ledger, '+=' put
 buffering), which is what makes mp output bitwise identical to the
 simulator's.
 
-Shared-memory lifecycle: segment names are ``rmp<run>r<rank>n<seq>``;
-the sender copies the payload in and closes; the receiver attaches,
-copies out, closes and unlinks.  Segments bypass the stdlib resource
-tracker entirely (see :func:`_untracked_shm`) -- lifecycle is managed
-explicitly, and if a rank dies between send and receive the parent
-sweeps ``/dev/shm/rmp<run>*`` after the run.
+Shared-memory lifecycle: arena slabs are named
+``rmp<run>r<rank>e<epoch>a<class>x<seq>`` and live for the whole run
+(the parent unlinks them after the fleet joins); overflow one-shot
+segments are ``rmp<run>r<rank>e<epoch>n<seq>`` -- the sender copies
+the payload in and closes, the receiver attaches, copies out, closes
+and unlinks.  The ``e<epoch>`` component makes the name streams of
+*distinct* :class:`MPWorld` instances in one process disjoint
+(checkpoint-restart chaining re-creates worlds).  Segments bypass the
+stdlib resource tracker entirely (see
+:func:`repro.sip.arena._untracked_shm`) -- lifecycle is managed
+explicitly, and the parent sweeps ``/dev/shm/rmp<run>*`` after the
+run.
 """
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
 import heapq
+import itertools
+import pickle
+import struct
 import time
 from dataclasses import dataclass
 from multiprocessing import connection as mpconn
-from multiprocessing import resource_tracker, shared_memory
+from multiprocessing import shared_memory
 from typing import Any, Generator, Iterable, Optional
 
 import numpy as np
@@ -61,6 +81,7 @@ from ..simmpi.comm import (
 )
 from ..simmpi.network import payload_nbytes
 from ..simmpi.simulator import SimulationError, Simulator, Timeout
+from .arena import ArenaReceiver, ArenaRef, ArenaStats, SlabArena, _untracked_shm
 from .config import SIPError
 from .blocks import Block
 from .messages import (
@@ -76,56 +97,61 @@ __all__ = [
     "MPBarrier",
     "MPEngine",
     "ShmStats",
+    "BatchStats",
     "mp_barrier_service",
     "pack_payload",
     "unpack_payload",
+    "encode_batch",
+    "decode_batch",
 ]
+
+#: distinguishes the shm name streams of MPWorlds created in one process
+_WORLD_EPOCH = itertools.count()
 
 
 @dataclass
 class ShmStats:
-    """Shared-memory traffic of one rank (sender + receiver sides)."""
+    """One-shot (non-arena) shared-memory traffic of one rank."""
 
     segments_created: int = 0
     segments_unlinked: int = 0
     bytes_shared: int = 0
 
 
+@dataclass
+class BatchStats:
+    """Control-plane frame coalescing of one rank (sender side)."""
+
+    batches: int = 0  # frames written (one send_bytes each)
+    messages: int = 0  # messages carried inside those frames
+    frame_bytes: int = 0  # total framed bytes on the wire
+
+
 @dataclass(frozen=True)
 class _ShmRef:
-    """Placeholder for a Block payload travelling via shared memory."""
+    """Placeholder for a Block payload travelling via a one-shot segment."""
 
     name: str
     data_shape: tuple
     dtype_str: str
     block_shape: tuple
 
-
-@contextlib.contextmanager
-def _untracked_shm():
-    """Open a SharedMemory without resource-tracker registration.
-
-    Segment lifecycle is managed explicitly here (the receiver unlinks,
-    the parent sweeps after a crash).  Python < 3.13 has no
-    ``track=False`` and registers on *attach* as well as create, so
-    with a forked (shared) tracker the sender's unregister can race the
-    receiver's attach/unlink pair and corrupt the tracker's cache.
-    Suppressing registration around the constructor avoids the race;
-    the engine is single-threaded, so the swap is safe.
-    """
-    orig_reg = resource_tracker.register
-    orig_unreg = resource_tracker.unregister
-    resource_tracker.register = lambda name, rtype: None
-    resource_tracker.unregister = lambda name, rtype: None
-    try:
-        yield
-    finally:
-        resource_tracker.register = orig_reg
-        resource_tracker.unregister = orig_unreg
+    @property
+    def nbytes(self) -> int:
+        # traffic accounting must see the block bytes this stub stands
+        # for, never the size of the stub itself
+        count = 1
+        for dim in self.data_shape:
+            count *= dim
+        return count * np.dtype(self.dtype_str).itemsize
 
 
 def pack_payload(payload: Any, shm_min: int, namer, stats: ShmStats) -> Any:
-    """Detach a large Block payload into a shared-memory segment."""
+    """Detach a large Block payload into a one-shot shm segment.
+
+    This is the overflow path (arena full or oversize payload) and the
+    whole story when the arena is disabled.
+    """
     block = getattr(payload, "block", None)
     if (
         not isinstance(block, Block)
@@ -148,7 +174,7 @@ def pack_payload(payload: Any, shm_min: int, namer, stats: ShmStats) -> Any:
 
 
 def unpack_payload(payload: Any, stats: ShmStats) -> Any:
-    """Reattach a shared-memory Block payload (copy out, then unlink)."""
+    """Reattach a one-shot shm Block payload (copy out, then unlink)."""
     ref = getattr(payload, "block", None)
     if not isinstance(ref, _ShmRef):
         return payload
@@ -168,13 +194,69 @@ def unpack_payload(payload: Any, stats: ShmStats) -> Any:
     return dataclasses.replace(payload, block=Block(ref.block_shape, data))
 
 
+# -- control-plane framing ---------------------------------------------------
+
+_FRAME_HEADER = struct.Struct("<QI")  # pickle length, out-of-band buffer count
+_BUF_HEADER = struct.Struct("<Q")  # one out-of-band buffer's length
+
+
+def encode_batch(raws: list) -> bytes:
+    """Frame a list of raw ``(source, tag, nbytes, payload)`` messages.
+
+    The list is pickled once with protocol 5; contiguous buffers
+    (below-threshold numpy block data) are carried out-of-band after
+    the pickle, each behind its own length word, so they cross the
+    pipe without the in-band pickle copy.  Non-contiguous buffers
+    (strided views) fall back in-band.
+    """
+    bufs: list[memoryview] = []
+
+    def _keep(pb: pickle.PickleBuffer) -> bool:
+        try:
+            raw = pb.raw()
+        except BufferError:
+            return True  # non-contiguous: pickle in-band
+        bufs.append(raw)
+        return False  # carried out-of-band
+
+    pkl = pickle.dumps(raws, protocol=5, buffer_callback=_keep)
+    parts = [_FRAME_HEADER.pack(len(pkl), len(bufs)), pkl]
+    for raw in bufs:
+        parts.append(_BUF_HEADER.pack(raw.nbytes))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def decode_batch(frame) -> list:
+    """Decode one frame back into its list of raw message tuples.
+
+    The whole frame is copied into a single writable ``bytearray``
+    first: out-of-band numpy arrays reconstruct as views over that
+    buffer, and views over immutable ``bytes`` would come out
+    read-only.
+    """
+    buf = memoryview(bytearray(frame))
+    pkl_len, n_bufs = _FRAME_HEADER.unpack_from(buf, 0)
+    off = _FRAME_HEADER.size
+    pkl = buf[off : off + pkl_len]
+    off += pkl_len
+    bufs = []
+    for _ in range(n_bufs):
+        (blen,) = _BUF_HEADER.unpack_from(buf, off)
+        off += _BUF_HEADER.size
+        bufs.append(buf[off : off + blen])
+        off += blen
+    return pickle.loads(pkl, buffers=bufs)
+
+
 class MPWorld:
     """One rank's view of the process mesh (transport-world surface).
 
     Unlike the simulated :class:`~repro.simmpi.comm.World`, which holds
     every rank's mailbox, an ``MPWorld`` lives inside a single child
     process: it owns that rank's mailbox, its pipe connections to every
-    peer, and the local traffic stats (merged by the parent afterwards).
+    peer, its slab arena and outboxes, and the local traffic stats
+    (merged by the parent afterwards).
     """
 
     def __init__(
@@ -187,12 +269,20 @@ class MPWorld:
         shm_min: int = 1 << 14,
         timeout: float = 120.0,
         coordinator: int = 0,
+        arena: bool = True,
+        arena_slab_bytes: int = 1 << 22,
+        arena_max_bytes: int = 1 << 26,
+        batch_max_msgs: int = 128,
+        batch_max_bytes: int = 1 << 20,
+        ledger=None,
     ) -> None:
         self.sim = sim
         self.size = size
         self.rank = rank
         self.stats = WorldStats()
         self.shm_stats = ShmStats()
+        self.arena_stats = ArenaStats()
+        self.batch_stats = BatchStats()
         self._mailbox = _Mailbox()
         self._conns = dict(conns)
         self._live = dict(self._conns)
@@ -202,6 +292,24 @@ class MPWorld:
         self._coordinator = coordinator
         self._barrier_groups: dict[str, list[int]] = {}
         self._shm_counter = 0
+        self.epoch = next(_WORLD_EPOCH)
+        self.arena: Optional[SlabArena] = None
+        if arena:
+            self.arena = SlabArena(
+                run_id,
+                rank,
+                size,
+                slab_bytes=arena_slab_bytes,
+                max_bytes=arena_max_bytes,
+                epoch=self.epoch,
+                stats=self.arena_stats,
+                ledger=ledger,
+            )
+        self.receiver = ArenaReceiver(stats=self.arena_stats)
+        self._batch_max_msgs = max(1, int(batch_max_msgs))
+        self._batch_max_bytes = max(1, int(batch_max_bytes))
+        self._outbox: dict[int, list] = {}
+        self._outbox_nbytes: dict[int, int] = {}
 
     # -- transport-world surface -----------------------------------------
     def comm(self, rank: int) -> "MPComm":
@@ -223,12 +331,69 @@ class MPWorld:
     # -- shared memory -----------------------------------------------------
     def _shm_name(self) -> str:
         self._shm_counter += 1
-        return f"rmp{self._run_id}r{self.rank}n{self._shm_counter}"
+        return f"rmp{self._run_id}r{self.rank}e{self.epoch}n{self._shm_counter}"
+
+    def _pack(self, payload: Any, dest: int) -> Any:
+        """Detour a large Block payload: arena slot, else one-shot shm."""
+        block = getattr(payload, "block", None)
+        if (
+            not isinstance(block, Block)
+            or block.data is None
+            or block.data.nbytes < self._shm_min
+        ):
+            return payload
+        if self.arena is not None:
+            ref = self.arena.place(block, dest)
+            if ref is not None:
+                return dataclasses.replace(payload, block=ref)
+        return pack_payload(payload, self._shm_min, self._shm_name, self.shm_stats)
+
+    def _unpack(self, packed: Any) -> Any:
+        ref = getattr(packed, "block", None)
+        if isinstance(ref, ArenaRef):
+            return dataclasses.replace(packed, block=self.receiver.unpack(ref))
+        return unpack_payload(packed, self.shm_stats)
+
+    # -- batched sends -----------------------------------------------------
+    def queue_send(self, dest: int, tag: int, size: int, payload: Any) -> None:
+        """Queue one message for ``dest``; flush if the outbox is full."""
+        packed = self._pack(payload, dest)
+        box = self._outbox.setdefault(dest, [])
+        box.append((self.rank, tag, size, packed))
+        pending = self._outbox_nbytes.get(dest, 0) + size
+        self._outbox_nbytes[dest] = pending
+        if len(box) >= self._batch_max_msgs or pending >= self._batch_max_bytes:
+            self._flush_dest(dest)
+
+    def _flush_dest(self, dest: int) -> None:
+        box = self._outbox.pop(dest, None)
+        self._outbox_nbytes.pop(dest, None)
+        if not box:
+            return
+        conn = self._conns.get(dest)
+        if conn is None:
+            raise SIPError(f"rank {self.rank} has no connection to {dest}")
+        frame = encode_batch(box)
+        self.batch_stats.batches += 1
+        self.batch_stats.messages += len(box)
+        self.batch_stats.frame_bytes += len(frame)
+        try:
+            conn.send_bytes(frame)
+        except (BrokenPipeError, OSError) as err:
+            raise SIPError(
+                f"rank {self.rank}: send to rank {dest} failed; "
+                f"the peer process is gone ({err})"
+            ) from err
+
+    def flush(self) -> None:
+        """Write out every queued outbox frame."""
+        for dest in list(self._outbox):
+            self._flush_dest(dest)
 
     # -- real message intake ----------------------------------------------
     def _deliver_raw(self, raw: tuple) -> None:
         source, tag, nbytes, packed = raw
-        payload = unpack_payload(packed, self.shm_stats)
+        payload = self._unpack(packed)
         self._mailbox.deliver(
             Message(payload=payload, source=source, tag=tag, nbytes=nbytes)
         )
@@ -239,15 +404,16 @@ class MPWorld:
             try:
                 if not conn.poll(0):
                     break
-                raw = conn.recv()
+                frame = conn.recv_bytes()
             except (EOFError, OSError):
                 # a finished peer closing its end is normal shutdown
                 # skew; a *needed* peer's death surfaces as a timeout
                 # (or an all-peers-gone error) on the next wait
                 self._live.pop(rank, None)
                 break
-            self._deliver_raw(raw)
-            delivered += 1
+            for raw in decode_batch(frame):
+                self._deliver_raw(raw)
+                delivered += 1
         return delivered
 
     def poll(self) -> int:
@@ -260,10 +426,13 @@ class MPWorld:
     def wait_for_message(self) -> int:
         """Block until at least one message arrives; deliver it.
 
-        Raises :class:`SIPError` when no peer can still send (all pipes
+        Flushes the outboxes first -- blocking with queued sends could
+        deadlock the very reply being awaited.  Raises
+        :class:`SIPError` when no peer can still send (all pipes
         closed) or nothing arrives within the configured watchdog
         window -- both mean a stalled or crashed peer.
         """
+        self.flush()
         deadline = time.monotonic() + self._timeout
         while True:
             if not self._live:
@@ -311,11 +480,11 @@ class MPComm:
         tag: int,
         nbytes: Optional[int] = None,
     ) -> Request:
-        """Non-blocking send: written to the peer's pipe immediately.
+        """Non-blocking send: queued on the peer's outbox immediately.
 
         The returned request is already complete -- a real transport
-        has no injection time to model, and delivery latency is the
-        pipe's problem.
+        has no injection time to model; the frame leaves the process
+        no later than the next time this rank blocks on the mesh.
         """
         world = self.world
         if not (0 <= dest < world.size):
@@ -329,19 +498,7 @@ class MPComm:
             )
         else:
             world.stats.remote_bytes += size
-            packed = pack_payload(
-                payload, world._shm_min, world._shm_name, world.shm_stats
-            )
-            conn = world._conns.get(dest)
-            if conn is None:
-                raise SIPError(f"rank {self.rank} has no connection to {dest}")
-            try:
-                conn.send((self.rank, tag, size, packed))
-            except (BrokenPipeError, OSError) as err:
-                raise SIPError(
-                    f"rank {self.rank}: send to rank {dest} failed; "
-                    f"the peer process is gone ({err})"
-                ) from err
+            world.queue_send(dest, tag, size, payload)
         done = world.sim.event(name=f"mpsend {self.rank}->{dest} tag={tag}")
         done.succeed(None)
         return Request(done, "send")
@@ -414,7 +571,9 @@ def mp_barrier_service(comm: MPComm, world: MPWorld) -> Generator:
     Counts :class:`BarrierArrive` messages per (name, generation) and
     broadcasts :class:`BarrierRelease` when the whole group arrived.
     Ranks progress through generations at their own pace, so distinct
-    generations of the same barrier can be pending at once.
+    generations of the same barrier can be pending at once.  Releases
+    ride the normal outboxes, piggybacking on whatever frame the
+    master flushes next.
     """
     counts: dict[tuple[str, int], list[int]] = {}
     while True:
@@ -442,11 +601,14 @@ class MPEngine:
     """Drive one rank's local simulator against the real pipe mesh.
 
     The loop mirrors :meth:`Simulator.run` step for step, with two
-    additions: every few events it opportunistically drains readable
-    pipes (so the service pump stays responsive while local work is
-    queued), and when the local queue runs dry with coroutines still
-    active it *blocks* on the mesh instead of declaring deadlock --
-    the awaited event will be triggered by an incoming message.
+    additions: every few events it flushes the outboxes and
+    opportunistically drains readable pipes (so the service pump stays
+    responsive while local work is queued), and when the local queue
+    runs dry with coroutines still active it *blocks* on the mesh
+    instead of declaring deadlock -- the awaited event will be
+    triggered by an incoming message.  Outboxes are always flushed
+    before blocking and before the engine returns, so no queued frame
+    can outlive the loop.
     """
 
     #: how many local events to run between non-blocking pipe polls
@@ -472,7 +634,9 @@ class MPEngine:
                     raise sim._errors[0]
                 steps += 1
                 if steps % self.POLL_INTERVAL == 0:
+                    world.flush()
                     world.poll()
             if sim._active == 0:
+                world.flush()
                 return
             world.wait_for_message()

@@ -79,6 +79,9 @@ class RunProfile:
     memory_budget: float = 0.0
     # pardo dole-out observability: the master's SchedStats
     scheduling: Optional[Any] = None
+    # mp transport observability: a dict with the summed ArenaStats and
+    # BatchStats when the run used the multiprocess backend, else None
+    transport: Optional[Any] = None
 
     @property
     def total_busy(self) -> float:
@@ -192,6 +195,23 @@ class RunProfile:
                 f"{c.bytes_not_copied} bytes not copied, "
                 f"{c.cow_copies} copy-on-write copies "
                 f"({c.cow_bytes_copied} bytes)"
+            )
+        t = self.transport
+        if t is not None:
+            a = t["arena"]
+            b = t["batches"]
+            lines.append(
+                f"mp transport arena: {a.hits} slot fills + "
+                f"{a.handoffs} zero-copy handoffs / {a.misses} one-shot "
+                f"misses, {a.bytes_zero_copy} bytes mapped without a "
+                f"receive copy, {a.slabs_created} slabs "
+                f"({a.slab_bytes} B), {a.refs_leaked} leases leaked"
+            )
+            lines.append(
+                f"mp control plane: {b.messages} messages in "
+                f"{b.batches} frames "
+                f"({t['batch_msgs_per_write']:.1f} msgs/write, "
+                f"{b.frame_bytes} framed bytes)"
             )
         s = self.scheduling
         if s is not None and s.chunks:

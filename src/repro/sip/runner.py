@@ -437,6 +437,14 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
         "messages_sent": rt.world.stats.messages_sent,
         "bytes_sent": rt.world.stats.bytes_sent,
         "remote_bytes": rt.world.stats.remote_bytes,
+        # mp transport counters; zero on the simulator so the stats
+        # surface is uniform across backends (mprunner overwrites)
+        "arena_hits": 0,
+        "arena_misses": 0,
+        "arena_handoffs": 0,
+        "bytes_zero_copy": 0,
+        "arena_refs_leaked": 0,
+        "batch_msgs_per_write": 0.0,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "cache_evictions": sum(w.cache.stats.evictions for w in workers),

@@ -1,5 +1,6 @@
 """Shared fixtures: flaky-proofing for multiprocess-backend tests."""
 
+import gc
 import multiprocessing
 import os
 
@@ -41,3 +42,16 @@ def _mp_teardown(request):
         except OSError:
             pass
     assert not leaked, f"mp backend leaked shared memory segments: {leaked}"
+    # any in-process arena object (the roundtrip tests build them
+    # directly) must have zero outstanding slot leases once the test's
+    # garbage is collected -- a nonzero count is a refcount leak even
+    # if the segments themselves were reclaimed above
+    from repro.sip.arena import LIVE_ARENAS
+
+    gc.collect()
+    dangling = {
+        f"{type(a).__name__}:{a.outstanding()}"
+        for a in LIVE_ARENAS
+        if a.outstanding()
+    }
+    assert not dangling, f"arena slot leases leaked: {sorted(dangling)}"

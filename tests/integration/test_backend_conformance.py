@@ -140,11 +140,46 @@ def test_mp_backend_is_bitwise_identical_to_simulator(name, workers):
     assert sim.result.sanitizer_report.ok
     assert mp.result.sanitizer_report.ok
 
-    # shared-memory hygiene: everything created was unlinked, in-run
+    # shared-memory hygiene: every one-shot segment created was
+    # unlinked in-run, the parent swept exactly the slabs the ranks
+    # created (they live for the whole run by design), and every
+    # arena slot lease was accounted for before results shipped
     assert (
         mp.result.stats["mp_shm_segments"] == mp.result.stats["mp_shm_unlinked"]
     )
     assert mp.result.stats["mp_shm_leaked"] == 0
+    assert (
+        mp.result.stats["mp_arena_slabs_swept"] == mp.result.stats["arena_slabs"]
+    )
+    assert mp.result.stats["arena_refs_leaked"] == 0
+
+
+@pytest.mark.mp
+@pytest.mark.parametrize(
+    "variant,overrides",
+    [
+        ("arena_off", {"mp_arena": False}),
+        ("batching_off", {"mp_batch_max_msgs": 1}),
+        ("tiny_arena", {"mp_arena_slab_bytes": 4096, "mp_arena_max_bytes": 8192}),
+    ],
+)
+def test_transport_variants_stay_bitwise_identical(variant, overrides):
+    """Arena and batching are pure transport optimizations: switching
+    them off (or starving the arena into its one-shot overflow path)
+    must not move a single bit of the results."""
+    driver = DRIVERS["mp2_energy"]
+    sim = driver(make_config(2, "sim"))
+    mp = driver(make_config(2, "mp", **overrides))
+    assert mp.error < 1e-10
+    assert_bitwise_equal_results(sim, mp)
+    assert mp.result.stats["mp_shm_leaked"] == 0
+    assert mp.result.stats["arena_refs_leaked"] == 0
+    if variant == "arena_off":
+        assert mp.result.stats["arena_slabs"] == 0
+        assert mp.result.stats["arena_hits"] == 0
+    if variant == "batching_off":
+        # one frame per message: piggybacking disabled end to end
+        assert mp.result.stats["batch_msgs_per_write"] == 1.0
 
 
 @pytest.mark.mp

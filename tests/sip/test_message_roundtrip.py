@@ -1,16 +1,21 @@
 """Property tests: every wire message survives the mp transport intact.
 
-The multiprocess backend serializes control messages with pickle and
-detours large Block payloads through shared memory
+The multiprocess backend frames control messages with protocol-5
+pickles (out-of-band buffers, batched per peer) and detours large
+Block payloads either into the pooled slab arena
+(:class:`~repro.sip.arena.SlabArena` / zero-copy mapped receive) or
+through one-shot shared memory
 (:func:`~repro.sip.mptransport.pack_payload` /
-:func:`~repro.sip.mptransport.unpack_payload`).  These properties drive
-randomly generated instances of **every** message type through the full
-wire path -- pack, pickle, unpickle, unpack -- and require field-exact
-identity on the other side, including bitwise-equal block data, NaNs,
-zero-size blocks, non-contiguous (strided) views, and the
+:func:`~repro.sip.mptransport.unpack_payload`).  These properties
+drive randomly generated instances of **every** message type through
+the full wire paths -- pack, frame, decode, unpack -- and require
+field-exact identity on the other side, including bitwise-equal block
+data, NaNs, zero-size blocks, non-contiguous (strided) views, and the
 data-``None`` blocks of model mode.
 """
 
+import dataclasses
+import gc
 import os
 import pickle
 
@@ -19,6 +24,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sip.arena import ArenaReceiver, ArenaRef, ArenaStats, SlabArena
 from repro.sip.blocks import Block, BlockId
 from repro.sip.messages import (
     Ack,
@@ -35,8 +41,15 @@ from repro.sip.messages import (
     RequestBlock,
     Shutdown,
     WorkerDone,
+    message_nbytes,
 )
-from repro.sip.mptransport import ShmStats, pack_payload, unpack_payload
+from repro.sip.mptransport import (
+    ShmStats,
+    decode_batch,
+    encode_batch,
+    pack_payload,
+    unpack_payload,
+)
 
 # -- strategies --------------------------------------------------------------
 
@@ -254,3 +267,198 @@ def test_block_pickle_drops_shared_state(block):
 @given(bid=block_ids)
 def test_block_id_roundtrips(bid):
     assert pickle.loads(pickle.dumps(bid)) == bid
+
+
+# -- protocol-5 batch frames -------------------------------------------------
+
+
+@pytest.mark.mp
+@settings(max_examples=100, deadline=None)
+@given(msgs=st.lists(st.one_of(control_messages, block_messages), max_size=6))
+def test_batch_frames_roundtrip_identically(msgs):
+    """A coalesced frame reproduces every message, in order, intact."""
+    raws = [(0, 100 + i, 64 + i, m) for i, m in enumerate(msgs)]
+    out = decode_batch(encode_batch(raws))
+    assert len(out) == len(raws)
+    for (src, tag, size, sent), (src2, tag2, size2, received) in zip(raws, out):
+        assert (src2, tag2, size2) == (src, tag, size)
+        assert_messages_equal(sent, received)
+        block = getattr(received, "block", None)
+        if isinstance(block, Block) and block.data is not None:
+            # out-of-band buffers decode over a writable bytearray, so
+            # a later in-place accumulate cannot trip on a read-only
+            # view of the frame
+            assert block.data.flags.writeable
+
+
+# -- arena-backed refs -------------------------------------------------------
+
+
+def _arena_pair() -> tuple[SlabArena, ArenaReceiver]:
+    stats = ArenaStats()
+    arena = SlabArena(
+        f"roundtrip{os.getpid():x}",
+        0,
+        2,
+        slab_bytes=1 << 16,
+        max_bytes=1 << 20,
+        stats=stats,
+    )
+    return arena, ArenaReceiver(stats=stats)
+
+
+def arena_roundtrip(msg, arena: SlabArena, receiver: ArenaReceiver, dest=1):
+    """The exact sender->receiver path of the arena transport."""
+    packed = msg
+    block = getattr(msg, "block", None)
+    if isinstance(block, Block) and block.data is not None:
+        ref = arena.place(block, dest)
+        assert ref is not None, "fresh arena refused an in-class payload"
+        packed = dataclasses.replace(msg, block=ref)
+    (raw,) = decode_batch(encode_batch([(0, 7, 64, packed)]))
+    payload = raw[3]
+    ref = getattr(payload, "block", None)
+    if isinstance(ref, ArenaRef):
+        payload = dataclasses.replace(payload, block=receiver.unpack(ref))
+    return payload
+
+
+@pytest.mark.mp
+@settings(max_examples=100, deadline=None)
+@given(msg=block_messages)
+def test_block_messages_roundtrip_via_arena(msg):
+    """Every data-carrying block maps back bitwise equal, zero-copy,
+    and the slot lease dies with the mapped block."""
+    arena, receiver = _arena_pair()
+    try:
+        received = arena_roundtrip(msg, arena, receiver)
+        assert_messages_equal(msg, received)
+        had_data = (
+            isinstance(getattr(msg, "block", None), Block)
+            and msg.block.data is not None
+        )
+        if had_data:
+            assert arena.stats.recv_mapped == 1
+            assert arena.stats.bytes_zero_copy == received.block.data.nbytes
+            # the mapped block can never leak borrowed memory into the
+            # pool or hand it to a writer
+            assert not received.block.data.flags.writeable
+            assert received.block.surrender() is False
+        del received
+        gc.collect()
+        assert receiver.live_leases() == 0
+        assert arena.outstanding() == 0
+        if had_data:
+            assert arena.stats.recv_released == 1
+    finally:
+        receiver.close()
+        arena.destroy()
+
+
+@pytest.mark.mp
+def test_arena_resend_is_zero_copy_handoff():
+    """Re-sending an unmodified block to another rank copies nothing."""
+    arena, receiver = _arena_pair()
+    try:
+        data = np.arange(64, dtype=np.float64).reshape(8, 8)
+        block = Block((8, 8), data)
+        ref1 = arena.place(block, dest=1)
+        ref2 = arena.place(block, dest=2)
+        assert ref1 is not None and ref2 is not None
+        assert (ref1.name, ref1.data_off) == (ref2.name, ref2.data_off)
+        assert arena.stats.hits == 1
+        assert arena.stats.handoffs == 1
+        assert arena.stats.handoff_bytes == data.nbytes
+    finally:
+        receiver.close()
+        arena.destroy()
+
+
+@pytest.mark.mp
+def test_arena_pins_content_against_sender_writes():
+    """A send snapshots the block: the sender's next in-place write must
+    copy out (COW), leaving the receiver's mapped view untouched."""
+    arena, receiver = _arena_pair()
+    try:
+        block = Block((4, 4), np.full((4, 4), 7.0))
+        ref = arena.place(block, dest=1)
+        block.ensure_writable()
+        block.data[...] = -1.0
+        out = receiver.unpack(ref)
+        assert np.array_equal(out.data, np.full((4, 4), 7.0))
+        # the write detached the sender from the pinned buffer, so the
+        # residency can no longer serve handoffs for the new contents
+        ref2 = arena.place(block, dest=2)
+        out2 = receiver.unpack(ref2)
+        assert np.array_equal(out2.data, np.full((4, 4), -1.0))
+        del out, out2
+        gc.collect()
+    finally:
+        receiver.close()
+        arena.destroy()
+
+
+@pytest.mark.mp
+def test_arena_oversize_payload_misses():
+    """Payloads larger than one slab overflow to the one-shot path."""
+    arena, receiver = _arena_pair()
+    try:
+        big = Block((1 << 14,), np.zeros(1 << 14))  # 128 KiB > 64 KiB slab
+        assert arena.place(big, dest=1) is None
+        assert arena.stats.misses == 1
+    finally:
+        receiver.close()
+        arena.destroy()
+
+
+# -- traffic accounting ------------------------------------------------------
+
+
+@pytest.mark.mp
+def test_message_nbytes_counts_detoured_block_bytes():
+    """A detoured message is accounted at its block bytes, never at the
+    size of the stub riding the pipe (regression: _ShmRef had no
+    ``nbytes`` and broke / undercounted traffic stats)."""
+    block = Block((4, 4), np.ones((4, 4)))
+    msg = BlockReply(block_id=BlockId(0, (0, 0)), block=block)
+    full = message_nbytes(msg)
+    assert full is not None and full > block.data.nbytes
+
+    packed = pack_payload(msg, 0, _namer, ShmStats())
+    assert not isinstance(packed.block, Block)
+    assert message_nbytes(packed) == full
+    unpack_payload(packed, ShmStats())  # unlink the one-shot segment
+
+    arena, receiver = _arena_pair()
+    try:
+        ref = arena.place(block, dest=1)
+        assert message_nbytes(dataclasses.replace(msg, block=ref)) == full
+    finally:
+        receiver.close()
+        arena.destroy()
+
+
+# -- world re-creation (checkpoint-restart chaining) -------------------------
+
+
+@pytest.mark.mp
+def test_recreated_world_shm_names_disjoint():
+    """Two MPWorlds for the same (run, rank) -- e.g. checkpoint-restart
+    chaining inside one process -- must never collide on segment names,
+    one-shot or slab alike."""
+    from repro.simmpi import Simulator
+    from repro.sip.mptransport import MPWorld
+
+    w1 = MPWorld(Simulator(), 2, 1, {}, "deadbeef")
+    w2 = MPWorld(Simulator(), 2, 1, {}, "deadbeef")
+    try:
+        assert w1.epoch != w2.epoch
+        names1 = {w1._shm_name() for _ in range(8)}
+        names2 = {w2._shm_name() for _ in range(8)}
+        assert not names1 & names2
+        slabs1 = {w1.arena._slab_name(256) for _ in range(4)}
+        slabs2 = {w2.arena._slab_name(256) for _ in range(4)}
+        assert not slabs1 & slabs2
+    finally:
+        w1.arena.destroy()
+        w2.arena.destroy()
