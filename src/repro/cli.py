@@ -7,6 +7,8 @@ Subcommands mirror the SIA toolchain a SIAL developer uses:
 * ``lint``    -- run the static race detector and print every
   diagnostic with its source location;
 * ``compile`` -- compile and print the SIA bytecode listing;
+* ``disasm``  -- compile at an ``-O`` level and print the optimized
+  listing (``--diff`` also shows per-pass instruction-count deltas);
 * ``format``  -- pretty-print the program in canonical form;
 * ``dryrun``  -- the master's memory-feasibility report;
 * ``run``     -- execute on the simulated SIP (model backend; real
@@ -79,11 +81,25 @@ def _config(args: argparse.Namespace) -> SIPConfig:
         machine=get_machine(args.machine),
         prefetch_depth=args.prefetch,
         spill=args.spill,
+        opt_level=getattr(args, "opt_level", 0),
         **kwargs,
     )
 
 
+def _add_opt_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-O",
+        dest="opt_level",
+        type=int,
+        default=0,
+        choices=(0, 1, 2),
+        metavar="N",
+        help="SIAL optimization level (0 = verbatim, 2 = full pipeline)",
+    )
+
+
 def _add_runtime_options(parser: argparse.ArgumentParser) -> None:
+    _add_opt_option(parser)
     parser.add_argument("-w", "--workers", type=int, default=4)
     parser.add_argument("--io-servers", type=int, default=1)
     parser.add_argument("-s", "--segment", type=int, default=4)
@@ -134,6 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", help="compile and show SIA bytecode")
     p.add_argument("file")
+
+    p = sub.add_parser(
+        "disasm", help="compile at an -O level and show the optimized bytecode"
+    )
+    p.add_argument("file")
+    _add_opt_option(p)
+    p.add_argument(
+        "--diff",
+        action="store_true",
+        help="also print the per-pass instruction-count deltas",
+    )
 
     p = sub.add_parser("format", help="pretty-print canonical SIAL")
     p.add_argument("file")
@@ -255,6 +282,17 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "compile":
         compiled = compile_source(source, args.file)
+        print(disassemble(compiled))
+        return 0
+
+    if args.command == "disasm":
+        compiled = compile_source(source, args.file, optimize=args.opt_level)
+        if args.diff:
+            if compiled.opt_report is not None:
+                print(compiled.opt_report.render())
+            else:
+                print("pass pipeline at -O0: (not run)")
+            print()
         print(disassemble(compiled))
         return 0
 

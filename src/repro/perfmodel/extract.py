@@ -115,6 +115,19 @@ class _Extractor:
                 contracted, start=1.0
             )
             acc.kernels += weight
+        elif op == Op.CONTRACT_FUSED:
+            # the fused pair: a contraction into the (virtual) temp
+            # shape plus the elementwise apply onto the destination
+            dst, _assign, a, _b, tmp_ids, _factor = args
+            out = [self.avg_len(i) for i in tmp_ids]
+            contracted = [
+                self.avg_len(i) for i in a.index_ids if i not in tmp_ids
+            ]
+            acc.flops += weight * 2.0 * prod(out, start=1.0) * prod(
+                contracted, start=1.0
+            )
+            acc.flops += weight * self.operand_elements(dst)
+            acc.kernels += weight
         elif op == Op.SCALAR_CONTRACT:
             _sid, _assign, a, _b = args
             acc.flops += weight * 2.0 * self.operand_elements(a)

@@ -10,17 +10,20 @@ The domain-specific language of the Super Instruction Architecture
 * :mod:`~repro.sial.racecheck` -- static race detection on
   distributed/served array accesses between barriers,
 * :mod:`~repro.sial.compiler`  -- AST to SIA bytecode,
+* :mod:`~repro.sial.passes`    -- the optimizing middle-end (verified
+  rewrite passes between the compiler and the SIP),
 * :mod:`~repro.sial.bytecode`  -- the bytecode and descriptor tables
   interpreted by the SIP.
 """
 
 from .analyzer import AnalyzedProgram, analyze
 from .ast_nodes import Program
-from .bytecode import CompiledProgram, disassemble
+from .bytecode import CompiledProgram, disassemble, format_rpn
 from .compiler import compile_program, compile_source
 from .errors import LexError, ParseError, SemanticError, SialError
 from .lexer import tokenize
 from .parser import parse
+from .passes import optimize_program
 from .racecheck import RaceDiagnostic, RaceReport, check_races
 
 __all__ = [
@@ -38,6 +41,8 @@ __all__ = [
     "compile_program",
     "compile_source",
     "disassemble",
+    "format_rpn",
+    "optimize_program",
     "parse",
     "tokenize",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "CompiledCondition",
     "CompiledProgram",
     "evaluate_rpn",
+    "format_rpn",
     "disassemble",
 ]
 
@@ -56,6 +57,9 @@ class Op:
     DELETE = "DELETE"
     ALLOCATE = "ALLOCATE"
     DEALLOCATE = "DEALLOCATE"
+    # optimizer-inserted: a hint that a block will be needed soon.
+    # Same argument layout as GET/REQUEST; never blocks, never faults.
+    PREFETCH = "PREFETCH"
     # block compute (super instructions)
     FILL = "FILL"
     COPY = "COPY"
@@ -65,6 +69,9 @@ class Op:
     CONTRACT = "CONTRACT"
     ADDSUB = "ADDSUB"
     ACCUM = "ACCUM"
+    # optimizer-fused ``tmp = a*b; c op2 tmp`` super instruction:
+    # args = (dst, op2, a, b, tmp_index_ids, factor_rpn | None)
+    CONTRACT_FUSED = "CONTRACT_FUSED"
     SCALAR_CONTRACT = "SCALAR_CONTRACT"
     SCALAR_ASSIGN = "SCALAR_ASSIGN"
     COMPUTE_INTEGRALS = "COMPUTE_INTEGRALS"
@@ -144,6 +151,11 @@ class CompiledProgram:
     # pc of each procedure's entry, by lowered name
     proc_entries: dict[str, int] = field(default_factory=dict)
     source: str = ""
+    # set by the middle-end pass pipeline (repro.sial.passes): the -O
+    # level the program was optimized at and the machine-checkable
+    # PipelineReport describing what each pass did
+    opt_level: int = 0
+    opt_report: Optional[Any] = None
 
     def index_id(self, name: str) -> int:
         return self._lookup(self.index_table, name)
@@ -240,10 +252,77 @@ def evaluate_condition(
     return _COMPARATORS[cond.op](left, right)
 
 
+#: every opcode the disassembler (and hence the tooling) must know;
+#: the golden test in tests/sial/test_disassemble.py checks coverage
+ALL_OPS = tuple(
+    value
+    for name, value in sorted(vars(Op).items())
+    if not name.startswith("_") and isinstance(value, str)
+)
+
+_RPN_TAGS = {"num", "scalar", "symbolic", "index", "+", "-", "*", "/", "neg"}
+
+_BINOP_PREC = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def _is_rpn(arg: Any) -> bool:
+    """True for a compiled RPN scalar program (a tuple of tagged tuples)."""
+    return (
+        isinstance(arg, tuple)
+        and len(arg) > 0
+        and all(
+            isinstance(item, tuple)
+            and len(item) >= 1
+            and item[0] in _RPN_TAGS
+            for item in arg
+        )
+    )
+
+
+def format_rpn(rpn: tuple, prog: Optional[CompiledProgram] = None) -> str:
+    """Render a compiled RPN program as a symbolic infix expression."""
+    stack: list[tuple[str, int]] = []  # (text, precedence); atoms = 3
+    for item in rpn:
+        tag = item[0]
+        if tag == "num":
+            value = item[1]
+            text = repr(value)
+            stack.append((text, 0 if value < 0 else 3))
+        elif tag == "scalar":
+            name = prog.scalar_table[item[1]] if prog else f"s{item[1]}"
+            stack.append((name, 3))
+        elif tag == "symbolic":
+            name = prog.symbolic_table[item[1]] if prog else f"c{item[1]}"
+            stack.append((name, 3))
+        elif tag == "index":
+            name = prog.index_table[item[1]].name if prog else f"i{item[1]}"
+            stack.append((name, 3))
+        elif tag == "neg":
+            text, prec = stack.pop()
+            if prec < 3:
+                text = f"({text})"
+            stack.append((f"-{text}", 0))
+        else:
+            prec = _BINOP_PREC[tag]
+            b_text, b_prec = stack.pop()
+            a_text, a_prec = stack.pop()
+            if a_prec < prec:
+                a_text = f"({a_text})"
+            # -, / are left associative: parenthesize an equal-precedence rhs
+            if b_prec < prec or (b_prec == prec and tag in ("-", "/")):
+                b_text = f"({b_text})"
+            stack.append((f"{a_text} {tag} {b_text}", prec))
+    if len(stack) != 1:
+        return repr(rpn)
+    return stack[0][0]
+
+
 def disassemble(prog: CompiledProgram) -> str:
     """Human-readable listing of the bytecode, for debugging and docs."""
     lines = [f"; program {prog.name}"]
     lines.append(f"; {len(prog.index_table)} indices, {len(prog.array_table)} arrays")
+    if prog.opt_level:
+        lines.append(f"; optimized at -O{prog.opt_level}")
     rev_procs = {pc: name for name, pc in prog.proc_entries.items()}
     for pc, instr in enumerate(prog.instructions):
         if pc in rev_procs:
@@ -259,5 +338,12 @@ def _fmt_arg(arg: Any, prog: CompiledProgram) -> str:
         idx = ",".join(prog.index_table[i].name for i in arg.index_ids)
         return f"{name}({idx})"
     if isinstance(arg, CompiledCondition):
-        return f"<{arg.op}>"
+        left = format_rpn(arg.left_rpn, prog)
+        right = format_rpn(arg.right_rpn, prog)
+        return f"<{left} {arg.op} {right}>"
+    if _is_rpn(arg):
+        return f"{{{format_rpn(arg, prog)}}}"
+    if isinstance(arg, (tuple, list)):
+        inner = ", ".join(_fmt_arg(a, prog) for a in arg)
+        return f"[{inner}]" if isinstance(arg, list) else f"({inner})"
     return repr(arg)

@@ -53,11 +53,22 @@ from .symbols import (
 __all__ = ["compile_program", "compile_source"]
 
 
-def compile_source(source: str, filename: str = "<sial>") -> CompiledProgram:
-    """Parse, analyze and compile SIAL source text."""
+def compile_source(
+    source: str, filename: str = "<sial>", optimize: int = 0
+) -> CompiledProgram:
+    """Parse, analyze and compile SIAL source text.
+
+    ``optimize`` selects the middle-end level (``-O0``..``-O2``, see
+    :mod:`repro.sial.passes`); the default compiles verbatim.
+    """
     program = parse(source, filename)
     analyzed = analyze(program, source)
-    return compile_program(analyzed)
+    compiled = compile_program(analyzed)
+    if optimize:
+        from .passes import optimize_program  # local import: avoids a cycle
+
+        compiled = optimize_program(compiled, optimize)
+    return compiled
 
 
 def compile_program(analyzed: AnalyzedProgram) -> CompiledProgram:

@@ -123,9 +123,19 @@ class _WalkState:
 
 
 class _Walker:
-    def __init__(self, program: ast.Program, symbols: SymbolTable) -> None:
+    def __init__(
+        self,
+        program: ast.Program,
+        symbols: SymbolTable,
+        ignore_barriers: frozenset = frozenset(),
+    ) -> None:
         self.program = program
         self.symbols = symbols
+        #: (line, column) of barrier statements to treat as absent --
+        #: used by the optimizer's barrier-coalescing pass to prove a
+        #: barrier redundant: if ignoring it adds no diagnostics, the
+        #: phases it separated already commute
+        self.ignore_barriers = ignore_barriers
         self.accesses: list[_Access] = []
         self._next_id = 0
 
@@ -223,6 +233,9 @@ class _Walker:
         self, stmt: ast.Stmt, st: _WalkState, proc_stack: tuple[str, ...]
     ) -> None:
         if isinstance(stmt, ast.Barrier):
+            loc = stmt.location
+            if loc is not None and (loc.line, loc.column) in self.ignore_barriers:
+                return  # pretend the barrier is not there
             cls = DISTRIBUTED if stmt.kind == "sip" else SERVED
             st.phases[cls] = frozenset([self.fresh()])
         elif isinstance(stmt, ast.Pardo):
@@ -435,9 +448,15 @@ class _ConflictFinder:
         self.add(kind, primary, msg, related)
 
 
-def check_races(analyzed) -> RaceReport:
-    """Run the race check on an :class:`~.analyzer.AnalyzedProgram`."""
-    walker = _Walker(analyzed.program, analyzed.symbols)
+def check_races(analyzed, ignore_barriers: frozenset = frozenset()) -> RaceReport:
+    """Run the race check on an :class:`~.analyzer.AnalyzedProgram`.
+
+    ``ignore_barriers`` is a set of ``(line, column)`` source positions
+    of barrier statements to treat as absent; the phase segmentation is
+    otherwise identical.  The optimizer's barrier-coalescing pass uses
+    this to prove a barrier redundant by re-running the check without it.
+    """
+    walker = _Walker(analyzed.program, analyzed.symbols, ignore_barriers)
     walker.walk_program()
     finder = _ConflictFinder(analyzed.program.name)
 

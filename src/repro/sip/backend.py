@@ -47,6 +47,7 @@ _KERNEL_NAMES = (
     "negate",
     "addsub",
     "contract",
+    "fused_contract",
     "scalar_contract",
     "compute_integrals",
 )
@@ -208,6 +209,58 @@ class ComputeBackend:
                 else:
                     dst.data[...] -= result
         return self.cost.contraction_time(dst.shape, contracted_shape)
+
+    def fused_contract(
+        self,
+        dst: KernelOperand,
+        op: str,
+        a: KernelOperand,
+        b: KernelOperand,
+        tmp_ids: tuple[int, ...],
+        factor: Optional[float],
+    ) -> float:
+        """Optimizer-fused ``tmp = a*b; dst op [factor*]tmp``.
+
+        Contracts into the *virtual* temp layout ``tmp_ids`` and applies
+        the transposed (optionally scaled) result to ``dst`` -- the exact
+        data flow of the unfused CONTRACT + ACCUM/SCALE/COPY pair, so the
+        result is bit-identical, with one block allocation and one
+        instruction dispatch less.  Charges the sum of both unfused
+        costs, keeping the simulated-time model honest.
+        """
+        dims = dict(zip(a.index_ids, a.shape))
+        dims.update(zip(b.index_ids, b.shape))
+        tmp_shape = tuple(dims[ix] for ix in tmp_ids)
+        contracted_shape = tuple(
+            dim
+            for dim, ix in zip(a.shape, a.index_ids)
+            if ix not in tmp_ids
+        )
+        if self.real:
+            if self.plans is not None:
+                plan = self.plans.contraction(
+                    a.index_ids, a.shape, b.index_ids, b.shape,
+                    tmp_ids, tmp_shape,
+                )
+                res = np.empty(tmp_shape)
+                plan.execute(a.data, b.data, res, "=")
+            else:
+                subscripts = einsum_subscripts(
+                    a.index_ids, b.index_ids, tmp_ids
+                )
+                res = np.einsum(subscripts, a.data, b.data, optimize=True)
+            aligned = np.transpose(res, self._perm(dst.index_ids, tmp_ids))
+            if factor is not None:
+                aligned = factor * aligned
+            if op == "=":
+                dst.data[...] = aligned
+            elif op == "+=":
+                dst.data[...] += aligned
+            else:
+                dst.data[...] -= aligned
+        return self.cost.contraction_time(
+            tmp_shape, contracted_shape
+        ) + self.cost.elementwise_time(dst.nbytes)
 
     def scalar_contract(self, a: KernelOperand, b: KernelOperand) -> tuple[float, float]:
         """Full contraction to a scalar; returns (value, cost)."""

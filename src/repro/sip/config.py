@@ -113,6 +113,15 @@ class SIPConfig:
     mp_batch_max_bytes:
         Payload-byte threshold that flushes a peer's outbox early, so
         a burst of inline block replies does not sit queued.
+    opt_level:
+        SIAL optimization level applied to the compiled program before
+        execution (the ``-O`` flag): 0 runs the compiler's output
+        verbatim, 1 runs the cheap cleanup passes (constant folding,
+        dead-code elimination), 2 additionally fuses contract+apply
+        pairs, hoists loop-invariant fetches, inserts pardo prefetch
+        hints and coalesces provably redundant barriers (see
+        :mod:`repro.sial.passes`).  Results are bitwise identical
+        across levels.
     fastpath:
         Enable the execution fast path: compiled kernel plans (cached
         GEMM lowering / einsum paths), memoized operand resolution, and
@@ -212,6 +221,7 @@ class SIPConfig:
     mp_arena_max_bytes: int = 1 << 26
     mp_batch_max_msgs: int = 128
     mp_batch_max_bytes: int = 1 << 20
+    opt_level: int = 0
     fastpath: bool = True
     kernel_wallclock: bool = False
     machine: Machine = LAPTOP
@@ -270,6 +280,8 @@ class SIPConfig:
                 raise ValueError("mp_batch_max_msgs must be >= 1")
             if self.mp_batch_max_bytes < 1:
                 raise ValueError("mp_batch_max_bytes must be >= 1")
+        if self.opt_level not in (0, 1, 2):
+            raise ValueError("opt_level must be 0, 1 or 2")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
         if self.scheduling not in ("guided", "static", "locality"):

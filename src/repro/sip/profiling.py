@@ -44,6 +44,9 @@ class WorkerProfile:
     total_busy: float = 0.0
     total_wait: float = 0.0
     elapsed: float = 0.0
+    #: every instruction dispatched by the interpreter loop, fast-path
+    #: included -- the denominator the optimizer's deltas are judged by
+    instructions: int = 0
 
     def record_instr(self, pc: int, busy: float, wait: float) -> None:
         stats = self.instr.get(pc)

@@ -95,6 +95,14 @@ def run_program(
     config = config if config is not None else SIPConfig()
     symbolics = dict(symbolics or {})
 
+    # Apply the optimizing middle-end once, before the restart loop:
+    # every attempt (and every mp child, which receives the program by
+    # pickle) executes the same optimized bytecode
+    if config.opt_level > 0:
+        from ..sial.passes import optimize_program
+
+        program = optimize_program(program, config.opt_level)
+
     # Retry counters accumulate across crash-triggered restarts (the
     # FaultPlan's own injection counters already persist on the plan).
     retries = ResilienceStats()
@@ -423,7 +431,12 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
     for w in workers:
         for name, seconds in getattr(w.backend, "wall", {}).items():
             kernel_wall[name] = kernel_wall.get(name, 0.0) + seconds
+    opt_counters: dict[str, Any] = {"opt_level": rt.program.opt_level}
+    if rt.program.opt_report is not None:
+        opt_counters = rt.program.opt_report.counters()
     return {
+        **opt_counters,
+        "instr_executed": sum(w.profile.instructions for w in workers),
         "plan_cache_hits": plans.stats.hits if plans is not None else 0,
         "plan_cache_misses": plans.stats.misses if plans is not None else 0,
         "plan_cache_hit_rate": plans.stats.hit_rate if plans is not None else 0.0,

@@ -21,7 +21,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..costmodel import CostModel
-from ..sial.bytecode import ArrayDesc, CompiledProgram
+from ..sial.bytecode import ArrayDesc, CompiledProgram, evaluate_rpn
 from ..simmpi import Simulator, World
 from .backend import make_backend
 from .blocks import Block, BlockId, CowStats, ResolvedIndexTable, block_shape
@@ -33,6 +33,33 @@ from .registry import GLOBAL_REGISTRY, SuperInstructionRegistry
 from .sanitizer import Sanitizer
 
 __all__ = ["SharedRuntime"]
+
+#: RPN item tags whose value is fixed for a whole run
+_CONST_TAGS = {"num", "symbolic", "+", "-", "*", "/", "neg"}
+
+
+def _constant_rpns(decoded, symbolic_values) -> dict[int, float]:
+    """id(rpn) -> value for every constant RPN in the decoded stream."""
+    out: dict[int, float] = {}
+
+    def walk(arg) -> None:
+        if not isinstance(arg, tuple) or not arg:
+            return
+        if all(
+            isinstance(item, tuple) and item and item[0] in _CONST_TAGS
+            for item in arg
+        ):
+            try:
+                out[id(arg)] = evaluate_rpn(arg, symbolics=symbolic_values)
+            except (ValueError, ZeroDivisionError, IndexError):
+                pass  # not actually a well-formed RPN; evaluate at runtime
+            return
+        for item in arg:
+            walk(item)
+
+    for instr in decoded.instructions:
+        walk(instr.args)
+    return out
 
 
 class SharedRuntime:
@@ -70,6 +97,13 @@ class SharedRuntime:
         # always built (it changes nothing observable); the kernel plan
         # cache and zero-copy transport follow config.fastpath
         self.decoded = decode_program(program, self.table)
+        # memoize RPN programs that only read numbers and symbolic
+        # constants: their value is fixed for the whole run, so workers
+        # skip the stack evaluation (keyed by identity -- the compile-time
+        # dedup pass makes equal RPNs share one tuple object)
+        self.rpn_consts: dict[int, float] = _constant_rpns(
+            self.decoded, self.table.symbolic_values
+        )
         self.plan_cache: Optional[KernelPlanCache] = (
             KernelPlanCache() if (config.fastpath and self.real) else None
         )

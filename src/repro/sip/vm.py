@@ -190,6 +190,7 @@ class WorkerProcess:
             Op.PARDO_END: self.op_pardo_end,
             Op.GET: self.op_get,
             Op.REQUEST: self.op_request,
+            Op.PREFETCH: self.op_prefetch,
             Op.CREATE: self.op_create,
             Op.DELETE: self.op_delete,
             Op.ALLOCATE: self.op_allocate,
@@ -206,6 +207,7 @@ class WorkerProcess:
             Op.ACCUM: self.op_accum,
             Op.ADDSUB: self.op_addsub,
             Op.CONTRACT: self.op_contract,
+            Op.CONTRACT_FUSED: self.op_contract_fused,
             Op.SCALAR_CONTRACT: self.op_scalar_contract,
             Op.COMPUTE_INTEGRALS: self.op_compute_integrals,
             Op.EXECUTE: self.op_execute,
@@ -225,6 +227,7 @@ class WorkerProcess:
         self._fast_tab = [self._fast.get(d.op) for d in self._instrs]
         self._slow_tab = [self._slow.get(d.op) for d in self._instrs]
         self._memo_resolve = rt.config.fastpath
+        self._rpn_consts = rt.rpn_consts
 
     # ======================================================================
     # main loops
@@ -241,11 +244,13 @@ class WorkerProcess:
         memman = self.memman
         start_time = sim.now
         pc = 0
+        n_instr = 0
         while True:
             if crash_at is not None and sim.now >= crash_at:
                 self.rt.config.faults.record_crash(self.rank, sim.now)
                 raise WorkerCrashed(self.rank, sim.now)
             instr = instrs[pc]
+            n_instr += 1
             fast = fast_tab[pc]
             if fast is not None:
                 pc = fast(instr, pc)
@@ -283,6 +288,7 @@ class WorkerProcess:
                     wait,
                     line=loc.line if loc is not None else None,
                 )
+        profile.instructions = n_instr
         # drain outstanding writes so they land before we report done
         yield from self._wait_events(self.outstanding_put_acks)
         yield from self._wait_events(self.outstanding_prepare_acks)
@@ -502,6 +508,11 @@ class WorkerProcess:
         return self._msg_seq
 
     def eval_rpn(self, rpn: tuple) -> float:
+        # RPN programs with no scalar/index reads were pre-evaluated at
+        # decode time (the optimizer interns them, so identity is stable)
+        hit = self._rpn_consts.get(id(rpn))
+        if hit is not None:
+            return hit
         return evaluate_rpn(
             rpn,
             scalars=self.scalars,
@@ -900,6 +911,30 @@ class WorkerProcess:
                 pass
         return pc + 1
 
+    def op_prefetch(self, instr, pc: int) -> int:
+        """Optimizer-inserted fetch hint: issue early, never wait or fault.
+
+        Deliberately does NOT sanitize or record tracker state -- the
+        demand access the optimizer proved is guaranteed to follow in
+        the same iteration is what the sanitizer and conflict tracker
+        must observe, exactly as at ``-O0``.
+        """
+        r = self.resolve(instr.args[0])
+        bid = r.block_id
+        if r.kind == "distributed" and self.rt.owner_rank(bid) == self.rank:
+            return pc + 1
+        if self.cache.lookup(bid, touch=False) is None:
+            if bid in self.ever_fetched:
+                self.cache.mark_refetch(bid)
+            try:
+                if r.kind == "distributed":
+                    self._issue_get(bid)
+                else:
+                    self._issue_request(bid)
+            except SIPError:
+                pass  # cache full of in-flight blocks: a hint may be dropped
+        return pc + 1
+
     def op_create(self, instr, pc: int) -> int:
         return pc + 1  # storage is lazy; creation is a declaration of intent
 
@@ -1005,7 +1040,11 @@ class WorkerProcess:
                     bid = r.block_id
                     if self.cache.lookup(bid, touch=False) is not None:
                         continue
-                    if instr.op == Op.GET:
+                    op = instr.op
+                    if op == Op.PREFETCH:
+                        # optimizer hints fetch by the operand's kind
+                        op = Op.GET if r.kind == "distributed" else Op.REQUEST
+                    if op == Op.GET:
                         if self.rt.owner_rank(bid) == self.rank:
                             continue
                         try:
@@ -1013,7 +1052,7 @@ class WorkerProcess:
                         except SIPError:
                             # cache full of pending blocks: stop prefetching
                             return
-                    elif instr.op == Op.REQUEST:
+                    elif op == Op.REQUEST:
                         try:
                             self._issue_request(bid)
                         except SIPError:
@@ -1048,12 +1087,15 @@ class WorkerProcess:
                 bid = r.block_id
                 if self.cache.lookup(bid, touch=False) is not None:
                     continue
+                op = instr.op
+                if op == Op.PREFETCH:
+                    op = Op.GET if r.kind == "distributed" else Op.REQUEST
                 try:
-                    if instr.op == Op.GET:
+                    if op == Op.GET:
                         if self.rt.owner_rank(bid) == self.rank:
                             continue
                         self._issue_get(bid)
-                    elif instr.op == Op.REQUEST:
+                    elif op == Op.REQUEST:
                         self._issue_request(bid)
                 except SIPError:
                     break
@@ -1245,6 +1287,29 @@ class WorkerProcess:
             op,
             self.kernel_operand(a_r, a_block),
             self.kernel_operand(b_r, b_block),
+        )
+        yield Timeout(cost)
+        return pc + 1
+
+    def op_contract_fused(self, instr, pc: int) -> Generator:
+        """Optimizer-fused ``tmp = a*b; dst op [factor*]tmp``."""
+        dst_op, op, a_op, b_op, tmp_ids, factor_rpn = instr.args
+        factor = None if factor_rpn is None else self.eval_rpn(factor_rpn)
+        a_r = self.resolve(a_op)
+        a_block = yield from self.acquire(a_r)
+        b_r = self.resolve(b_op)
+        b_block = yield from self.acquire(b_r)
+        dst_r = self.resolve(dst_op)
+        dst_block = self.write_target(
+            dst_r, needs_existing=(op != "=" or dst_r.slices is not None)
+        )
+        cost = self.backend.fused_contract(
+            self.kernel_operand(dst_r, dst_block),
+            op,
+            self.kernel_operand(a_r, a_block),
+            self.kernel_operand(b_r, b_block),
+            tmp_ids,
+            factor,
         )
         yield Timeout(cost)
         return pc + 1
