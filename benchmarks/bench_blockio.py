@@ -1,0 +1,156 @@
+"""Block-transfer engine observability report.
+
+Runs representative bundled programs on both execution backends and
+collects every ``blockio_*`` counter the transfer engine produces --
+issued gets/requests, coalesced duplicate fetches, waiter depth,
+in-flight peak, backpressure stalls, disk loads, write-backs and the
+canonical accumulation ledger traffic.  The JSON this writes is the CI
+artifact that lets a reviewer see, per program and worker count, how
+the block movement pipeline actually behaved.
+
+Hard gates (a violation fails the run):
+
+* CCSD must coalesce (``blockio_coalesced > 0``) on both backends --
+  its pardo loops re-get amplitude blocks across iterations, and a
+  refactor that stops folding those duplicates onto the in-flight
+  fetch would silently double the wire traffic;
+* the single-block coalescing microprogram must issue exactly **one**
+  GetBlock no matter how many iterations demand the block;
+* every mp run must remain bitwise identical to its simulator twin.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_blockio.py \
+        [--out BENCH_blockio.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.programs import run_ccsd, run_mp2
+from repro.sip import SIPConfig
+from repro.sip.runner import run_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: every pardo L iteration demands the one block of D
+COALESCE_SRC = """sial coalesce
+symbolic nb
+symbolic nl
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nl
+distributed D(M, N)
+temp T(M, N)
+temp S(M, N)
+pardo M, N
+  T(M, N) = 1.0
+  put D(M, N) = T(M, N)
+endpardo M, N
+sip_barrier
+pardo L
+  do M
+    do N
+      get D(M, N)
+      S(M, N) = D(M, N) * 2.0
+    enddo N
+  enddo M
+endpardo L
+sip_barrier
+endsial coalesce
+"""
+
+
+def _config(workers: int, execution: str, **kw) -> SIPConfig:
+    defaults = dict(
+        workers=workers,
+        io_servers=1,
+        segment_size=2,
+        execution=execution,
+        sanitize=True,
+    )
+    defaults.update(kw)
+    return SIPConfig(**defaults)
+
+
+def _blockio(stats: dict) -> dict:
+    return {k: v for k, v in sorted(stats.items()) if k.startswith("blockio_")}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_blockio.json")
+    args = parser.parse_args()
+
+    report: dict = {"programs": {}, "gates": {}}
+    failures: list[str] = []
+
+    # -- representative programs on both backends -------------------------
+    drivers = {
+        "mp2": lambda cfg: run_mp2(n_basis=6, n_occ=2, config=cfg),
+        "ccsd": lambda cfg: run_ccsd(
+            n_basis=4, n_occ=1, iterations=2, config=cfg
+        ),
+    }
+    for name, driver in drivers.items():
+        per_program: dict = {}
+        for execution in ("sim", "mp"):
+            for workers in (1, 2, 4):
+                out = driver(_config(workers, execution))
+                if out.error >= 1e-10:
+                    failures.append(
+                        f"{name}@{workers}/{execution}: error {out.error}"
+                    )
+                per_program[f"{execution}@{workers}"] = _blockio(
+                    out.result.stats
+                )
+        report["programs"][name] = per_program
+
+    # gate: CCSD coalesces on both backends
+    for execution in ("sim", "mp"):
+        coalesced = report["programs"]["ccsd"][f"{execution}@2"][
+            "blockio_coalesced"
+        ]
+        report["gates"][f"ccsd_coalesced_{execution}"] = coalesced
+        if coalesced <= 0:
+            failures.append(f"ccsd on {execution}: no coalesced fetches")
+
+    # -- the one-wire-message microprogram --------------------------------
+    for execution in ("sim", "mp"):
+        res = run_source(
+            COALESCE_SRC,
+            _config(2, execution, segment_size=4),
+            symbolics={"nb": 4, "nl": 12},
+        )
+        bio = _blockio(res.stats)
+        report["programs"][f"coalesce_{execution}"] = bio
+        report["gates"][f"coalesce_issued_gets_{execution}"] = bio[
+            "blockio_issued_gets"
+        ]
+        if bio["blockio_issued_gets"] != 1:
+            failures.append(
+                f"coalesce microprogram on {execution}: "
+                f"{bio['blockio_issued_gets']} GetBlocks issued, expected 1"
+            )
+        if bio["blockio_coalesced"] <= 0:
+            failures.append(
+                f"coalesce microprogram on {execution}: nothing coalesced"
+            )
+
+    report["ok"] = not failures
+    report["failures"] = failures
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report["gates"], indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"ok -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

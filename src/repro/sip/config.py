@@ -47,6 +47,14 @@ class SIPConfig:
         Capacity of each worker's remote-block LRU cache, in blocks.
     server_cache_blocks:
         Capacity of each I/O server's block cache, in blocks.
+    blockio_reserve:
+        Cache slots the block-transfer engine keeps free of speculative
+        fetches so demand fetches always have room (the engine's
+        backpressure predicate drops prefetch hints once fewer than
+        this many slots remain).
+    blockio_max_in_flight:
+        Optional hard bound on a rank's in-flight block fetches;
+        ``None`` (the default) bounds them by cache capacity alone.
     chunk_factor:
         Guided-scheduling aggressiveness: a chunk is
         ``ceil(remaining / (chunk_factor * workers))`` iterations.
@@ -206,6 +214,8 @@ class SIPConfig:
     prefetch_depth: int = 2
     cache_blocks: int = 64
     server_cache_blocks: int = 128
+    blockio_reserve: int = 2
+    blockio_max_in_flight: Optional[int] = None
     chunk_factor: int = 2
     min_chunk: int = 1
     scheduling: str = "guided"
@@ -284,6 +294,10 @@ class SIPConfig:
             raise ValueError("opt_level must be 0, 1 or 2")
         if self.prefetch_depth < 0:
             raise ValueError("prefetch_depth must be >= 0")
+        if self.blockio_reserve < 0:
+            raise ValueError("blockio_reserve must be >= 0")
+        if self.blockio_max_in_flight is not None and self.blockio_max_in_flight < 1:
+            raise ValueError("blockio_max_in_flight must be >= 1 (or None)")
         if self.scheduling not in ("guided", "static", "locality"):
             raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
         if self.min_chunk < 1:

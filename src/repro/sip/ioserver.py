@@ -9,6 +9,12 @@ spawns an asynchronous disk read, so a slow disk never stalls the
 message loop.  Blocks are materialized only when actually filled with
 data, which keeps symmetric arrays cheap to declare (paper, Section
 V-B).
+
+Cache fills, write-back versioning, accumulate buffering and reply
+snapshots all go through the rank's
+:class:`~repro.sip.blockio.BlockTransferEngine` -- the same engine the
+workers use, so concurrent loads coalesce and back-pressure is applied
+by one discipline.
 """
 
 from __future__ import annotations
@@ -18,31 +24,28 @@ from typing import Generator
 import numpy as np
 
 from ..simmpi import Disk, Timeout
-from ..simmpi.comm import SimComm
 from ..simmpi.faults import ResilienceStats
+from .blockio import BlockTransferEngine
 from .blocks import Block, BlockId, block_nbytes
-from .cache import CacheEntry
 from .config import SIPError
 from .memman import MemoryManager
 from .distributed import ConflictTracker
 from .messages import (
     Ack,
-    BlockReply,
     PrepareBlock,
     RequestBlock,
     SERVER_TAG,
     Shutdown,
-    message_nbytes,
-    snapshot_for_transport,
 )
 from .runtime import SharedRuntime
+from .transport import CommEndpoint
 
 __all__ = ["IOServerProcess"]
 
 
 class IOServerProcess:
     def __init__(
-        self, rt: SharedRuntime, server_index: int, comm: SimComm
+        self, rt: SharedRuntime, server_index: int, comm: CommEndpoint
     ) -> None:
         self.rt = rt
         self.server_index = server_index
@@ -78,19 +81,18 @@ class IOServerProcess:
         # "on-disk" contents: ndarray in real mode, block shape in model mode
         self.disk_data: dict[BlockId, object] = {}
         self.trackers: dict[int, ConflictTracker] = {}
-        self._writeback_version: dict[BlockId, int] = {}
-        # broadcast event: "an entry just became evictable" -- used as
-        # back-pressure when the cache is full of dirty/pending blocks
-        self._clean_signal = None
+        # all block movement (cache fills, write-back versions, the
+        # canonical '+=' ledger, reply snapshots) goes through the engine
+        self.blockio = BlockTransferEngine(
+            self,
+            reserve=rt.config.blockio_reserve,
+            max_in_flight=rt.config.blockio_max_in_flight,
+        )
+        self.memman.blockio = self.blockio
         # resilient protocol: (source rank, seq) -> "pending" | "done",
         # so a retried prepare is applied exactly once but still acked
         self._prepare_state: dict[tuple[int, int], str] = {}
         self.resilience = ResilienceStats()
-        # canonical accumulation: '+=' prepares carrying an accum_key
-        # are acknowledged immediately and buffered here, then folded
-        # in key order at the first request (or at run end) -- see
-        # WorkerProcess._pending_accums for the rationale
-        self._pending_accums: dict[BlockId, list[tuple[tuple, Block]]] = {}
 
     def tracker(self, epoch: int) -> ConflictTracker:
         t = self.trackers.get(epoch)
@@ -142,14 +144,12 @@ class IOServerProcess:
         self.tracker(p.epoch).record_write(p.worker_index, p.block_id, p.op)
         bid = p.block_id
         if p.op != "=" and p.accum_key is not None:
-            self._pending_accums.setdefault(bid, []).append(
-                (p.accum_key, p.block)
-            )
+            self.blockio.accums.buffer(bid, p.accum_key, p.block)
             self._finish_prepare(p, source)
             return
         if p.op == "=":
             # an overwrite supersedes any buffered contributions
-            self._pending_accums.pop(bid, None)
+            self.blockio.accums.discard(bid)
         entry = self.cache.lookup(bid)
         if entry is not None and not entry.pending:
             self._apply(entry.block, p)
@@ -207,8 +207,7 @@ class IOServerProcess:
         return Block(shape, data, dtype=self.rt.dtype)
 
     def _start_writeback(self, bid: BlockId) -> None:
-        version = self._writeback_version.get(bid, 0) + 1
-        self._writeback_version[bid] = version
+        version = self.blockio.begin_writeback(bid)
         entry = self.cache.lookup(bid, touch=False)
         snapshot = (
             entry.block.data.copy()
@@ -235,7 +234,7 @@ class IOServerProcess:
                     self.rt.config.retry_timeout
                     * self.rt.config.retry_backoff ** (attempts - 1)
                 )
-            if self._writeback_version.get(bid) != version:
+            if not self.blockio.writeback_current(bid, version):
                 # a newer write-back owns the disk image; storing this
                 # snapshot would clobber fresher data
                 return
@@ -243,7 +242,7 @@ class IOServerProcess:
             current = self.cache.lookup(bid, touch=False)
             if current is not None:
                 current.dirty = False
-                self._signal_clean()
+                self.blockio.signal_evictable()
 
         self.sim.spawn(writer(), name=f"ioserver{self.server_index}.writeback")
 
@@ -254,7 +253,7 @@ class IOServerProcess:
         if entry is not None and not entry.pending:
             self.cache.record_use(p.block_id, hit=True)
             self._fold_pending(p.block_id)
-            self._reply(p, source, entry.block)
+            self.blockio.reply_block(source, p.reply_tag, p.block_id, entry.block)
             return
         self.cache.record_use(p.block_id, hit=False)
         self.sim.spawn(
@@ -265,17 +264,16 @@ class IOServerProcess:
     def _request_later(self, p: RequestBlock, source: int) -> Generator:
         # a block that only ever received buffered '+=' contributions
         # has no disk image yet: fold onto zeros
-        allow_missing = p.block_id in self._pending_accums
+        allow_missing = p.block_id in self.blockio.accums
         entry = yield from self._ensure_cached(
             p.block_id, allow_missing=allow_missing
         )
         self._fold_pending(p.block_id)
-        self._reply(p, source, entry.block)
+        self.blockio.reply_block(source, p.reply_tag, p.block_id, entry.block)
 
     def _fold_pending(self, bid: BlockId) -> None:
         """Fold buffered '+=' contributions into the (ready) cache entry."""
-        pending = self._pending_accums.pop(bid, None)
-        if not pending:
+        if bid not in self.blockio.accums:
             return
         entry = self.cache.lookup(bid, touch=False)
         block = entry.block
@@ -283,58 +281,22 @@ class IOServerProcess:
         if copied:
             self.rt.cow.cow_copies += 1
             self.rt.cow.cow_bytes_copied += copied
-        pending.sort(key=lambda kv: kv[0])
-        if block.data is not None:
-            for _key, inc in pending:
-                if inc.data is not None:
-                    block.data[...] += inc.data
+        self.blockio.accums.fold_into(bid, block)
         entry.dirty = True
         self._start_writeback(bid)
 
     def _ensure_cached(self, bid: BlockId, allow_missing: bool) -> Generator:
         """Get a ready cache entry, loading from disk if necessary.
 
-        Applies back-pressure: if the cache is full of dirty/pending
-        blocks, wait for a write-back to complete before inserting.
+        The engine coalesces concurrent loads of the same block and
+        applies write-back back-pressure when the cache is full of
+        dirty/pending entries.
         """
-        while True:
-            entry = self.cache.lookup(bid)
-            if entry is None:
-                arrival = self.sim.event(name=f"diskload {bid}")
-                try:
-                    self.cache.insert_pending(bid, arrival)
-                except SIPError:
-                    # back-pressure only helps if something can still
-                    # become evictable (a write-back or load in flight);
-                    # otherwise the budget is genuinely too small
-                    if not any(
-                        e.dirty or e.pending for _, e in self.cache.items()
-                    ):
-                        raise
-                    yield self._wait_clean()
-                    continue
-                block = yield from self._load_block(bid, allow_missing)
-                self.cache.fulfil(bid, block)
-                arrival.succeed(None)
-                self._signal_clean()
-                entry = self.cache.lookup(bid)
-                if entry is not None and entry.block is not None:
-                    return entry
-                continue  # evicted mid-load: retry
-            if entry.pending:
-                yield entry.arrival
-                continue
-            return entry
-
-    def _wait_clean(self):
-        """An event firing the next time a cache entry becomes evictable."""
-        if self._clean_signal is None or self._clean_signal.triggered:
-            self._clean_signal = self.sim.event(name="server-cache-clean")
-        return self._clean_signal
-
-    def _signal_clean(self) -> None:
-        if self._clean_signal is not None and not self._clean_signal.triggered:
-            self._clean_signal.succeed(None)
+        return (
+            yield from self.blockio.ensure_cached(
+                bid, lambda: self._load_block(bid, allow_missing)
+            )
+        )
 
     def _load_block(self, bid: BlockId, allow_missing: bool) -> Generator:
         """Read a block from disk (or create zeros if allowed)."""
@@ -374,15 +336,6 @@ class IOServerProcess:
         if tracer is not None and hasattr(tracer, "record_fault"):
             tracer.record_fault(self.sim.now, self.rank, kind, str(detail))
 
-    def _reply(self, p: RequestBlock, source: int, block: Block) -> None:
-        reply = BlockReply(
-            p.block_id,
-            snapshot_for_transport(block, self.rt.cow_enabled, self.rt.cow),
-        )
-        self.comm.isend(
-            reply, dest=source, tag=p.reply_tag, nbytes=message_nbytes(reply)
-        )
-
     # -- post-run access (outside simulated time) -------------------------------
     def flush_pending(self) -> None:
         """Fold never-read buffered '+=' contributions into the disk image.
@@ -392,9 +345,8 @@ class IOServerProcess:
         contribution; canonical key order keeps the result identical to
         what an in-run fold would have produced.
         """
-        for bid in list(self._pending_accums):
-            pending = self._pending_accums.pop(bid)
-            pending.sort(key=lambda kv: kv[0])
+        for bid in self.blockio.accums.pending_ids():
+            pending = self.blockio.accums.pop_sorted(bid)
             entry = self.cache.lookup(bid, touch=False)
             if entry is not None and not entry.pending and entry.block is not None:
                 base = entry.block

@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import Generator
 
 from ..simmpi import AnyOf, Timeout
-from ..simmpi.comm import SimComm
 from ..simmpi.faults import ResilienceStats
 from .blocks import BlockId, block_nbytes
 from .config import SIPError
@@ -37,6 +36,7 @@ from .messages import (
     WorkerDone,
 )
 from .runtime import SharedRuntime
+from .transport import CommEndpoint
 from .scheduler import (
     SchedStats,
     conditions_read_scalars,
@@ -51,7 +51,7 @@ _BYTES_PER_ITERATION = 16
 
 
 class MasterProcess:
-    def __init__(self, rt: SharedRuntime, comm: SimComm) -> None:
+    def __init__(self, rt: SharedRuntime, comm: CommEndpoint) -> None:
         self.rt = rt
         self.comm = comm
         self.config = rt.config

@@ -139,6 +139,10 @@ class MemoryManager:
         self.rank = rank
         self.resilience = resilience
         self.stats = MemStats()
+        # the rank's BlockTransferEngine, when one exists: spill and
+        # fault-in traffic is local block movement the engine accounts
+        # alongside the wire traffic it owns (set by the rank object)
+        self.blockio = None
 
         pool_budget = float("inf") if self.unified else budget_bytes
         self.pool = BlockPool(pool_budget, real, name=name, dtype=self.dtype)
@@ -310,6 +314,8 @@ class MemoryManager:
         self.spilled_out_bytes += nbytes
         self.stats.spills += 1
         self.stats.spill_bytes += nbytes
+        if self.blockio is not None:
+            self.blockio.note_spill(nbytes)
         if self.spilled_out_bytes > self.stats.peak_spill_bytes:
             self.stats.peak_spill_bytes = self.spilled_out_bytes
         self._scratch_io("write", nbytes)
@@ -334,6 +340,8 @@ class MemoryManager:
         self._spillable[bid] = (block, cls)
         self.stats.faults_in += 1
         self.stats.fault_bytes += nbytes
+        if self.blockio is not None:
+            self.blockio.note_fault_in(nbytes)
         self._scratch_io("read", nbytes)
         self._trace("fault-in", bid, nbytes)
         self._note_peak()

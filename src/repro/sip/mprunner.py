@@ -68,6 +68,7 @@ class _WorkerStandIn:
         self.cache = _Bag(stats=res["cache_stats"])
         self.pool = _Bag(stats=res["pool_stats"])
         self.backend = _Bag(wall=res["kernel_wall"])
+        self.blockio = _Bag(stats=res["blockio_stats"])
         self.resilience = ResilienceStats()
 
 
@@ -79,6 +80,7 @@ class _ServerStandIn:
         self.memman = _Bag(stats=res["mem_stats"])
         self.cache = _Bag(stats=res["cache_stats"])
         self.disk = _Bag(stats=res["disk_stats"])
+        self.blockio = _Bag(stats=res["blockio_stats"])
         self.resilience = ResilienceStats()
         self._served: dict[int, dict[tuple, Block]] = res["served"]
 
@@ -240,6 +242,7 @@ def _child_main(
                 mem_stats=proc.memman.stats,
                 cache_stats=proc.cache.stats,
                 pool_stats=proc.pool.stats,
+                blockio_stats=proc.blockio.stats,
                 kernel_wall=dict(getattr(proc.backend, "wall", None) or {}),
                 plan_stats=(
                     rt.plan_cache.stats if rt.plan_cache is not None else None
@@ -256,6 +259,7 @@ def _child_main(
                 mem_stats=proc.memman.stats,
                 cache_stats=proc.cache.stats,
                 disk_stats=proc.disk.stats,
+                blockio_stats=proc.blockio.stats,
                 served={
                     aid: proc.current_blocks(aid) for aid in rt.served_placements
                 },

@@ -85,6 +85,9 @@ class RunProfile:
     # mp transport observability: a dict with the summed ArenaStats and
     # BatchStats when the run used the multiprocess backend, else None
     transport: Optional[Any] = None
+    # block movement observability: the summed BlockIOStats of every
+    # rank's transfer engine (fetches, coalescing, backpressure)
+    blockio: Optional[Any] = None
 
     @property
     def total_busy(self) -> float:

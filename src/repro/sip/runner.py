@@ -19,6 +19,7 @@ from ..sial.bytecode import CompiledProgram
 from ..sial.compiler import compile_source
 from ..simmpi import Simulator, World
 from ..simmpi.faults import FaultReport, ResilienceStats, WorkerCrashed
+from .blockio import BlockIOStats
 from .blocks import Block, BlockId
 from .checkpoint import has_checkpoint
 from .config import SIPConfig, SIPError
@@ -226,6 +227,7 @@ def _finalize(
     """
     elapsed = max((w.profile.elapsed for w in workers), default=0.0)
     memory = _aggregate_mem(workers, servers)
+    blockio = _aggregate_blockio(workers, servers)
     profile = RunProfile(
         workers=[w.profile for w in workers],
         elapsed=elapsed,
@@ -235,6 +237,7 @@ def _finalize(
         memory=memory,
         memory_budget=config.memory_budget,
         scheduling=master.sched_stats,
+        blockio=blockio,
     )
     scalars = {
         name.lower(): workers[0].scalars[i]
@@ -267,6 +270,15 @@ def _finalize(
                 f"{memory.faults_in} faults back in, "
                 f"peak {memory.peak_bytes} B of "
                 f"{config.memory_budget:.0f} B budget",
+            )
+        if blockio.issued or blockio.disk_loads:
+            tracer.annotate(
+                "blockio",
+                f"{blockio.issued} fetches issued "
+                f"({blockio.coalesced} coalesced, peak "
+                f"{blockio.in_flight_peak} in flight), "
+                f"{blockio.puts_posted + blockio.prepares_posted} writes "
+                f"posted, {blockio.hint_drops} hints dropped",
             )
         sched = master.sched_stats
         if sched.chunks:
@@ -423,6 +435,14 @@ def _aggregate_mem(workers, servers):
     return agg
 
 
+def _aggregate_blockio(workers, servers) -> BlockIOStats:
+    """Sum every rank's transfer-engine counters (peaks take max)."""
+    total = BlockIOStats()
+    for rank_obj in list(workers) + list(servers):
+        total.add(rank_obj.blockio.stats)
+    return total
+
+
 def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
     cache_hits = sum(w.cache.stats.hits for w in workers)
     cache_misses = sum(w.cache.stats.misses for w in workers)
@@ -434,6 +454,7 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
     opt_counters: dict[str, Any] = {"opt_level": rt.program.opt_level}
     if rt.program.opt_report is not None:
         opt_counters = rt.program.opt_report.counters()
+    bio = _aggregate_blockio(workers, servers)
     return {
         **opt_counters,
         "instr_executed": sum(w.profile.instructions for w in workers),
@@ -458,6 +479,25 @@ def _collect_stats(rt, workers, servers, master) -> dict[str, Any]:
         "bytes_zero_copy": 0,
         "arena_refs_leaked": 0,
         "batch_msgs_per_write": 0.0,
+        "blockio_issued": bio.issued,
+        "blockio_issued_gets": bio.issued_gets,
+        "blockio_issued_requests": bio.issued_requests,
+        "blockio_coalesced": bio.coalesced,
+        "blockio_waiters": bio.waiters,
+        "blockio_waiter_peak": bio.waiter_peak,
+        "blockio_in_flight_peak": bio.in_flight_peak,
+        "blockio_backpressure_stalls": bio.backpressure_stalls,
+        "blockio_hint_drops": bio.hint_drops,
+        "blockio_puts": bio.puts_posted,
+        "blockio_prepares": bio.prepares_posted,
+        "blockio_replies": bio.replies_served,
+        "blockio_disk_loads": bio.disk_loads,
+        "blockio_writebacks": bio.writebacks,
+        "blockio_writebacks_superseded": bio.writebacks_superseded,
+        "blockio_accums_buffered": bio.accums_buffered,
+        "blockio_accum_folds": bio.accum_folds,
+        "blockio_fault_ins": bio.fault_ins,
+        "blockio_spills": bio.spills,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
         "cache_evictions": sum(w.cache.stats.evictions for w in workers),

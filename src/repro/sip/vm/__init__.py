@@ -1,0 +1,25 @@
+"""The SIP worker VM, split into focused modules.
+
+* :mod:`.interpreter` -- the bytecode interpreter core (WorkerProcess);
+* :mod:`.ledger` -- the collective scalar ledger (canonical reductions);
+* :mod:`.prefetch` -- the lookahead prefetcher (engine hints);
+* :mod:`.resilience` -- fault hooks (retries, backoff, reliable waits).
+
+Block movement itself lives one layer down in
+:mod:`repro.sip.blockio`; the interpreter is a client of the per-rank
+:class:`~repro.sip.blockio.BlockTransferEngine`.
+"""
+
+from ..decode import ResolvedOperand
+from .interpreter import WorkerProcess
+from .ledger import ScalarLedger
+from .prefetch import LookaheadPrefetcher
+from .resilience import ResilientMessaging
+
+__all__ = [
+    "LookaheadPrefetcher",
+    "ResilientMessaging",
+    "ResolvedOperand",
+    "ScalarLedger",
+    "WorkerProcess",
+]

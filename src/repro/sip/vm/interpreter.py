@@ -15,53 +15,53 @@ mirrors the paper's Section V:
   applying puts/accumulates for the distributed blocks it owns;
 * barrier misuse (conflicting accesses within one epoch) is detected at
   the owning rank.
+
+Every block movement -- demand gets/requests, prefetch hints, puts,
+prepares, replies -- goes through the rank's
+:class:`~repro.sip.blockio.BlockTransferEngine`; the interpreter never
+touches the wire protocol for block payloads itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..sial.bytecode import (
-    BlockOperand,
-    CompiledProgram,
+from ...sial.bytecode import (
     Op,
     evaluate_condition,
     evaluate_rpn,
 )
-from ..simmpi import AnyOf, Timeout
-from ..simmpi.comm import SimComm
-from ..simmpi.faults import ResilienceStats, WorkerCrashed
-from .backend import KernelOperand
-from .blocks import Block, BlockId, block_nbytes
-from .config import SIPError
-from .decode import DecodedOperand, ResolvedOperand
-from .distributed import ConflictTracker
-from .memman import MemoryManager
-from .messages import (
-    HEADER_BYTES,
+from ...simmpi import Timeout
+from ...simmpi.faults import ResilienceStats, WorkerCrashed
+from ..backend import KernelOperand
+from ..blockio import BlockTransferEngine
+from ..blocks import Block, BlockId, block_nbytes
+from ..config import SIPError
+from ..decode import DecodedOperand, ResolvedOperand
+from ..distributed import ConflictTracker
+from ..memman import MemoryManager
+from ..messages import (
     MASTER_TAG,
     REPLY_TAG_BASE,
-    SERVER_TAG,
     SERVICE_TAG,
     Ack,
-    BlockReply,
     ChunkRequest,
     CollectiveContribution,
     GetBlock,
-    PrepareBlock,
     PutBlock,
-    RequestBlock,
     Shutdown,
     WorkerDone,
-    message_nbytes,
-    snapshot_for_transport,
 )
-from .profiling import WorkerProfile
-from .runtime import SharedRuntime
-from .scheduler import conditions_read_scalars
+from ..profiling import WorkerProfile
+from ..runtime import SharedRuntime
+from ..scheduler import conditions_read_scalars
+from ..transport import CommEndpoint
+from .ledger import ScalarLedger
+from .prefetch import LookaheadPrefetcher
+from .resilience import ResilientMessaging
 
-__all__ = ["WorkerProcess", "ResolvedOperand"]
+__all__ = ["WorkerProcess"]
 
 LOCAL_KINDS = ("static", "temp", "local")
 
@@ -80,11 +80,11 @@ class _DoState:
     pos: int = 0
 
 
-class WorkerProcess:
+class WorkerProcess(ResilientMessaging):
     """One SIP worker rank."""
 
     def __init__(
-        self, rt: SharedRuntime, worker_index: int, comm: SimComm
+        self, rt: SharedRuntime, worker_index: int, comm: CommEndpoint
     ) -> None:
         self.rt = rt
         self.config = rt.config
@@ -132,38 +132,18 @@ class WorkerProcess:
         # outside pardo; only maintained when the sanitizer is on
         self.sanitizer = rt.sanitizer
         self.current_iteration: Optional[tuple] = None
-        # collective ledger: each scalar's value decomposed into a
-        # non-pardo base plus per-iteration deltas keyed
-        # (pardo_id, activation, iteration), so the master can reduce
-        # collectives in canonical iteration order (bitwise identical
-        # results no matter which worker ran which iteration)
-        n_scalars = len(rt.program.scalar_table)
-        self._scalar_base: list[float] = [0.0] * n_scalars
-        self._scalar_deltas: list[dict[tuple, float]] = [
-            {} for _ in range(n_scalars)
-        ]
-        self._scalar_poisoned: list[bool] = [False] * n_scalars
+        # collective ledger: base + per-iteration deltas per scalar, so
+        # the master reduces collectives in canonical iteration order
+        self.scalar_ledger = ScalarLedger(len(rt.program.scalar_table))
         self._iter_key: Optional[tuple] = None  # identity of the running iteration
         self._cond_scalar_need: dict[int, bool] = {}  # per pardo pc
-        # canonical accumulate-put ledger: '+=' contributions to owned
-        # distributed blocks are buffered with their sender-side order
-        # key and folded sorted by key at the first read (or at run
-        # end), so the floating-point sum is independent of message
-        # arrival order -- the block analogue of the collective ledger
-        # above, and what makes the multiprocess backend bitwise
-        # identical to the simulator
-        self._pending_accums: dict[BlockId, list[tuple[tuple, Block]]] = {}
-        self._accum_seq = 0
 
         # communication bookkeeping ------------------------------------------
         self._tag_counter = REPLY_TAG_BASE
-        self.outstanding_put_acks: list = []
-        self.outstanding_prepare_acks: list = []
         self.epoch = 0
         self.served_epoch = 0
         self.collective_seq = 0
         self.checkpoint_seq = 0
-        self.ever_fetched: set[BlockId] = set()
         self.trackers: dict[int, ConflictTracker] = {}
         self._wait_acc = 0.0
         self._shutdown = False
@@ -177,6 +157,21 @@ class WorkerProcess:
         self._crash_at = (
             plan.pending_crash_time(self.rank) if plan is not None else None
         )
+
+        # every block movement for this rank goes through the engine;
+        # the ReplicaMap learns of wire fetches through on_issue, and
+        # the memory manager reports fault-in/spill traffic back
+        self.engine = BlockTransferEngine(
+            self,
+            reserve=rt.config.blockio_reserve,
+            max_in_flight=rt.config.blockio_max_in_flight,
+        )
+        self.engine.on_issue = (
+            lambda bid: rt.replicas.note(bid, worker_index)
+        )
+        self.memman.blockio = self.engine
+        self.blockio = self.engine  # uniform stats handle across rank kinds
+        self.prefetcher = LookaheadPrefetcher(self)
 
         self._fast = {
             Op.JUMP: self.op_jump,
@@ -228,6 +223,20 @@ class WorkerProcess:
         self._slow_tab = [self._slow.get(d.op) for d in self._instrs]
         self._memo_resolve = rt.config.fastpath
         self._rpn_consts = rt.rpn_consts
+
+    # convenience views over the engine's ledgers (used by the runners
+    # when gathering results and by the resilient drain at run end)
+    @property
+    def outstanding_put_acks(self) -> list:
+        return self.engine.outstanding_put_acks
+
+    @property
+    def outstanding_prepare_acks(self) -> list:
+        return self.engine.outstanding_prepare_acks
+
+    @property
+    def ever_fetched(self) -> set[BlockId]:
+        return self.engine.ever_fetched
 
     # ======================================================================
     # main loops
@@ -290,8 +299,8 @@ class WorkerProcess:
                 )
         profile.instructions = n_instr
         # drain outstanding writes so they land before we report done
-        yield from self._wait_events(self.outstanding_put_acks)
-        yield from self._wait_events(self.outstanding_prepare_acks)
+        yield from self._wait_events(self.engine.outstanding_put_acks)
+        yield from self._wait_events(self.engine.outstanding_prepare_acks)
         self.profile.elapsed = self.sim.now - start_time
         if not self.rt.resilient:
             self.comm.isend(
@@ -341,17 +350,8 @@ class WorkerProcess:
                 self.tracker(payload.epoch).record_read(
                     payload.worker_index, payload.block_id
                 )
-                reply = BlockReply(
-                    payload.block_id,
-                    snapshot_for_transport(
-                        block, self.rt.cow_enabled, self.rt.cow
-                    ),
-                )
-                self.comm.isend(
-                    reply,
-                    dest=msg.source,
-                    tag=payload.reply_tag,
-                    nbytes=message_nbytes(reply),
+                self.engine.reply_block(
+                    msg.source, payload.reply_tag, payload.block_id, block
                 )
             elif isinstance(payload, PutBlock):
                 # resilient protocol: a retried put is applied exactly
@@ -382,10 +382,6 @@ class WorkerProcess:
     # ======================================================================
     # helpers
     # ======================================================================
-    def next_tag(self) -> int:
-        self._tag_counter += 1
-        return self._tag_counter
-
     def _block_nbytes(self, bid: BlockId) -> int:
         """Size of a block by id (memoized; sizes cache byte accounting)."""
         n = self._nbytes_memo.get(bid)
@@ -426,86 +422,6 @@ class WorkerProcess:
             line=loc.line if loc is not None else None,
             iteration=self.current_iteration or ("seq", self.worker_index),
         )
-
-    def _wait(self, event) -> Generator:
-        """Wait on an event, accounting the time as wait time."""
-        t0 = self.sim.now
-        value = yield event
-        self._wait_acc += self.sim.now - t0
-        return value
-
-    def _wait_events(self, events: list) -> Generator:
-        while events:
-            ev = events.pop()
-            if not ev.triggered:
-                yield from self._wait(ev)
-
-    # -- resilient messaging (timeouts, retries, backoff) -----------------
-    def _trace_fault(self, kind: str, detail: object) -> None:
-        tracer = self.config.tracer
-        if tracer is not None and hasattr(tracer, "record_fault"):
-            tracer.record_fault(self.sim.now, self.rank, kind, str(detail))
-
-    def _bump_retry(self, counter: str, what: str, attempt: int) -> None:
-        setattr(self.resilience, counter, getattr(self.resilience, counter) + 1)
-        self._trace_fault(f"retry-{what}", f"attempt {attempt}")
-
-    def _reliable_wait(self, event, resend, counter: str, what: str) -> Generator:
-        """Like :meth:`_wait`, but re-send the request whenever the reply
-        has not arrived within the (exponentially growing) timeout."""
-        if not self.rt.resilient:
-            return (yield from self._wait(event))
-        t0 = self.sim.now
-        timeout = self.config.retry_timeout
-        attempts = 0
-        while not event.triggered:
-            yield AnyOf([event, self.sim.timeout_event(timeout)])
-            if event.triggered:
-                break
-            attempts += 1
-            if attempts > self.config.retry_limit:
-                raise SIPError(
-                    f"worker{self.worker_index}: no {what} reply after "
-                    f"{attempts} attempts; presuming the peer is dead"
-                )
-            self._bump_retry(counter, what, attempts)
-            resend()
-            timeout *= self.config.retry_backoff
-        self._wait_acc += self.sim.now - t0
-        return event.value
-
-    def _spawn_retry_monitor(self, event, resend, counter: str, what: str) -> None:
-        """Watch a fire-and-forget request in the background and re-send
-        it until its completion event fires (resilient mode only)."""
-        if not self.rt.resilient:
-            return
-        self.sim.spawn(
-            self._retry_monitor(event, resend, counter, what),
-            name=f"worker{self.worker_index}.retry-{what}",
-        )
-
-    def _retry_monitor(self, event, resend, counter: str, what: str) -> Generator:
-        timeout = self.config.retry_timeout
-        attempts = 0
-        while not event.triggered:
-            yield AnyOf([event, self.sim.timeout_event(timeout)])
-            if event.triggered:
-                return
-            attempts += 1
-            if attempts > self.config.retry_limit:
-                raise SIPError(
-                    f"worker{self.worker_index}: no {what} reply after "
-                    f"{attempts} attempts; presuming the peer is dead"
-                )
-            self._bump_retry(counter, what, attempts)
-            resend()
-            timeout *= self.config.retry_backoff
-
-    def _next_msg_seq(self) -> int:
-        if not self.rt.resilient:
-            return -1
-        self._msg_seq += 1
-        return self._msg_seq
 
     def eval_rpn(self, rpn: tuple) -> float:
         # RPN programs with no scalar/index reads were pre-evaluated at
@@ -560,106 +476,14 @@ class WorkerProcess:
                 self.memman.pin_instr(r.block_id)
                 self.tracker(self.epoch).record_read(self.worker_index, r.block_id)
                 return block
-            return (yield from self._acquire_cached(r, self._issue_get))
+            return (
+                yield from self.engine.acquire(r.block_id, "get", self._wait)
+            )
         if r.kind == "served":
-            return (yield from self._acquire_cached(r, self._issue_request))
+            return (
+                yield from self.engine.acquire(r.block_id, "request", self._wait)
+            )
         raise SIPError(f"cannot read array kind {r.kind!r}")
-
-    def _issue_with_backpressure(self, bid: BlockId, issue) -> Generator:
-        """Issue a fetch, waiting for cache space when it is full of
-        in-flight blocks (demand fetches outrank prefetches)."""
-        memman = self.memman
-        while True:
-            try:
-                # a demand fetch may spill for cache headroom; speculative
-                # prefetch inserts only ever drop clean replicas
-                memman.cache_spill_ok = True
-                try:
-                    return issue(bid)
-                finally:
-                    memman.cache_spill_ok = False
-            except SIPError:
-                pending = self.cache.any_pending_arrival()
-                if pending is None:
-                    raise
-                yield from self._wait(pending)
-
-    def _acquire_cached(self, r: ResolvedOperand, issue) -> Generator:
-        bid = r.block_id
-        entry = self.cache.lookup(bid)
-        if entry is None:
-            # miss: never requested, or evicted before use -> refetch
-            if bid in self.ever_fetched:
-                self.cache.mark_refetch(bid)
-            entry = yield from self._issue_with_backpressure(bid, issue)
-            self.cache.record_use(bid, hit=False)
-        else:
-            self.cache.record_use(bid, hit=not entry.pending)
-        if entry.pending:
-            yield from self._wait(entry.arrival)
-            entry = self.cache.lookup(bid)
-            if entry is None or entry.pending:
-                # evicted between arrival and resume: refetch synchronously
-                self.cache.mark_refetch(bid)
-                entry = yield from self._issue_with_backpressure(bid, issue)
-                yield from self._wait(entry.arrival)
-                entry = self.cache.lookup(bid)
-                if entry is None or entry.block is None:
-                    raise SIPError(
-                        f"block {bid} thrashed out of the cache; increase "
-                        "cache_blocks or reduce prefetch_depth"
-                    )
-        self.cache.record_use(bid, hit=True)  # mark used for eviction stats
-        self.cache.stats.hits -= 1  # the extra record_use is bookkeeping only
-        return entry.block
-
-    def _issue_get(self, bid: BlockId):
-        owner = self.rt.owner_rank(bid)
-        reply_tag = self.next_tag()
-        arrival = self.sim.event(name=f"arrive {bid}")
-        entry = self.cache.insert_pending(bid, arrival)
-        req = self.comm.irecv(source=owner, tag=reply_tag)
-
-        def on_reply(ev) -> None:
-            msg = ev.value
-            self.cache.fulfil(bid, msg.payload.block)
-            arrival.succeed(None)
-
-        req.event.add_callback(on_reply)
-        payload = GetBlock(bid, reply_tag, self.worker_index, self.epoch)
-
-        def send() -> None:
-            self.comm.isend(payload, dest=owner, tag=SERVICE_TAG)
-
-        send()
-        self._spawn_retry_monitor(arrival, send, "fetch_retries", "get")
-        self.ever_fetched.add(bid)
-        self.rt.replicas.note(bid, self.worker_index)
-        return entry
-
-    def _issue_request(self, bid: BlockId):
-        server = self.rt.server_rank_for(bid)
-        reply_tag = self.next_tag()
-        arrival = self.sim.event(name=f"arrive-served {bid}")
-        entry = self.cache.insert_pending(bid, arrival)
-        req = self.comm.irecv(source=server, tag=reply_tag)
-
-        def on_reply(ev) -> None:
-            msg = ev.value
-            self.cache.fulfil(bid, msg.payload.block)
-            arrival.succeed(None)
-
-        req.event.add_callback(on_reply)
-        payload = RequestBlock(bid, reply_tag, self.worker_index, self.served_epoch)
-
-        def send() -> None:
-            self.comm.isend(payload, dest=server, tag=SERVER_TAG)
-
-        send()
-        self._spawn_retry_monitor(arrival, send, "fetch_retries", "request")
-        self.ever_fetched.add(bid)
-        self.rt.replicas.note(bid, self.worker_index)
-        return entry
 
     # -- write targets ----------------------------------------------------------
     def write_target(self, r: ResolvedOperand, needs_existing: bool) -> Block:
@@ -759,51 +583,30 @@ class WorkerProcess:
         if op != "=" and accum_key is not None:
             # canonical accumulation: buffer the contribution and fold
             # at the first read, sorted by sender-side order key
-            self._pending_accums.setdefault(bid, []).append((accum_key, incoming))
+            self.engine.accums.buffer(bid, accum_key, incoming)
             return
         self._writable(block)
         if op == "=":
             # an overwrite supersedes any buffered contributions
-            self._pending_accums.pop(bid, None)
+            self.engine.accums.discard(bid)
             if block.data is not None and incoming.data is not None:
                 block.data[...] = incoming.data
         elif block.data is not None and incoming.data is not None:
             # keyless legacy path (direct callers): apply immediately
             block.data[...] += incoming.data
 
-    def _next_accum_key(self) -> tuple:
-        """Canonical ordering key for a '+=' put/prepare contribution.
-
-        Inside a pardo the key leads with the iteration identity, so the
-        fold order matches the iteration space no matter which worker ran
-        which iteration; outside one it leads with the worker index (all
-        workers execute the same SPMD statement).  The trailing per-sender
-        counter only breaks ties *within* one iteration, where it follows
-        program order on a single worker in every backend.
-        """
-        self._accum_seq += 1
-        if self._iter_key is not None:
-            pardo_id, activation, combo = self._iter_key
-            return (0, pardo_id, activation, combo, self._accum_seq)
-        return (1, self.worker_index, self._accum_seq)
-
     def _fold_accums(self, bid: BlockId) -> None:
         """Apply buffered '+=' contributions to ``bid`` in key order."""
-        pending = self._pending_accums.pop(bid, None)
-        if not pending:
+        if bid not in self.engine.accums:
             return
         block = self.owned[bid]
         self.memman.touch(bid)
         self._writable(block)
-        pending.sort(key=lambda kv: kv[0])
-        if block.data is not None:
-            for _key, inc in pending:
-                if inc.data is not None:
-                    block.data[...] += inc.data
+        self.engine.accums.fold_into(bid, block)
 
     def fold_pending_accums(self) -> None:
         """Fold every buffered contribution (result gathering, run end)."""
-        for bid in list(self._pending_accums):
+        for bid in self.engine.accums.pending_ids():
             self._fold_accums(bid)
 
     # ======================================================================
@@ -838,7 +641,9 @@ class WorkerProcess:
             return exit_pc
         self.do_states[pc] = _DoState(values=values)
         self.index_values[index_id] = values[0]
-        self._prefetch_future(get_pcs, index_id, values[1 : 1 + self.config.prefetch_depth])
+        self.prefetcher.future(
+            get_pcs, index_id, values[1 : 1 + self.config.prefetch_depth]
+        )
         return pc + 1
 
     def op_do_end(self, instr, pc: int) -> int:
@@ -852,7 +657,7 @@ class WorkerProcess:
                 state.pos + 1 : state.pos + 1 + self.config.prefetch_depth
             ]
             get_pcs = self._instrs[start_pc].args[2]
-            self._prefetch_future(get_pcs, index_id, nxt)
+            self.prefetcher.future(get_pcs, index_id, nxt)
             return body_start
         del self.do_states[start_pc]
         self.index_values.pop(index_id, None)
@@ -871,7 +676,9 @@ class WorkerProcess:
             return exit_pc
         self.do_states[pc] = _DoState(values=values)
         self.index_values[sub_id] = values[0]
-        self._prefetch_future(get_pcs, sub_id, values[1 : 1 + self.config.prefetch_depth])
+        self.prefetcher.future(
+            get_pcs, sub_id, values[1 : 1 + self.config.prefetch_depth]
+        )
         return pc + 1
 
     op_doin_end = op_do_end  # identical mechanics
@@ -888,27 +695,16 @@ class WorkerProcess:
                 raise SIPError(f"get of unwritten distributed block {bid}")
             self.tracker(self.epoch).record_read(self.worker_index, bid)
             return pc + 1
-        if self.cache.lookup(bid, touch=False) is None:
-            if bid in self.ever_fetched:
-                self.cache.mark_refetch(bid)
-            try:
-                self._issue_get(bid)
-            except SIPError:
-                pass  # cache momentarily full of in-flight blocks; the
-                # instruction that *uses* the block fetches with backpressure
+        # a dropped hint is fine: the instruction that *uses* the block
+        # fetches with backpressure
+        self.engine.hint(bid, "get")
         return pc + 1
 
     def op_request(self, instr, pc: int) -> int:
         r = self.resolve(instr.args[0])
         bid = r.block_id
         self._sanitize("served", self.served_epoch, bid, "read", instr, pc)
-        if self.cache.lookup(bid, touch=False) is None:
-            if bid in self.ever_fetched:
-                self.cache.mark_refetch(bid)
-            try:
-                self._issue_request(bid)
-            except SIPError:
-                pass
+        self.engine.hint(bid, "request")
         return pc + 1
 
     def op_prefetch(self, instr, pc: int) -> int:
@@ -923,16 +719,8 @@ class WorkerProcess:
         bid = r.block_id
         if r.kind == "distributed" and self.rt.owner_rank(bid) == self.rank:
             return pc + 1
-        if self.cache.lookup(bid, touch=False) is None:
-            if bid in self.ever_fetched:
-                self.cache.mark_refetch(bid)
-            try:
-                if r.kind == "distributed":
-                    self._issue_get(bid)
-                else:
-                    self._issue_request(bid)
-            except SIPError:
-                pass  # cache full of in-flight blocks: a hint may be dropped
+        kind = "get" if r.kind == "distributed" else "request"
+        self.engine.hint(bid, kind)
         return pc + 1
 
     def op_create(self, instr, pc: int) -> int:
@@ -941,7 +729,7 @@ class WorkerProcess:
     def op_delete(self, instr, pc: int) -> int:
         array_id = instr.args[0]
         for bid in [b for b in self.owned if b.array_id == array_id]:
-            self._pending_accums.pop(bid, None)
+            self.engine.accums.discard(bid)
             self.memman.free(bid, self.owned.pop(bid))
         for bid in [b for b, e in list(self.cache.items()) if b.array_id == array_id]:
             self.cache.remove(bid)
@@ -978,132 +766,7 @@ class WorkerProcess:
             self.scalars[scalar_id] -= value
         else:  # '*='
             self.scalars[scalar_id] *= value
-        if self._iter_key is None:
-            base = self._scalar_base
-            if op == "=":
-                base[scalar_id] = value
-                self._scalar_deltas[scalar_id].clear()
-                self._scalar_poisoned[scalar_id] = False
-            elif op == "+=":
-                base[scalar_id] += value
-            elif op == "-=":
-                base[scalar_id] -= value
-            else:
-                # scaling distributes over the base but not over pending
-                # deltas; with deltas outstanding the decomposition no
-                # longer holds
-                if self._scalar_deltas[scalar_id]:
-                    self._scalar_poisoned[scalar_id] = True
-                base[scalar_id] *= value
-        elif op in ("+=", "-=") and not self._rpn_order_dependent(rpn):
-            deltas = self._scalar_deltas[scalar_id]
-            signed = value if op == "+=" else -value
-            key = self._iter_key
-            deltas[key] = deltas.get(key, 0.0) + signed
-        else:
-            # a non-additive update inside a pardo iteration (or an
-            # increment computed from another accumulating scalar) makes
-            # the per-iteration decomposition assignment-dependent
-            self._scalar_poisoned[scalar_id] = True
-
-    def _rpn_order_dependent(self, rpn) -> bool:
-        """Whether an expression reads a scalar still mid-accumulation."""
-        for item in rpn:
-            if item[0] == "scalar":
-                sid = item[1]
-                if self._scalar_deltas[sid] or self._scalar_poisoned[sid]:
-                    return True
-        return False
-
-    # ======================================================================
-    # prefetch
-    # ======================================================================
-    def _prefetch_future(
-        self, get_pcs: tuple[int, ...], index_id: int, future_values
-    ) -> None:
-        """Issue gets for upcoming iterations of one loop index."""
-        if not get_pcs or self.config.prefetch_depth == 0:
-            return
-        saved = self.index_values.get(index_id)
-        instrs = self._instrs
-        try:
-            for v in future_values:
-                if self.cache.pending_count >= self.cache.capacity - 2:
-                    break  # leave room for demand fetches
-                self.index_values[index_id] = v
-                for gpc in get_pcs:
-                    instr = instrs[gpc]
-                    try:
-                        r = self.resolve(instr.args[0])
-                    except SIPError:
-                        continue  # depends on an index not currently bound
-                    bid = r.block_id
-                    if self.cache.lookup(bid, touch=False) is not None:
-                        continue
-                    op = instr.op
-                    if op == Op.PREFETCH:
-                        # optimizer hints fetch by the operand's kind
-                        op = Op.GET if r.kind == "distributed" else Op.REQUEST
-                    if op == Op.GET:
-                        if self.rt.owner_rank(bid) == self.rank:
-                            continue
-                        try:
-                            self._issue_get(bid)
-                        except SIPError:
-                            # cache full of pending blocks: stop prefetching
-                            return
-                    elif op == Op.REQUEST:
-                        try:
-                            self._issue_request(bid)
-                        except SIPError:
-                            return
-        finally:
-            # the early returns above must not leak a future index value
-            # into the running iteration's bindings
-            if saved is None:
-                self.index_values.pop(index_id, None)
-            else:
-                self.index_values[index_id] = saved
-
-    def _prefetch_pardo(
-        self, get_pcs: tuple[int, ...], index_ids: tuple[int, ...], tuples
-    ) -> None:
-        """Issue gets for upcoming pardo iterations in the current chunk."""
-        if not get_pcs or self.config.prefetch_depth == 0:
-            return
-        saved = {i: self.index_values.get(i) for i in index_ids}
-        instrs = self._instrs
-        for combo in tuples:
-            if self.cache.pending_count >= self.cache.capacity - 2:
-                break  # leave room for demand fetches
-            for i, v in zip(index_ids, combo):
-                self.index_values[i] = v
-            for gpc in get_pcs:
-                instr = instrs[gpc]
-                try:
-                    r = self.resolve(instr.args[0])
-                except SIPError:
-                    continue
-                bid = r.block_id
-                if self.cache.lookup(bid, touch=False) is not None:
-                    continue
-                op = instr.op
-                if op == Op.PREFETCH:
-                    op = Op.GET if r.kind == "distributed" else Op.REQUEST
-                try:
-                    if op == Op.GET:
-                        if self.rt.owner_rank(bid) == self.rank:
-                            continue
-                        self._issue_get(bid)
-                    elif op == Op.REQUEST:
-                        self._issue_request(bid)
-                except SIPError:
-                    break
-        for i, v in saved.items():
-            if v is None:
-                self.index_values.pop(i, None)
-            else:
-                self.index_values[i] = v
+        self.scalar_ledger.note(scalar_id, op, value, self._iter_key, rpn)
 
     # ======================================================================
     # slow opcode handlers (generators)
@@ -1131,7 +794,7 @@ class WorkerProcess:
                     )
                 stats.iterations += 1
                 depth = self.config.prefetch_depth
-                self._prefetch_pardo(
+                self.prefetcher.pardo(
                     get_pcs, index_ids, state.chunk[state.pos : state.pos + depth]
                 )
                 return pc + 1
@@ -1373,7 +1036,7 @@ class WorkerProcess:
                 if v is None:
                     raise SIPError(f"execute {name}: index argument not bound")
                 scalars.append(float(v))
-        from .registry import SuperCall
+        from ..registry import SuperCall
 
         flops = fn(SuperCall(name=name, blocks=blocks, scalars=scalars, real=self.rt.real))
         if flops is None:
@@ -1399,17 +1062,18 @@ class WorkerProcess:
             )
         bid = dst_r.block_id
         self._sanitize("distributed", self.epoch, bid, op, instr, pc)
-        owner = self.rt.owner_rank(bid)
-        accum_key = None if op == "=" else self._next_accum_key()
-        if owner == self.rank:
+        accum_key = (
+            None
+            if op == "="
+            else self.engine.accums.next_key(self._iter_key, self.worker_index)
+        )
+        if self.rt.owner_rank(bid) == self.rank:
             # a buffered '+=' holds the payload past this instruction,
             # so the owner-local fast path snapshots just like a send
             snapshot = (
                 src_block
                 if accum_key is None
-                else snapshot_for_transport(
-                    src_block, self.rt.cow_enabled, self.rt.cow
-                )
+                else self.engine.snapshot(src_block)
             )
             self.apply_put(
                 bid, op, snapshot, self.worker_index, self.epoch,
@@ -1418,27 +1082,7 @@ class WorkerProcess:
             cost = self.rt.cost.elementwise_time(src_block.nbytes)
             yield Timeout(cost)
             return pc + 1
-        ack_tag = self.next_tag()
-        req = self.comm.irecv(source=owner, tag=ack_tag)
-        self.outstanding_put_acks.append(req.event)
-        payload = PutBlock(
-            bid,
-            op,
-            snapshot_for_transport(src_block, self.rt.cow_enabled, self.rt.cow),
-            self.worker_index,
-            self.epoch,
-            ack_tag,
-            self._next_msg_seq(),
-            accum_key,
-        )
-
-        def send() -> None:
-            self.comm.isend(
-                payload, dest=owner, tag=SERVICE_TAG, nbytes=message_nbytes(payload)
-            )
-
-        send()
-        self._spawn_retry_monitor(req.event, send, "put_retries", "put-ack")
+        self.engine.post_put(bid, op, src_block, accum_key)
         yield Timeout(self.rt.config.machine.send_overhead)
         return pc + 1
 
@@ -1453,28 +1097,12 @@ class WorkerProcess:
             src_block = self._materialize_view(src_r, src_block)
         bid = dst_r.block_id
         self._sanitize("served", self.served_epoch, bid, op, instr, pc)
-        server = self.rt.server_rank_for(bid)
-        ack_tag = self.next_tag()
-        req = self.comm.irecv(source=server, tag=ack_tag)
-        self.outstanding_prepare_acks.append(req.event)
-        payload = PrepareBlock(
-            bid,
-            op,
-            snapshot_for_transport(src_block, self.rt.cow_enabled, self.rt.cow),
-            self.worker_index,
-            self.served_epoch,
-            ack_tag,
-            self._next_msg_seq(),
-            None if op == "=" else self._next_accum_key(),
+        accum_key = (
+            None
+            if op == "="
+            else self.engine.accums.next_key(self._iter_key, self.worker_index)
         )
-
-        def send() -> None:
-            self.comm.isend(
-                payload, dest=server, tag=SERVER_TAG, nbytes=message_nbytes(payload)
-            )
-
-        send()
-        self._spawn_retry_monitor(req.event, send, "prepare_retries", "prepare-ack")
+        self.engine.post_prepare(bid, op, src_block, accum_key)
         yield Timeout(self.rt.config.machine.send_overhead)
         return pc + 1
 
@@ -1485,14 +1113,14 @@ class WorkerProcess:
         return Block(r.shape, data)
 
     def op_sip_barrier(self, instr, pc: int) -> Generator:
-        yield from self._wait_events(self.outstanding_put_acks)
+        yield from self._wait_events(self.engine.outstanding_put_acks)
         yield from self._barrier_wait(self.rt.worker_barrier)
         self.epoch += 1
         self._clear_cache_kind("distributed")
         return pc + 1
 
     def op_server_barrier(self, instr, pc: int) -> Generator:
-        yield from self._wait_events(self.outstanding_prepare_acks)
+        yield from self._wait_events(self.engine.outstanding_prepare_acks)
         yield from self._barrier_wait(self.rt.server_barrier_obj)
         self.served_epoch += 1
         self._clear_cache_kind("served")
@@ -1519,14 +1147,15 @@ class WorkerProcess:
         self.collective_seq += 1
         reply_tag = self.next_tag()
         req = self.comm.irecv(source=self.config.master_rank, tag=reply_tag)
+        base, deltas, poisoned = self.scalar_ledger.contribution(scalar_id)
         payload = CollectiveContribution(
             seq,
             self.worker_index,
             self.scalars[scalar_id],
             reply_tag,
-            base=self._scalar_base[scalar_id],
-            deltas=tuple(sorted(self._scalar_deltas[scalar_id].items())),
-            poisoned=self._scalar_poisoned[scalar_id],
+            base=base,
+            deltas=deltas,
+            poisoned=poisoned,
         )
 
         def send() -> None:
@@ -1538,10 +1167,7 @@ class WorkerProcess:
         )
         total = msg.payload.value
         self.scalars[scalar_id] = total
-        # the reduced value becomes the scalar's new base everywhere
-        self._scalar_base[scalar_id] = total
-        self._scalar_deltas[scalar_id].clear()
-        self._scalar_poisoned[scalar_id] = False
+        self.scalar_ledger.absorb_reduction(scalar_id, total)
         return pc + 1
 
     # -- serialization & checkpoint -------------------------------------------
@@ -1587,7 +1213,7 @@ class WorkerProcess:
                 # block absent from the store was never written
                 continue
             bid = BlockId(array_id, coords)
-            self._pending_accums.pop(bid, None)  # restore overwrites
+            self.engine.accums.discard(bid)  # restore overwrites
             block = self.owned.get(bid)
             if block is None:
                 block = self._alloc_block(bid, zero=False)

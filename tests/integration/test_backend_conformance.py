@@ -270,3 +270,60 @@ def test_mp_rejects_fault_injection_and_resilience():
 def test_unknown_execution_backend_rejected():
     with pytest.raises(ValueError, match="unknown execution backend"):
         SIPConfig(execution="threads")
+
+
+COALESCE_SRC = """sial coalesce
+symbolic nb
+symbolic nl
+aoindex M = 1, nb
+aoindex N = 1, nb
+aoindex L = 1, nl
+distributed D(M, N)
+temp T(M, N)
+temp S(M, N)
+pardo M, N
+  T(M, N) = 1.0
+  put D(M, N) = T(M, N)
+endpardo M, N
+sip_barrier
+pardo L
+  do M
+    do N
+      get D(M, N)
+      S(M, N) = D(M, N) * 2.0
+    enddo N
+  enddo M
+endpardo L
+sip_barrier
+endsial coalesce
+"""
+
+
+@pytest.mark.mp
+@pytest.mark.parametrize("execution", ["sim", "mp"])
+def test_duplicate_block_requests_coalesce_on_both_backends(execution):
+    """Two pardo iterations getting the same block issue one wire message.
+
+    D is a single block (the segment spans the whole index range) and
+    every ``pardo L`` iteration demands it, so the transfer engine's
+    request table must fold all the duplicate fetches onto the one
+    in-flight GetBlock -- on the simulator and on real processes alike.
+    """
+    cfg = make_config(2, execution, segment_size=4)
+    res = run_source(COALESCE_SRC, cfg, symbolics={"nb": 4, "nl": 12})
+    assert res.stats["blockio_issued_gets"] == 1
+    assert res.stats["blockio_replies"] == 1
+    assert res.stats["blockio_coalesced"] > 0
+    assert res.sanitizer_report.ok
+
+
+@pytest.mark.mp
+@pytest.mark.parametrize("execution", ["sim", "mp"])
+def test_ccsd_coalesces_on_both_backends(execution):
+    """CCSD re-gets amplitude blocks across pardo iterations; the
+    engine must report coalesced duplicates on both backends."""
+    out = DRIVERS["ccsd"](make_config(2, execution))
+    stats = out.result.stats
+    assert stats["blockio_coalesced"] > 0
+    assert stats["blockio_issued_gets"] > 0
+    assert stats["blockio_issued_requests"] > 0

@@ -1,0 +1,131 @@
+"""Architecture lint: block movement goes through the transfer engine.
+
+The refactor that extracted :mod:`repro.sip.blockio` concentrated every
+block-transfer wire message and every pending-cache insertion in one
+module.  These tests keep it that way: they AST-walk the source tree
+and fail when a module outside the allowlists starts hand-rolling block
+movement again (constructing GetBlock/PutBlock/... directly, inserting
+pending cache entries, or importing the raw simulated wire layer).
+
+Control-plane traffic (barriers, the master's dole-out protocol, acks)
+deliberately stays outside the engine -- only *block* movement is
+restricted.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: the block-transfer wire messages; constructing one of these is
+#: putting a block movement on the wire
+BLOCK_MESSAGES = {
+    "GetBlock",
+    "RequestBlock",
+    "PutBlock",
+    "PrepareBlock",
+    "BlockReply",
+}
+
+#: modules allowed to construct block-transfer messages: the engine
+#: itself and the message definitions (dataclass machinery)
+MESSAGE_ALLOWLIST = {
+    "sip/blockio.py",
+    "sip/messages.py",
+}
+
+#: modules allowed to create pending cache entries: the engine and the
+#: cache that implements them
+INSERT_PENDING_ALLOWLIST = {
+    "sip/blockio.py",
+    "sip/cache.py",
+}
+
+#: modules allowed to touch the raw simulated wire layer
+#: (``repro.simmpi.comm``): the simulator package itself and the
+#: multiprocess transport that mirrors its interface
+COMM_ALLOWLIST_PREFIXES = ("simmpi/",)
+COMM_ALLOWLIST = {
+    "sip/mptransport.py",
+}
+
+
+def repro_modules():
+    for path in sorted(SRC.rglob("*.py")):
+        yield path.relative_to(SRC).as_posix(), ast.parse(
+            path.read_text(), filename=str(path)
+        )
+
+
+def called_name(node: ast.Call):
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def test_block_messages_are_only_constructed_by_the_engine():
+    offenders = []
+    for rel, tree in repro_modules():
+        if rel in MESSAGE_ALLOWLIST:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and called_name(node) in BLOCK_MESSAGES:
+                offenders.append(f"{rel}:{node.lineno} constructs {called_name(node)}")
+    assert not offenders, (
+        "block-transfer messages must be built by the BlockTransferEngine "
+        "(repro/sip/blockio.py), not hand-rolled:\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_pending_cache_entries_are_only_inserted_by_the_engine():
+    offenders = []
+    for rel, tree in repro_modules():
+        if rel in INSERT_PENDING_ALLOWLIST:
+            continue
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and called_name(node) == "insert_pending"
+            ):
+                offenders.append(f"{rel}:{node.lineno}")
+    assert not offenders, (
+        "cache.insert_pending is the engine's request-table primitive; "
+        "call BlockTransferEngine.hint/acquire/ensure_cached instead:\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_raw_wire_layer_is_only_imported_by_transports():
+    offenders = []
+    for rel, tree in repro_modules():
+        if rel in COMM_ALLOWLIST or rel.startswith(COMM_ALLOWLIST_PREFIXES):
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.endswith("simmpi.comm") or (
+                    module.endswith("simmpi")
+                    and any(a.name == "SimComm" for a in node.names)
+                ):
+                    offenders.append(f"{rel}:{node.lineno} imports {module}")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.endswith("simmpi.comm"):
+                        offenders.append(
+                            f"{rel}:{node.lineno} imports {alias.name}"
+                        )
+    assert not offenders, (
+        "the raw wire layer (repro.simmpi.comm / SimComm) is a transport "
+        "detail; code above the transports talks to CommEndpoint:\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_the_allowlists_still_match_reality():
+    """A lint whose allowlist names dead files lints nothing."""
+    all_rel = {rel for rel, _ in repro_modules()}
+    for rel in MESSAGE_ALLOWLIST | INSERT_PENDING_ALLOWLIST | COMM_ALLOWLIST:
+        assert rel in all_rel, f"allowlisted module {rel} no longer exists"
